@@ -1,0 +1,24 @@
+//! Criterion benches regenerating the evaluation figures (7-9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_bench::experiments;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig7_convergence_executed", |b| {
+        // Short executed training runs (real distributed workers).
+        b.iter(|| black_box(experiments::fig7(8)))
+    });
+    group.bench_function("fig8_throughput_vs_machines", |b| {
+        b.iter(|| black_box(experiments::fig8()))
+    });
+    group.bench_function("fig9_normalized_scalability", |b| {
+        b.iter(|| black_box(experiments::fig9()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

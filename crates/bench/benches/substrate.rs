@@ -1,0 +1,142 @@
+//! Micro-benchmarks of the substrates: collectives, sparse-gradient
+//! kernels, partition routing and a full executed hybrid training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parallax_comm::collectives::ring_allreduce;
+use parallax_comm::{Router, Topology};
+use parallax_core::sparsity::estimate_profile;
+use parallax_core::{get_runner, ParallaxConfig};
+use parallax_models::data::ZipfCorpus;
+use parallax_models::lm::{LmConfig, LmModel};
+use parallax_ps::client::split_to_partitions;
+use parallax_ps::RowPartition;
+use parallax_tensor::{ops, DetRng, IndexedSlices, Tensor};
+use std::hint::black_box;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("ring_allreduce_4k_floats", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let topo = Topology::uniform(workers, 1).unwrap();
+                    let ranks: Vec<usize> = (0..workers).collect();
+                    let (eps, _) = Router::build(topo);
+                    std::thread::scope(|s| {
+                        for mut ep in eps {
+                            let ranks = &ranks;
+                            s.spawn(move || {
+                                let mut data = vec![ep.rank() as f32; 4096];
+                                ring_allreduce(&mut ep, ranks, 1, &mut data).unwrap();
+                                black_box(data[0]);
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sparse_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse");
+    let mut rng = DetRng::seed(1);
+    let rows = 10_000usize;
+    let cols = 64usize;
+    let nnz = 2_000usize;
+    let indices: Vec<usize> = (0..nnz).map(|_| rng.below(rows)).collect();
+    let values = Tensor::randn([nnz, cols], 1.0, &mut rng);
+    let slices = IndexedSlices::new(indices, values, rows).unwrap();
+
+    group.bench_function("coalesce_2k_rows", |b| {
+        b.iter(|| black_box(slices.coalesce()))
+    });
+    group.bench_function("to_dense_2k_rows", |b| {
+        b.iter(|| black_box(slices.to_dense()))
+    });
+
+    let partition = RowPartition::even(rows, 64).unwrap();
+    group.bench_function("split_to_64_partitions", |b| {
+        b.iter(|| black_box(split_to_partitions(&slices, &partition).unwrap()))
+    });
+    group.bench_function("route_10k_rows", |b| {
+        b.iter(|| {
+            for r in 0..rows {
+                black_box(partition.route(r).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_dense_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense");
+    let mut rng = DetRng::seed(2);
+    let a = Tensor::randn([64, 256], 1.0, &mut rng);
+    let w = Tensor::randn([256, 256], 1.0, &mut rng);
+    group.bench_function("matmul_64x256x256", |b| {
+        b.iter(|| black_box(ops::matmul(&a, &w).unwrap()))
+    });
+    let g = Tensor::randn([256, 256], 0.01, &mut rng);
+    let mut p = Tensor::randn([256, 256], 1.0, &mut rng);
+    group.bench_function("axpy_64k", |b| {
+        b.iter(|| {
+            ops::axpy(-0.01, &g, &mut p).unwrap();
+            black_box(p.data()[0]);
+        })
+    });
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    let model = LmModel::build(LmConfig::tiny()).unwrap();
+    let corpus = ZipfCorpus::new(model.config.vocab, 1.0);
+    let profile = {
+        let feed = model.feed(&corpus, &mut DetRng::seed(42));
+        estimate_profile(&model.built.graph, &[feed], 1).unwrap()
+    };
+    for (name, config) in [
+        ("hybrid", ParallaxConfig::default()),
+        ("tf_ps", ParallaxConfig::tf_ps_baseline()),
+        ("horovod", ParallaxConfig::horovod_baseline()),
+    ] {
+        group.bench_function(format!("lm_tiny_2x2_5iters_{name}"), |b| {
+            b.iter(|| {
+                let runner = get_runner(
+                    model.built.graph.clone(),
+                    model.built.loss,
+                    vec![2, 2],
+                    ParallaxConfig {
+                        seed: 7,
+                        ..config.clone()
+                    },
+                    profile.clone(),
+                )
+                .unwrap();
+                let m = &model;
+                let cref = &corpus;
+                let report = runner
+                    .run(5, move |w, i| {
+                        m.sharded_feed(cref, 4, w, &mut DetRng::seed(i as u64))
+                    })
+                    .unwrap();
+                black_box(report.losses);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_collectives,
+    bench_sparse_kernels,
+    bench_dense_kernels,
+    bench_training_step
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches regenerating every evaluation table (1-6).
+//!
+//! Each bench runs the full experiment pipeline (analytic engine over
+//! the calibrated cluster model; Table 3 additionally executes real
+//! distributed probes) and asserts nothing — timings here track the
+//! harness cost itself; the `repro` binary prints the table contents.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallax_bench::experiments;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table1_model_sizes_and_throughput", |b| {
+        b.iter(|| black_box(experiments::table1()))
+    });
+    group.bench_function("table2_partition_sweep", |b| {
+        b.iter(|| black_box(experiments::table2()))
+    });
+    group.bench_function("table3_formulas", |b| {
+        b.iter(|| black_box(experiments::table3()))
+    });
+    group.bench_function("table3_measured_executed_probes", |b| {
+        b.iter(|| black_box(experiments::table3_measured()))
+    });
+    group.bench_function("table4_architecture_ablation", |b| {
+        b.iter(|| black_box(experiments::table4()))
+    });
+    group.bench_function("table5_partition_search_vs_brute_force", |b| {
+        b.iter(|| black_box(experiments::table5()))
+    });
+    group.bench_function("table6_sparsity_sweep", |b| {
+        b.iter(|| black_box(experiments::table6()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

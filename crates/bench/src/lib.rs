@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (Section 6).
+//!
+//! Each experiment is a plain function returning structured rows, shared
+//! by the `repro` binary (which prints the tables) and the Criterion
+//! benches. Throughput numbers come from the analytic engine at paper
+//! scale (8 machines x 6 GPUs, calibrated hardware model); convergence
+//! and traffic-verification experiments execute real training at reduced
+//! scale through the full distributed runtime.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::Framework;

@@ -1,0 +1,80 @@
+//! Plain-text table rendering for the `repro` binary.
+
+/// Renders rows as an aligned text table.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a throughput in the paper's style (`98.9k`, `5.8k`, `274k`).
+pub fn fmt_throughput(value: f64) -> String {
+    if value >= 100_000.0 {
+        format!("{:.0}k", value / 1000.0)
+    } else if value >= 1000.0 {
+        format!("{:.1}k", value / 1000.0)
+    } else {
+        format!("{value:.0}")
+    }
+}
+
+/// Formats a ratio as `2.8x`.
+pub fn fmt_speedup(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            "T",
+            &["model", "tput"],
+            &[
+                vec!["LM".into(), "98.9k".into()],
+                vec!["ResNet-50".into(), "7.6k".into()],
+            ],
+        );
+        assert!(s.contains("== T =="));
+        assert!(s.lines().count() >= 4);
+        // All data lines share the same width.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        assert_eq!(lines[1].len(), lines[2].len().max(lines[1].len()));
+    }
+
+    #[test]
+    fn throughput_formatting() {
+        assert_eq!(fmt_throughput(98_900.0), "98.9k");
+        assert_eq!(fmt_throughput(274_000.0), "274k");
+        assert_eq!(fmt_throughput(5_800.0), "5.8k");
+        assert_eq!(fmt_throughput(950.0), "950");
+        assert_eq!(fmt_speedup(2.8), "2.80x");
+    }
+}

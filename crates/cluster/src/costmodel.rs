@@ -1,0 +1,143 @@
+//! Compute-side cost models.
+//!
+//! [`SparseOpCost`] is the mechanical origin of the paper's Eq. 1
+//! (`iter_time = th0 + th1/P + th2*P`): aggregation/update work for a
+//! sparse variable is serial per partition but parallel across
+//! partitions (the `th1/P` term), while every partition adds fixed
+//! stitching/bookkeeping overhead (the `th2*P` term). Parallax's
+//! partition search *fits* Eq. 1 to sampled iteration times; this module
+//! is the underlying physics those samples come from.
+
+use crate::hardware::CpuModel;
+
+/// Server-side cost of aggregating and applying sparse gradients for one
+/// variable, as a function of its partition count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseOpCost {
+    /// Total rows pushed to the variable per iteration (across workers,
+    /// after local aggregation if enabled).
+    pub pushed_rows: f64,
+    /// Row width (embedding dimension).
+    pub cols: f64,
+}
+
+impl SparseOpCost {
+    /// Seconds of server CPU time per iteration at `partitions` partitions.
+    ///
+    /// The serial aggregation work `rows * cols / rate` is divided across
+    /// `min(partitions, max_parallelism)` lanes; each partition adds
+    /// `per_partition_cost` of stitching overhead. The result is convex in
+    /// `partitions` with a minimum at roughly
+    /// `sqrt(serial_work / per_partition_cost)` (when under the
+    /// parallelism cap).
+    pub fn time(&self, cpu: &CpuModel, partitions: usize) -> f64 {
+        let p = partitions.max(1);
+        let lanes = p.min(cpu.max_parallelism.max(1)) as f64;
+        let serial = self.pushed_rows * self.cols / cpu.sparse_agg_rate;
+        serial / lanes + p as f64 * cpu.per_partition_cost
+    }
+
+    /// The partition count minimizing [`SparseOpCost::time`] by direct
+    /// scan (used by tests and the brute-force baseline of Table 5).
+    pub fn best_partitions(&self, cpu: &CpuModel, max: usize) -> usize {
+        (1..=max.max(1))
+            .min_by(|&a, &b| {
+                self.time(cpu, a)
+                    .partial_cmp(&self.time(cpu, b))
+                    .expect("cost is finite")
+            })
+            .expect("non-empty range")
+    }
+}
+
+/// Aggregate compute cost of one training iteration on one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ComputeCost {
+    /// Forward+backward FLOPs per iteration per worker.
+    pub flops: f64,
+}
+
+impl ComputeCost {
+    /// FLOPs for forward+backward given forward FLOPs (backward is
+    /// approximately twice the forward cost).
+    pub fn from_forward_flops(forward: f64) -> Self {
+        ComputeCost {
+            flops: 3.0 * forward,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> CpuModel {
+        CpuModel {
+            sparse_agg_rate: 1e6,
+            dense_agg_rate: 1e9,
+            per_partition_cost: 1e-4,
+            max_parallelism: 1024,
+            max_shard_bytes: 1e9,
+        }
+    }
+
+    #[test]
+    fn cost_is_convex_with_interior_minimum() {
+        let cost = SparseOpCost {
+            pushed_rows: 1000.0,
+            cols: 100.0,
+        };
+        let cpu = cpu();
+        // serial = 0.1s; optimum ~ sqrt(0.1 / 1e-4) ~ 31.
+        let best = cost.best_partitions(&cpu, 512);
+        assert!((16..=64).contains(&best), "best {best}");
+        assert!(cost.time(&cpu, 1) > cost.time(&cpu, best));
+        assert!(cost.time(&cpu, 512) > cost.time(&cpu, best));
+    }
+
+    #[test]
+    fn parallelism_cap_flattens_gains() {
+        let cost = SparseOpCost {
+            pushed_rows: 1e6,
+            cols: 100.0,
+        };
+        let capped = CpuModel {
+            max_parallelism: 8,
+            ..cpu()
+        };
+        // Beyond 8 partitions, only overhead grows.
+        let t8 = cost.time(&capped, 8);
+        let t64 = cost.time(&capped, 64);
+        assert!(t64 > t8);
+        assert!((t64 - t8 - 56.0 * 1e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_rows_push_the_optimum_higher() {
+        let cpu = cpu();
+        let small = SparseOpCost {
+            pushed_rows: 100.0,
+            cols: 10.0,
+        };
+        let large = SparseOpCost {
+            pushed_rows: 100_000.0,
+            cols: 10.0,
+        };
+        assert!(large.best_partitions(&cpu, 1024) > small.best_partitions(&cpu, 1024));
+    }
+
+    #[test]
+    fn zero_partitions_treated_as_one() {
+        let cost = SparseOpCost {
+            pushed_rows: 10.0,
+            cols: 10.0,
+        };
+        assert_eq!(cost.time(&cpu(), 0), cost.time(&cpu(), 1));
+    }
+
+    #[test]
+    fn forward_flops_tripled() {
+        let c = ComputeCost::from_forward_flops(1e9);
+        assert!((c.flops - 3e9).abs() < 1.0);
+    }
+}

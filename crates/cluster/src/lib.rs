@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Cluster substrate: resource specifications, hardware cost models, and
+//! the iteration-time simulator.
+//!
+//! The paper's evaluation ran on 8 machines with 6 TITAN Xp GPUs each over
+//! 100 Gbps InfiniBand. This crate substitutes that testbed: worker
+//! threads provide *semantics* (real tensors, real protocols, measured
+//! bytes), and the models here provide *timing* — GPU compute time from a
+//! FLOP estimate, CPU-side sparse-aggregation time with its
+//! partition-parallelism/stitch-overhead trade-off (the mechanism behind
+//! the paper's Eq. 1 convexity), and network time from measured traffic
+//! with per-transport efficiency (NCCL vs MPI vs gRPC).
+
+pub mod costmodel;
+pub mod des;
+pub mod hardware;
+pub mod sim;
+pub mod spec;
+
+pub use costmodel::{ComputeCost, SparseOpCost};
+pub use des::{simulate, DesMessage, DesResult};
+pub use hardware::{ClusterModel, CpuModel, GpuModel, NetworkModel, Transport};
+pub use sim::{IterationSim, Phase};
+pub use spec::{MachineSpec, ResourceSpec};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, SpecError>;
+
+/// Errors from resource-spec parsing and simulation configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A resource file line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The specification is structurally invalid.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+            SpecError::Invalid(msg) => write!(f, "invalid spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}

@@ -1,0 +1,239 @@
+//! Iteration-time simulation.
+//!
+//! Combines (a) per-machine GPU compute time, (b) per-machine server CPU
+//! time (sparse aggregation/update), and (c) per-phase network time
+//! derived from traffic — measured via `parallax-comm` in executed mode,
+//! or produced by the analytic transfer formulas at paper scale — into a
+//! per-iteration wall-clock estimate. The slowest machine gates the
+//! synchronous iteration, which is exactly the asymmetry argument of
+//! Section 3.1: a PS machine hosting a hot dense variable stalls everyone.
+
+use parallax_comm::TrafficSnapshot;
+
+use crate::hardware::{ClusterModel, Transport};
+
+/// One communication phase of an iteration (e.g. "ring AllReduce over
+/// NCCL", "sparse pulls over gRPC"). Phases execute sequentially; overlap
+/// with compute is modelled by [`ClusterModel::comm_overlap`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Transport used by this phase.
+    pub transport: Transport,
+    /// Bytes each machine sends onto the network in this phase.
+    pub out_bytes: Vec<f64>,
+    /// Bytes each machine receives from the network in this phase.
+    pub in_bytes: Vec<f64>,
+    /// Intra-machine bytes moved per machine in this phase.
+    pub intra_bytes: Vec<f64>,
+    /// Sequential inter-machine messages on the critical path of each
+    /// machine in this phase (drives latency cost).
+    pub messages: Vec<f64>,
+}
+
+impl Phase {
+    /// Builds a phase from a measured traffic snapshot.
+    ///
+    /// Message counts are global in the snapshot, so they are attributed
+    /// evenly across machines.
+    pub fn from_snapshot(transport: Transport, snap: &TrafficSnapshot) -> Self {
+        let machines = snap.out_bytes.len().max(1);
+        let msgs = snap.inter_messages as f64 / machines as f64;
+        Phase {
+            transport,
+            out_bytes: snap.out_bytes.iter().map(|&b| b as f64).collect(),
+            in_bytes: snap.in_bytes.iter().map(|&b| b as f64).collect(),
+            intra_bytes: snap
+                .intra_bytes_per_machine
+                .iter()
+                .map(|&b| b as f64)
+                .collect(),
+            messages: vec![msgs; snap.out_bytes.len()],
+        }
+    }
+
+    /// A phase with uniform per-machine loads (analytic mode helper).
+    pub fn uniform(
+        transport: Transport,
+        machines: usize,
+        out_bytes: f64,
+        in_bytes: f64,
+        messages: f64,
+    ) -> Self {
+        Phase {
+            transport,
+            out_bytes: vec![out_bytes; machines],
+            in_bytes: vec![in_bytes; machines],
+            intra_bytes: vec![0.0; machines],
+            messages: vec![messages; machines],
+        }
+    }
+
+    /// Seconds machine `m` spends communicating in this phase. Links are
+    /// full duplex: send and receive streams progress concurrently, so the
+    /// slower direction gates.
+    pub fn machine_time(&self, model: &ClusterModel, m: usize) -> f64 {
+        let bw = model.net.effective_bandwidth(self.transport);
+        let out = self.out_bytes.get(m).copied().unwrap_or(0.0);
+        let inb = self.in_bytes.get(m).copied().unwrap_or(0.0);
+        let intra = self.intra_bytes.get(m).copied().unwrap_or(0.0);
+        let msgs = self.messages.get(m).copied().unwrap_or(0.0);
+        out.max(inb) / bw
+            + intra / model.net.effective_intra_bandwidth(self.transport)
+            + msgs * model.net.latency(self.transport)
+    }
+}
+
+/// Per-iteration timing inputs and the combination rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationSim {
+    /// Hardware model.
+    pub model: ClusterModel,
+    /// GPU compute seconds per machine (max over that machine's workers).
+    pub compute: Vec<f64>,
+    /// Server CPU seconds per machine (sparse aggregation/update work).
+    pub server_cpu: Vec<f64>,
+    /// Communication phases of the iteration.
+    pub phases: Vec<Phase>,
+}
+
+impl IterationSim {
+    /// A simulator with no load for `machines` machines.
+    pub fn new(model: ClusterModel, machines: usize) -> Self {
+        IterationSim {
+            model,
+            compute: vec![0.0; machines],
+            server_cpu: vec![0.0; machines],
+            phases: Vec::new(),
+        }
+    }
+
+    /// Per-machine iteration time.
+    pub fn machine_times(&self) -> Vec<f64> {
+        let machines = self.compute.len();
+        (0..machines)
+            .map(|m| {
+                let comm: f64 = self
+                    .phases
+                    .iter()
+                    .map(|p| p.machine_time(&self.model, m))
+                    .sum();
+                let exposed_comm = comm * (1.0 - self.model.comm_overlap);
+                self.compute[m] + self.server_cpu.get(m).copied().unwrap_or(0.0) + exposed_comm
+            })
+            .collect()
+    }
+
+    /// Wall-clock seconds for one synchronous iteration: the slowest
+    /// machine gates everyone.
+    pub fn iteration_time(&self) -> f64 {
+        self.machine_times().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Throughput in samples/second given the global batch per iteration.
+    pub fn throughput(&self, global_batch: f64) -> f64 {
+        let t = self.iteration_time();
+        if t <= 0.0 {
+            0.0
+        } else {
+            global_batch / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::ClusterModel;
+
+    fn model() -> ClusterModel {
+        let mut m = ClusterModel::paper_testbed();
+        m.comm_overlap = 0.0;
+        m
+    }
+
+    #[test]
+    fn slowest_machine_gates() {
+        let mut sim = IterationSim::new(model(), 3);
+        sim.compute = vec![0.1, 0.5, 0.2];
+        assert!((sim.iteration_time() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_machine_phase_dominates() {
+        // PS-style asymmetry: machine 0 moves N-1 times the bytes.
+        let m = model();
+        let bw = m.net.effective_bandwidth(Transport::Grpc);
+        let mut sim = IterationSim::new(m, 4);
+        let hot = 3.0 * 1e9;
+        sim.phases.push(Phase {
+            transport: Transport::Grpc,
+            out_bytes: vec![hot, 1e9, 1e9, 1e9],
+            in_bytes: vec![hot, 1e9, 1e9, 1e9],
+            intra_bytes: vec![0.0; 4],
+            messages: vec![0.0; 4],
+        });
+        assert!((sim.iteration_time() - hot / bw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_duplex_takes_max_direction() {
+        let m = model();
+        let mut sim = IterationSim::new(m.clone(), 1);
+        sim.phases.push(Phase {
+            transport: Transport::Nccl,
+            out_bytes: vec![2e9],
+            in_bytes: vec![1e9],
+            intra_bytes: vec![0.0],
+            messages: vec![0.0],
+        });
+        let expected = 2e9 / m.net.effective_bandwidth(Transport::Nccl);
+        assert!((sim.iteration_time() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_hides_communication() {
+        let mut with_overlap = model();
+        with_overlap.comm_overlap = 0.5;
+        let mut sim = IterationSim::new(with_overlap, 1);
+        sim.compute = vec![1.0];
+        sim.phases
+            .push(Phase::uniform(Transport::Nccl, 1, 1e10, 1e10, 0.0));
+        let t = sim.iteration_time();
+        let mut sim0 = sim.clone();
+        sim0.model.comm_overlap = 0.0;
+        assert!(t < sim0.iteration_time());
+        assert!(t > 1.0, "compute is never hidden");
+    }
+
+    #[test]
+    fn latency_counts_messages() {
+        let m = model();
+        let mut sim = IterationSim::new(m.clone(), 2);
+        sim.phases.push(Phase {
+            transport: Transport::Grpc,
+            out_bytes: vec![0.0; 2],
+            in_bytes: vec![0.0; 2],
+            intra_bytes: vec![0.0; 2],
+            messages: vec![100.0, 0.0],
+        });
+        assert!((sim.iteration_time() - 100.0 * m.net.latency(Transport::Grpc)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_is_batch_over_time() {
+        let mut sim = IterationSim::new(model(), 1);
+        sim.compute = vec![0.5];
+        assert!((sim.throughput(128.0) - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_from_snapshot_carries_bytes() {
+        let stats = parallax_comm::TrafficStats::new(2);
+        stats.record(0, 1, 1000);
+        stats.record(0, 0, 500);
+        let phase = Phase::from_snapshot(Transport::Nccl, &stats.snapshot());
+        assert_eq!(phase.out_bytes, vec![1000.0, 0.0]);
+        assert_eq!(phase.in_bytes, vec![0.0, 1000.0]);
+        assert_eq!(phase.intra_bytes, vec![500.0, 0.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Resource specification: which machines exist and which GPUs they host.
+//!
+//! Parallax takes a `resource_info_file` naming machines and GPU ids
+//! (Figure 3, `get_runner`). The same format is parsed here:
+//!
+//! ```text
+//! # hostname: comma-separated GPU ids
+//! worker-0: 0,1,2,3,4,5
+//! worker-1: 0,1,2,3,4,5
+//! ```
+
+use parallax_comm::Topology;
+
+use crate::{Result, SpecError};
+
+/// One machine and its GPUs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// Hostname or IP.
+    pub hostname: String,
+    /// GPU ids on this machine.
+    pub gpu_ids: Vec<u32>,
+}
+
+/// The full cluster resource specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceSpec {
+    machines: Vec<MachineSpec>,
+}
+
+impl ResourceSpec {
+    /// Builds a spec from machine entries.
+    pub fn new(machines: Vec<MachineSpec>) -> Result<Self> {
+        if machines.is_empty() {
+            return Err(SpecError::Invalid("no machines".into()));
+        }
+        for m in &machines {
+            if m.gpu_ids.is_empty() {
+                return Err(SpecError::Invalid(format!(
+                    "machine '{}' has no GPUs",
+                    m.hostname
+                )));
+            }
+        }
+        let mut names: Vec<&str> = machines.iter().map(|m| m.hostname.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != machines.len() {
+            return Err(SpecError::Invalid("duplicate hostname".into()));
+        }
+        Ok(ResourceSpec { machines })
+    }
+
+    /// A homogeneous cluster of `machines` hosts with `gpus` GPUs each.
+    pub fn uniform(machines: usize, gpus: usize) -> Result<Self> {
+        ResourceSpec::new(
+            (0..machines)
+                .map(|m| MachineSpec {
+                    hostname: format!("worker-{m}"),
+                    gpu_ids: (0..gpus as u32).collect(),
+                })
+                .collect(),
+        )
+    }
+
+    /// # Examples
+    ///
+    /// ```
+    /// use parallax_cluster::ResourceSpec;
+    /// let spec = ResourceSpec::parse("a: 0,1\nb: 0,1,2\n").unwrap();
+    /// assert_eq!(spec.num_machines(), 2);
+    /// assert_eq!(spec.num_gpus(), 5);
+    /// ```
+    /// Parses the `hostname: id,id,...` file format. Blank lines and
+    /// `#` comments are ignored.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut machines = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (host, ids) = line.split_once(':').ok_or_else(|| SpecError::Parse {
+                line: i + 1,
+                reason: "expected 'hostname: gpu,gpu,...'".into(),
+            })?;
+            let gpu_ids = ids
+                .split(',')
+                .map(|s| {
+                    s.trim().parse::<u32>().map_err(|e| SpecError::Parse {
+                        line: i + 1,
+                        reason: format!("bad GPU id '{}': {e}", s.trim()),
+                    })
+                })
+                .collect::<Result<Vec<u32>>>()?;
+            machines.push(MachineSpec {
+                hostname: host.trim().to_string(),
+                gpu_ids,
+            });
+        }
+        ResourceSpec::new(machines)
+    }
+
+    /// Reads and parses a resource file from disk.
+    pub fn from_file(path: &std::path::Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError::Invalid(format!("reading {}: {e}", path.display())))?;
+        ResourceSpec::parse(&text)
+    }
+
+    /// Writes the spec to disk in the file format.
+    pub fn to_file(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.render())
+            .map_err(|e| SpecError::Invalid(format!("writing {}: {e}", path.display())))
+    }
+
+    /// Renders back to the file format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.machines {
+            let ids: Vec<String> = m.gpu_ids.iter().map(|g| g.to_string()).collect();
+            out.push_str(&format!("{}: {}\n", m.hostname, ids.join(",")));
+        }
+        out
+    }
+
+    /// The machines.
+    pub fn machines(&self) -> &[MachineSpec] {
+        &self.machines
+    }
+
+    /// Total GPU count (= worker count).
+    pub fn num_gpus(&self) -> usize {
+        self.machines.iter().map(|m| m.gpu_ids.len()).sum()
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The communication topology implied by this spec.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.machines.iter().map(|m| m.gpu_ids.len()).collect())
+            .expect("spec validated non-empty machines and GPUs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# testbed\nworker-0: 0,1,2\nworker-1: 0, 1\n\n";
+        let spec = ResourceSpec::parse(text).unwrap();
+        assert_eq!(spec.num_machines(), 2);
+        assert_eq!(spec.num_gpus(), 5);
+        let reparsed = ResourceSpec::parse(&spec.render()).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = ResourceSpec::parse("worker-0 0,1").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 1, .. }));
+        let err = ResourceSpec::parse("a: 0\nb: x").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn structural_validation() {
+        assert!(ResourceSpec::parse("").is_err());
+        assert!(ResourceSpec::new(vec![MachineSpec {
+            hostname: "a".into(),
+            gpu_ids: vec![]
+        }])
+        .is_err());
+        assert!(ResourceSpec::new(vec![
+            MachineSpec {
+                hostname: "a".into(),
+                gpu_ids: vec![0]
+            },
+            MachineSpec {
+                hostname: "a".into(),
+                gpu_ids: vec![0]
+            },
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let spec = ResourceSpec::uniform(3, 2).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("parallax_spec_{}", std::process::id()));
+        spec.to_file(&path).unwrap();
+        let loaded = ResourceSpec::from_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(spec, loaded);
+        assert!(ResourceSpec::from_file(std::path::Path::new("/nonexistent/x")).is_err());
+    }
+
+    #[test]
+    fn topology_matches_spec() {
+        let spec = ResourceSpec::uniform(8, 6).unwrap();
+        let topo = spec.topology();
+        assert_eq!(topo.num_machines(), 8);
+        assert_eq!(topo.num_workers(), 48);
+    }
+}

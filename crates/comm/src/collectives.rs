@@ -1,0 +1,460 @@
+//! Collective communication: ring AllReduce, AllGatherv, broadcast,
+//! reduce and barrier.
+//!
+//! Every participant calls the same function concurrently with its own
+//! endpoint and the same participant list and tag. Ring collectives only
+//! ever receive from the ring predecessor under a single tag, so FIFO
+//! channel ordering guarantees step alignment without per-step tags.
+//!
+//! Costs match the paper's Section 3.1 analysis: ring AllReduce moves
+//! `w/N` bytes per worker per step for `2(N-1)` steps; AllGatherv moves
+//! each worker's full contribution for `N-1` steps.
+
+use parallax_tensor::{IndexedSlices, Tensor};
+
+use crate::transport::{Endpoint, Payload};
+use crate::{CommError, Result};
+
+/// Position of this endpoint within the participant list.
+fn position(ep: &Endpoint, ranks: &[usize]) -> Result<usize> {
+    if ranks.is_empty() {
+        return Err(CommError::InvalidConfig("empty participant list".into()));
+    }
+    ranks
+        .iter()
+        .position(|&r| r == ep.rank())
+        .ok_or_else(|| CommError::InvalidConfig(format!("rank {} not in group", ep.rank())))
+}
+
+/// The element range of chunk `i` when `len` elements are cut into `n`
+/// near-equal chunks.
+fn chunk_range(len: usize, n: usize, i: usize) -> std::ops::Range<usize> {
+    let base = len / n;
+    let rem = len % n;
+    let start = i * base + i.min(rem);
+    let size = base + usize::from(i < rem);
+    start..start + size
+}
+
+/// Ring AllReduce (sum) in place: after the call every participant's
+/// `data` holds the elementwise sum over all participants.
+pub fn ring_allreduce(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    data: &mut [f32],
+) -> Result<()> {
+    let pos = position(ep, ranks)?;
+    let n = ranks.len();
+    if n == 1 {
+        return Ok(());
+    }
+    let next = ranks[(pos + 1) % n];
+    let prev = ranks[(pos + n - 1) % n];
+
+    // Reduce-scatter: after step s, chunk (pos - s - 1) holds the partial
+    // sum of s + 2 contributions; after N-1 steps rank `pos` owns the fully
+    // reduced chunk (pos + 1) mod N.
+    for step in 0..n - 1 {
+        let send_idx = (pos + n - step) % n;
+        let recv_idx = (pos + n - step - 1) % n;
+        let send_range = chunk_range(data.len(), n, send_idx);
+        ep.send(next, tag, Payload::Floats(data[send_range].to_vec()))?;
+        let incoming = ep.recv(prev, tag)?.into_floats()?;
+        let recv_range = chunk_range(data.len(), n, recv_idx);
+        if incoming.len() != recv_range.len() {
+            return Err(CommError::LengthMismatch {
+                expected: recv_range.len(),
+                actual: incoming.len(),
+            });
+        }
+        for (d, x) in data[recv_range].iter_mut().zip(incoming) {
+            *d += x;
+        }
+    }
+    // Allgather: circulate the reduced chunks.
+    for step in 0..n - 1 {
+        let send_idx = (pos + 1 + n - step) % n;
+        let recv_idx = (pos + n - step) % n;
+        let send_range = chunk_range(data.len(), n, send_idx);
+        ep.send(next, tag, Payload::Floats(data[send_range].to_vec()))?;
+        let incoming = ep.recv(prev, tag)?.into_floats()?;
+        let recv_range = chunk_range(data.len(), n, recv_idx);
+        if incoming.len() != recv_range.len() {
+            return Err(CommError::LengthMismatch {
+                expected: recv_range.len(),
+                actual: incoming.len(),
+            });
+        }
+        data[recv_range].copy_from_slice(&incoming);
+    }
+    Ok(())
+}
+
+/// Ring AllReduce over a tensor's buffer.
+pub fn ring_allreduce_tensor(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    tensor: &mut Tensor,
+) -> Result<()> {
+    ring_allreduce(ep, ranks, tag, tensor.data_mut())
+}
+
+/// Ring AllGatherv: every participant contributes a variable-length float
+/// buffer; everyone receives all contributions, ordered by group position.
+pub fn allgatherv(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    local: Vec<f32>,
+) -> Result<Vec<Vec<f32>>> {
+    let pos = position(ep, ranks)?;
+    let n = ranks.len();
+    let mut parts: Vec<Option<Vec<f32>>> = vec![None; n];
+    parts[pos] = Some(local);
+    if n == 1 {
+        return Ok(parts
+            .into_iter()
+            .map(|p| p.expect("own part set"))
+            .collect());
+    }
+    let next = ranks[(pos + 1) % n];
+    let prev = ranks[(pos + n - 1) % n];
+    for step in 0..n - 1 {
+        let send_idx = (pos + n - step) % n;
+        let recv_idx = (pos + n - step - 1) % n;
+        let outgoing = parts[send_idx].clone().expect("forwarding a filled slot");
+        ep.send(next, tag, Payload::Floats(outgoing))?;
+        parts[recv_idx] = Some(ep.recv(prev, tag)?.into_floats()?);
+    }
+    Ok(parts
+        .into_iter()
+        .map(|p| p.expect("all slots filled"))
+        .collect())
+}
+
+/// Ring AllGatherv over [`IndexedSlices`] — the sparse-gradient exchange of
+/// the AR architecture (Figure 2(d)): every participant ends up with the
+/// concatenation of all contributions in group order.
+pub fn allgatherv_slices(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    local: IndexedSlices,
+) -> Result<IndexedSlices> {
+    let pos = position(ep, ranks)?;
+    let n = ranks.len();
+    let mut parts: Vec<Option<IndexedSlices>> = vec![None; n];
+    parts[pos] = Some(local);
+    if n > 1 {
+        let next = ranks[(pos + 1) % n];
+        let prev = ranks[(pos + n - 1) % n];
+        for step in 0..n - 1 {
+            let send_idx = (pos + n - step) % n;
+            let recv_idx = (pos + n - step - 1) % n;
+            let outgoing = parts[send_idx].clone().expect("forwarding a filled slot");
+            ep.send(next, tag, Payload::Slices(outgoing))?;
+            parts[recv_idx] = Some(ep.recv(prev, tag)?.into_slices()?);
+        }
+    }
+    let owned: Vec<IndexedSlices> = parts.into_iter().map(|p| p.expect("all filled")).collect();
+    IndexedSlices::concat(&owned).map_err(|_| CommError::LengthMismatch {
+        expected: 0,
+        actual: 0,
+    })
+}
+
+/// Broadcast from `root`: the root's tensor is delivered to every
+/// participant (used to seed replicas with identical initial variables).
+pub fn broadcast(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    root: usize,
+    value: Option<Tensor>,
+) -> Result<Tensor> {
+    position(ep, ranks)?;
+    if ep.rank() == root {
+        let t = value
+            .ok_or_else(|| CommError::InvalidConfig("broadcast root must supply a value".into()))?;
+        for &r in ranks {
+            if r != root {
+                ep.send(r, tag, Payload::Tensor(t.clone()))?;
+            }
+        }
+        Ok(t)
+    } else {
+        ep.recv(root, tag)?.into_tensor()
+    }
+}
+
+/// Reduce (sum) to `root`: the root returns the elementwise sum of all
+/// contributions, others return `None`. This is the primitive behind
+/// Parallax's *local aggregation* — a machine's local chief sums its
+/// workers' gradients before anything leaves the machine.
+pub fn reduce_to(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    root: usize,
+    data: Vec<f32>,
+) -> Result<Option<Vec<f32>>> {
+    position(ep, ranks)?;
+    if ep.rank() == root {
+        let mut acc = data;
+        for &r in ranks {
+            if r == root {
+                continue;
+            }
+            let incoming = ep.recv(r, tag)?.into_floats()?;
+            if incoming.len() != acc.len() {
+                return Err(CommError::LengthMismatch {
+                    expected: acc.len(),
+                    actual: incoming.len(),
+                });
+            }
+            for (a, x) in acc.iter_mut().zip(incoming) {
+                *a += x;
+            }
+        }
+        Ok(Some(acc))
+    } else {
+        ep.send(root, tag, Payload::Floats(data))?;
+        Ok(None)
+    }
+}
+
+/// Gathers [`IndexedSlices`] to `root` and concatenates them there (sparse
+/// local aggregation); non-roots return `None`.
+pub fn gather_slices_to(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    root: usize,
+    data: IndexedSlices,
+) -> Result<Option<IndexedSlices>> {
+    position(ep, ranks)?;
+    if ep.rank() == root {
+        let mut parts = vec![data];
+        for &r in ranks {
+            if r == root {
+                continue;
+            }
+            parts.push(ep.recv(r, tag)?.into_slices()?);
+        }
+        let joined = IndexedSlices::concat(&parts).map_err(|_| CommError::LengthMismatch {
+            expected: 0,
+            actual: 0,
+        })?;
+        Ok(Some(joined))
+    } else {
+        ep.send(root, tag, Payload::Slices(data))?;
+        Ok(None)
+    }
+}
+
+/// Barrier across the participant list (star through the first rank).
+pub fn barrier(ep: &mut Endpoint, ranks: &[usize], tag: u64) -> Result<()> {
+    position(ep, ranks)?;
+    let hub = ranks[0];
+    if ep.rank() == hub {
+        for &r in &ranks[1..] {
+            ep.recv(r, tag)?.into_control()?;
+        }
+        for &r in &ranks[1..] {
+            ep.send(r, tag, Payload::Control(0))?;
+        }
+    } else {
+        ep.send(hub, tag, Payload::Control(0))?;
+        ep.recv(hub, tag)?.into_control()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use crate::transport::Router;
+
+    /// Runs `f` on every endpoint concurrently, collecting results by rank.
+    fn run_all<T: Send>(
+        topo: Topology,
+        f: impl Fn(&mut Endpoint, &[usize]) -> T + Sync,
+    ) -> (Vec<T>, crate::traffic::TrafficSnapshot) {
+        let n = topo.num_workers();
+        let ranks: Vec<usize> = (0..n).collect();
+        let (eps, traffic) = Router::build(topo);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for mut ep in eps {
+                let ranks = &ranks;
+                let f = &f;
+                handles.push(s.spawn(move || (ep.rank(), f(&mut ep, ranks))));
+            }
+            for h in handles {
+                let (rank, val) = h.join().expect("worker thread panicked");
+                out[rank] = Some(val);
+            }
+        });
+        (
+            out.into_iter().map(|v| v.expect("all ranks ran")).collect(),
+            traffic.snapshot(),
+        )
+    }
+
+    #[test]
+    fn allreduce_matches_sequential_sum() {
+        for machines in [1, 2, 4] {
+            let topo = Topology::uniform(machines, 2).unwrap();
+            let n = topo.num_workers();
+            let len = 10;
+            let (results, _) = run_all(topo, |ep, ranks| {
+                let mut data: Vec<f32> = (0..len).map(|i| (ep.rank() * 100 + i) as f32).collect();
+                ring_allreduce(ep, ranks, 1, &mut data).unwrap();
+                data
+            });
+            let expected: Vec<f32> = (0..len)
+                .map(|i| (0..n).map(|r| (r * 100 + i) as f32).sum())
+                .collect();
+            for r in &results {
+                assert_eq!(r, &expected);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_handles_len_not_divisible_by_n() {
+        let topo = Topology::uniform(3, 1).unwrap();
+        let (results, _) = run_all(topo, |ep, ranks| {
+            let mut data = vec![ep.rank() as f32 + 1.0; 7];
+            ring_allreduce(ep, ranks, 1, &mut data).unwrap();
+            data
+        });
+        for r in &results {
+            assert_eq!(r, &vec![6.0; 7]);
+        }
+    }
+
+    #[test]
+    fn allreduce_single_worker_is_identity() {
+        let topo = Topology::uniform(1, 1).unwrap();
+        let (results, _) = run_all(topo, |ep, ranks| {
+            let mut data = vec![3.0, 4.0];
+            ring_allreduce(ep, ranks, 1, &mut data).unwrap();
+            data
+        });
+        assert_eq!(results[0], vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn allreduce_network_bytes_match_ring_formula() {
+        // One worker per machine: every ring hop crosses the network, so
+        // per machine out-bytes = 2(N-1) * (w/N) * 4 bytes (Table 3, AR
+        // dense row: 4 w (N-1)/N total for send+recv).
+        let n = 4usize;
+        let len = 8usize; // Divisible by N for an exact formula.
+        let topo = Topology::uniform(n, 1).unwrap();
+        let (_, traffic) = run_all(topo, |ep, ranks| {
+            let mut data = vec![1.0f32; len];
+            ring_allreduce(ep, ranks, 1, &mut data).unwrap();
+        });
+        let per_machine_out = 2 * (n as u64 - 1) * (len as u64 / n as u64) * 4;
+        for m in 0..n {
+            assert_eq!(traffic.out_bytes[m], per_machine_out);
+            assert_eq!(traffic.in_bytes[m], per_machine_out);
+        }
+    }
+
+    #[test]
+    fn allgatherv_orders_by_rank() {
+        let topo = Topology::uniform(3, 1).unwrap();
+        let (results, _) = run_all(topo, |ep, ranks| {
+            let local = vec![ep.rank() as f32; ep.rank() + 1];
+            allgatherv(ep, ranks, 2, local).unwrap()
+        });
+        for parts in &results {
+            assert_eq!(parts.len(), 3);
+            for (r, part) in parts.iter().enumerate() {
+                assert_eq!(part, &vec![r as f32; r + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_slices_concatenates_in_group_order() {
+        use parallax_tensor::Tensor;
+        let topo = Topology::uniform(2, 1).unwrap();
+        let (results, _) = run_all(topo, |ep, ranks| {
+            let r = ep.rank();
+            let local =
+                IndexedSlices::new(vec![r, r + 1], Tensor::full([2, 1], r as f32), 8).unwrap();
+            allgatherv_slices(ep, ranks, 3, local).unwrap()
+        });
+        for s in &results {
+            assert_eq!(s.indices(), &[0, 1, 1, 2]);
+            assert_eq!(s.values().data(), &[0.0, 0.0, 1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_distributes_root_value() {
+        use parallax_tensor::Tensor;
+        let topo = Topology::uniform(2, 2).unwrap();
+        let (results, _) = run_all(topo, |ep, ranks| {
+            let value = (ep.rank() == 0).then(|| Tensor::full([3], 7.0));
+            broadcast(ep, ranks, 4, 0, value).unwrap()
+        });
+        for t in &results {
+            assert_eq!(t.data(), &[7.0, 7.0, 7.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_to_sums_at_root_only() {
+        let topo = Topology::uniform(1, 3).unwrap();
+        let (results, _) = run_all(topo, |ep, ranks| {
+            reduce_to(ep, ranks, 5, 0, vec![ep.rank() as f32; 2]).unwrap()
+        });
+        assert_eq!(results[0], Some(vec![3.0, 3.0]));
+        assert_eq!(results[1], None);
+        assert_eq!(results[2], None);
+    }
+
+    #[test]
+    fn gather_slices_to_root() {
+        use parallax_tensor::Tensor;
+        let topo = Topology::uniform(1, 2).unwrap();
+        let (results, _) = run_all(topo, |ep, ranks| {
+            let local = IndexedSlices::new(vec![ep.rank()], Tensor::full([1, 1], 1.0), 4).unwrap();
+            gather_slices_to(ep, ranks, 6, 0, local).unwrap()
+        });
+        let root = results[0].as_ref().unwrap();
+        assert_eq!(root.indices(), &[0, 1]);
+        assert!(results[1].is_none());
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let topo = Topology::uniform(2, 3).unwrap();
+        let (results, _) = run_all(topo, |ep, ranks| barrier(ep, ranks, 7).is_ok());
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 7, 8, 100] {
+            for n in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                for i in 0..n {
+                    let r = chunk_range(len, n, i);
+                    assert_eq!(r.start, covered, "contiguous");
+                    covered = r.end;
+                }
+                assert_eq!(covered, len, "full coverage");
+            }
+        }
+    }
+}

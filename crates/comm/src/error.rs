@@ -1,0 +1,50 @@
+//! Communication errors.
+
+use std::fmt;
+
+/// Errors produced by the transport and collectives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The destination rank does not exist.
+    UnknownRank(usize),
+    /// The channel to a peer is closed (peer thread exited).
+    Disconnected {
+        /// The peer whose channel closed.
+        peer: usize,
+    },
+    /// A received payload had an unexpected kind.
+    PayloadKind {
+        /// What the receiver expected.
+        expected: &'static str,
+    },
+    /// Collective participants disagreed on buffer lengths.
+    LengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Received element count.
+        actual: usize,
+    },
+    /// Invalid collective configuration (e.g. zero participants).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::UnknownRank(r) => write!(f, "unknown rank {r}"),
+            CommError::Disconnected { peer } => write!(f, "peer {peer} disconnected"),
+            CommError::PayloadKind { expected } => {
+                write!(f, "unexpected payload kind, expected {expected}")
+            }
+            CommError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "collective length mismatch: expected {expected}, got {actual}"
+                )
+            }
+            CommError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}

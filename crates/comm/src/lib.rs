@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Communication substrate: transport, traffic accounting, collectives.
+//!
+//! Stands in for NCCL + OpenMPI + gRPC in the original Parallax stack.
+//! Workers are threads; machines are groups of workers; every message
+//! between workers on *different* machines is charged to a shared
+//! [`traffic::TrafficStats`], giving byte-accurate measurements of the
+//! quantity the paper's entire analysis (Table 3) is about: network
+//! transfer per machine per iteration.
+//!
+//! Collectives are implemented the way the paper assumes: ring
+//! AllReduce (reduce-scatter + allgather, `2(N-1)` steps, each moving
+//! `w/N` bytes per worker — Section 3.1) and ring AllGatherv (`N-1`
+//! steps, each moving the full local contribution).
+
+pub mod collectives;
+pub mod error;
+pub mod topology;
+pub mod traffic;
+pub mod transport;
+
+pub use error::CommError;
+pub use topology::{Topology, WorkerId};
+pub use traffic::{TrafficClass, TrafficSnapshot, TrafficStats};
+pub use transport::{Endpoint, Payload, Router};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, CommError>;

@@ -1,0 +1,214 @@
+//! Model checkpointing.
+//!
+//! The paper's `ParallaxConfig` includes "a file path to save trained
+//! variables". This module implements that: a dependency-free binary
+//! format (magic, version, variable count, then per variable its name,
+//! shape and little-endian `f32` data) with integrity checks on load.
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+use parallax_dataflow::{Graph, VarStore};
+use parallax_tensor::{Shape, Tensor};
+
+use crate::{CoreError, Result};
+
+const MAGIC: &[u8; 8] = b"PLXCKPT1";
+
+fn io_err(e: std::io::Error) -> CoreError {
+    CoreError::Config(format!("checkpoint I/O: {e}"))
+}
+
+/// Saves every variable of `store` (named per `graph`) to `path`.
+pub fn save(graph: &Graph, store: &VarStore, path: &Path) -> Result<()> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(graph.variables().len() as u64).to_le_bytes());
+    for var in graph.var_ids() {
+        let def = graph.var_def(var)?;
+        let value = store.get(var)?;
+        let name = def.name.as_bytes();
+        out.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        out.extend_from_slice(name);
+        let dims = value.shape().dims();
+        out.extend_from_slice(&(dims.len() as u64).to_le_bytes());
+        for &d in dims {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &x in value.data() {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    let mut file = std::fs::File::create(path).map_err(io_err)?;
+    file.write_all(&out).map_err(io_err)?;
+    Ok(())
+}
+
+/// Loads a checkpoint into a [`VarStore`] laid out for `graph`.
+///
+/// Variables are matched *by name*, so the checkpoint survives graph
+/// edits that only reorder declarations; shape mismatches and missing
+/// variables are errors.
+pub fn load(graph: &Graph, path: &Path) -> Result<VarStore> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .map_err(io_err)?
+        .read_to_end(&mut bytes)
+        .map_err(io_err)?;
+    let mut cursor = 0usize;
+    let take = |cursor: &mut usize, n: usize| -> Result<&[u8]> {
+        if *cursor + n > bytes.len() {
+            return Err(CoreError::Config("checkpoint truncated".into()));
+        }
+        let slice = &bytes[*cursor..*cursor + n];
+        *cursor += n;
+        Ok(slice)
+    };
+    let read_u64 = |cursor: &mut usize| -> Result<u64> {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(take(cursor, 8)?);
+        Ok(u64::from_le_bytes(buf))
+    };
+
+    if take(&mut cursor, MAGIC.len())? != MAGIC {
+        return Err(CoreError::Config(
+            "not a parallax checkpoint (bad magic)".into(),
+        ));
+    }
+    let count = read_u64(&mut cursor)? as usize;
+    let mut by_name: HashMap<String, Tensor> = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u64(&mut cursor)? as usize;
+        let name = String::from_utf8(take(&mut cursor, name_len)?.to_vec())
+            .map_err(|_| CoreError::Config("checkpoint name is not UTF-8".into()))?;
+        let rank = read_u64(&mut cursor)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(&mut cursor)? as usize);
+        }
+        let shape = Shape::new(dims);
+        let volume = shape.volume();
+        let raw = take(&mut cursor, volume * 4)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        by_name.insert(name, Tensor::new(shape, data)?);
+    }
+    if cursor != bytes.len() {
+        return Err(CoreError::Config("trailing bytes after checkpoint".into()));
+    }
+
+    let mut values = Vec::with_capacity(graph.variables().len());
+    for var in graph.var_ids() {
+        let def = graph.var_def(var)?;
+        let tensor = by_name.remove(&def.name).ok_or_else(|| {
+            CoreError::Config(format!("checkpoint missing variable '{}'", def.name))
+        })?;
+        if tensor.shape() != &def.shape {
+            return Err(CoreError::Config(format!(
+                "checkpoint variable '{}' has shape {}, graph expects {}",
+                def.name,
+                tensor.shape(),
+                def.shape
+            )));
+        }
+        values.push(tensor);
+    }
+    Ok(VarStore::from_values(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_dataflow::graph::Init;
+    use parallax_dataflow::VariableDef;
+    use parallax_tensor::DetRng;
+
+    fn graph() -> Graph {
+        let mut g = Graph::new();
+        g.variable(VariableDef::new("emb", [10, 4], Init::Normal(0.1)))
+            .unwrap();
+        g.variable(VariableDef::new("w", [4, 3], Init::Glorot))
+            .unwrap();
+        g.variable(VariableDef::new("b", [3], Init::Zeros)).unwrap();
+        g
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("parallax_ckpt_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let g = graph();
+        let store = VarStore::init(&g, &mut DetRng::seed(3));
+        let path = temp_path("roundtrip");
+        save(&g, &store, &path).unwrap();
+        let loaded = load(&g, &path).unwrap();
+        assert_eq!(store.max_divergence(&loaded), 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_matches_by_name_not_order() {
+        let g = graph();
+        let store = VarStore::init(&g, &mut DetRng::seed(3));
+        let path = temp_path("reorder");
+        save(&g, &store, &path).unwrap();
+        // A graph with the same variables declared in a different order.
+        let mut g2 = Graph::new();
+        g2.variable(VariableDef::new("b", [3], Init::Zeros))
+            .unwrap();
+        g2.variable(VariableDef::new("emb", [10, 4], Init::Normal(0.1)))
+            .unwrap();
+        g2.variable(VariableDef::new("w", [4, 3], Init::Glorot))
+            .unwrap();
+        let loaded = load(&g2, &path).unwrap();
+        let b = g2.find_variable("b").unwrap();
+        assert_eq!(loaded.get(b).unwrap().shape().dims(), &[3]);
+        let emb2 = loaded
+            .get(g2.find_variable("emb").unwrap())
+            .unwrap()
+            .clone();
+        let emb1 = store.get(g.find_variable("emb").unwrap()).unwrap();
+        assert_eq!(&emb2, emb1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_corruption_and_mismatches() {
+        let g = graph();
+        let store = VarStore::init(&g, &mut DetRng::seed(3));
+        let path = temp_path("corrupt");
+        save(&g, &store, &path).unwrap();
+        // Truncated file.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(load(&g, &path).is_err());
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(load(&g, &path).is_err());
+        // Shape mismatch against a different graph.
+        std::fs::write(&path, &bytes).unwrap();
+        let mut g3 = Graph::new();
+        g3.variable(VariableDef::new("emb", [10, 5], Init::Zeros))
+            .unwrap();
+        g3.variable(VariableDef::new("w", [4, 3], Init::Glorot))
+            .unwrap();
+        g3.variable(VariableDef::new("b", [3], Init::Zeros))
+            .unwrap();
+        assert!(load(&g3, &path).is_err());
+        // Missing variable.
+        let mut g4 = graph();
+        g4.variable(VariableDef::new("extra", [2], Init::Zeros))
+            .unwrap();
+        assert!(load(&g4, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

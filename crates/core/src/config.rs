@@ -1,0 +1,176 @@
+//! The `ParallaxConfig` object (Figure 3's optional configuration).
+
+use parallax_dataflow::optimizer::{Adagrad, LrSchedule, Momentum, Sgd};
+use parallax_dataflow::Optimizer;
+use parallax_ps::PlacementStrategy;
+
+/// Which update rule replicas and servers apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Plain stochastic gradient descent.
+    Sgd,
+    /// SGD with classical momentum.
+    Momentum {
+        /// Momentum coefficient.
+        mu: f32,
+    },
+    /// Adagrad (per-element adaptive rates; common for embeddings).
+    Adagrad,
+}
+
+impl OptimizerKind {
+    /// Instantiates the optimizer at a learning rate.
+    pub fn build(&self, lr: f32) -> Box<dyn Optimizer> {
+        match *self {
+            OptimizerKind::Sgd => Box::new(Sgd::new(lr)),
+            OptimizerKind::Momentum { mu } => Box::new(Momentum::new(lr, mu)),
+            OptimizerKind::Adagrad => Box::new(Adagrad::new(lr)),
+        }
+    }
+}
+
+/// Which training architecture the runner composes.
+///
+/// `Hybrid` is Parallax; the others exist as the paper's baselines
+/// (Table 4): `ArOnly` is Horovod, `PsOnly { optimized: false }` is
+/// TF-PS (NaivePS), `PsOnly { optimized: true }` is OptPS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchChoice {
+    /// AllReduce for dense variables, Parameter Server for sparse ones.
+    Hybrid,
+    /// Everything through the Parameter Server.
+    PsOnly {
+        /// Apply local aggregation and balanced placement.
+        optimized: bool,
+    },
+    /// Everything through collectives (AllReduce + AllGatherv).
+    ArOnly,
+}
+
+/// Extra arguments to `get_runner` (the paper's `ParallaxConfig`):
+/// aggregation methods per variable type, local aggregation, and the
+/// knobs this reproduction adds for experiments.
+#[derive(Debug, Clone)]
+pub struct ParallaxConfig {
+    /// Seed for deterministic initialization and replica consistency.
+    pub seed: u64,
+    /// Learning rate used by replicas and servers.
+    pub learning_rate: f32,
+    /// The update rule.
+    pub optimizer: OptimizerKind,
+    /// The learning-rate schedule.
+    pub lr_schedule: LrSchedule,
+    /// Synchronous training (the default); asynchronous training applies
+    /// each push immediately (PS architectures only).
+    pub synchronous: bool,
+    /// Let workers read back aggregated gradients (`RunReport` then
+    /// carries per-iteration global gradient norms).
+    pub trace_gradients: bool,
+    /// Average (rather than sum) dense gradients across GPUs.
+    pub average_dense: bool,
+    /// Average (rather than sum) sparse gradients across GPUs.
+    pub average_sparse: bool,
+    /// Aggregate gradients within each machine before pushing.
+    pub local_aggregation: bool,
+    /// Gate server updates on the chief worker's trigger.
+    pub chief_triggers_update: bool,
+    /// Server placement strategy.
+    pub placement: PlacementStrategy,
+    /// Architecture selection.
+    pub arch: ArchChoice,
+    /// Fixed sparse partition count; `None` runs the partition search.
+    pub sparse_partitions: Option<usize>,
+    /// Per-partitioner-group overrides: `group_partitions[g]` fixes the
+    /// count for variables declared in partitioner group `g` (the
+    /// paper's "multiple partitioners ... applied independently" for
+    /// different granularities). Groups beyond the vector's length — and
+    /// ungrouped sparse variables — use `sparse_partitions`.
+    pub group_partitions: Vec<usize>,
+    /// Sparse variables with estimated `alpha` at or above this are
+    /// treated as dense and AllReduced (Section 3.1's near-dense case).
+    pub alpha_dense_threshold: f64,
+}
+
+impl Default for ParallaxConfig {
+    fn default() -> Self {
+        ParallaxConfig {
+            seed: 0,
+            learning_rate: 0.1,
+            optimizer: OptimizerKind::Sgd,
+            lr_schedule: LrSchedule::Constant,
+            synchronous: true,
+            trace_gradients: false,
+            average_dense: true,
+            average_sparse: true,
+            local_aggregation: true,
+            chief_triggers_update: true,
+            placement: PlacementStrategy::Balanced,
+            arch: ArchChoice::Hybrid,
+            sparse_partitions: None,
+            group_partitions: Vec::new(),
+            alpha_dense_threshold: 0.95,
+        }
+    }
+}
+
+impl ParallaxConfig {
+    /// The Horovod baseline: pure collectives.
+    pub fn horovod_baseline() -> Self {
+        ParallaxConfig {
+            arch: ArchChoice::ArOnly,
+            local_aggregation: false,
+            ..Self::default()
+        }
+    }
+
+    /// The TF-PS baseline: naive Parameter Server.
+    pub fn tf_ps_baseline() -> Self {
+        ParallaxConfig {
+            arch: ArchChoice::PsOnly { optimized: false },
+            local_aggregation: false,
+            placement: PlacementStrategy::RoundRobin,
+            ..Self::default()
+        }
+    }
+
+    /// Parallax's optimized PS (no hybrid), the OptPS row of Table 4.
+    pub fn opt_ps() -> Self {
+        ParallaxConfig {
+            arch: ArchChoice::PsOnly { optimized: true },
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimizer_kinds_build() {
+        use parallax_tensor::Tensor;
+        for kind in [
+            OptimizerKind::Sgd,
+            OptimizerKind::Momentum { mu: 0.9 },
+            OptimizerKind::Adagrad,
+        ] {
+            let mut opt = kind.build(0.1);
+            let mut p = Tensor::zeros([2]);
+            opt.apply_dense(0, &mut p, &Tensor::full([2], 1.0)).unwrap();
+            assert!(p.data()[0] < 0.0, "{kind:?} moved the parameter");
+        }
+    }
+
+    #[test]
+    fn baselines_compose_expected_knobs() {
+        let horovod = ParallaxConfig::horovod_baseline();
+        assert_eq!(horovod.arch, ArchChoice::ArOnly);
+        let tfps = ParallaxConfig::tf_ps_baseline();
+        assert_eq!(tfps.arch, ArchChoice::PsOnly { optimized: false });
+        assert!(!tfps.local_aggregation);
+        assert_eq!(tfps.placement, PlacementStrategy::RoundRobin);
+        let opt = ParallaxConfig::opt_ps();
+        assert!(opt.local_aggregation);
+        assert_eq!(ParallaxConfig::default().arch, ArchChoice::Hybrid);
+    }
+}

@@ -1,0 +1,185 @@
+//! The hybrid architecture decision (Section 3.1).
+//!
+//! Dense variables go to AllReduce (symmetric network use, NCCL);
+//! sparse variables go to the Parameter Server (transfer proportional
+//! to `alpha`); a sparse variable whose `alpha` approaches 1 is handled
+//! as dense, because NCCL's efficient bandwidth use then outweighs the
+//! `1/alpha` transfer inflation.
+
+use parallax_dataflow::Graph;
+use parallax_ps::placement::SyncDecision;
+
+use crate::config::{ArchChoice, ParallaxConfig};
+use crate::sparsity::SparsityProfile;
+use crate::{CoreError, Result};
+
+/// Produces the per-variable synchronization decisions for a config.
+pub fn decide(
+    graph: &Graph,
+    profile: &SparsityProfile,
+    config: &ParallaxConfig,
+    sparse_partitions: usize,
+) -> Result<Vec<SyncDecision>> {
+    if profile.vars.len() != graph.variables().len() {
+        return Err(CoreError::Config(format!(
+            "profile covers {} variables, graph has {}",
+            profile.vars.len(),
+            graph.variables().len()
+        )));
+    }
+    // A variable declared in partitioner group `g` takes that group's
+    // configured count when one is given; the global count otherwise.
+    let partitions_for = |var: parallax_dataflow::VarId| -> usize {
+        graph
+            .var_def(var)
+            .ok()
+            .and_then(|def| def.partition_group)
+            .and_then(|g| config.group_partitions.get(g).copied())
+            .unwrap_or(sparse_partitions)
+            .max(1)
+    };
+    Ok(profile
+        .vars
+        .iter()
+        .map(|v| match config.arch {
+            ArchChoice::ArOnly => SyncDecision::AllReduce,
+            ArchChoice::PsOnly { .. } => {
+                if v.sparse {
+                    SyncDecision::PsSparse {
+                        partitions: partitions_for(v.var),
+                    }
+                } else {
+                    SyncDecision::PsDense
+                }
+            }
+            ArchChoice::Hybrid => {
+                if v.sparse && v.alpha < config.alpha_dense_threshold {
+                    SyncDecision::PsSparse {
+                        partitions: partitions_for(v.var),
+                    }
+                } else {
+                    SyncDecision::AllReduce
+                }
+            }
+        })
+        .collect())
+}
+
+/// Predicted per-machine bottleneck bytes for synchronizing one variable
+/// under each architecture — the decision criterion the hybrid rule
+/// implements in closed form. Exposed for the ablation bench comparing
+/// threshold choices.
+pub fn predicted_bytes(w: f64, alpha: f64, sparse: bool, machines: f64, gpus: f64) -> (f64, f64) {
+    use crate::transfer;
+    if sparse {
+        let ps = transfer::ps_sparse_traffic(w, alpha, alpha, machines, gpus, machines, false);
+        let ar = transfer::ar_sparse_traffic(w, alpha, machines, gpus);
+        (ps.total_bytes(), ar.out + ar.inb)
+    } else {
+        let (host, _) = transfer::ps_dense_traffic(w, machines, gpus, false);
+        let ar = transfer::ar_dense_traffic(w, machines, gpus);
+        (host.out + host.inb, ar.out + ar.inb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparsity::profile_from_parts;
+    use parallax_dataflow::graph::{Init, Op, PhKind};
+    use parallax_dataflow::{VarId, VariableDef};
+
+    fn graph() -> Graph {
+        let mut g = Graph::new();
+        let emb = g
+            .variable(VariableDef::new("emb", [1000, 8], Init::Glorot))
+            .unwrap();
+        let _w = g
+            .variable(VariableDef::new("w", [8, 8], Init::Glorot))
+            .unwrap();
+        let ids = g.placeholder("ids", PhKind::Ids).unwrap();
+        g.add(Op::Gather { table: emb, ids }).unwrap();
+        g
+    }
+
+    fn profile(alpha: f64) -> SparsityProfile {
+        profile_from_parts(vec![
+            (VarId::from_index(0), true, alpha, 1000, 8000),
+            (VarId::from_index(1), false, 1.0, 8, 64),
+        ])
+    }
+
+    #[test]
+    fn hybrid_routes_by_kind() {
+        let g = graph();
+        let d = decide(&g, &profile(0.01), &ParallaxConfig::default(), 16).unwrap();
+        assert!(matches!(d[0], SyncDecision::PsSparse { partitions: 16 }));
+        assert!(matches!(d[1], SyncDecision::AllReduce));
+    }
+
+    #[test]
+    fn near_dense_sparse_variable_goes_to_allreduce() {
+        let g = graph();
+        let d = decide(&g, &profile(0.99), &ParallaxConfig::default(), 16).unwrap();
+        assert!(matches!(d[0], SyncDecision::AllReduce));
+    }
+
+    #[test]
+    fn baselines_override_kind() {
+        let g = graph();
+        let ar = decide(&g, &profile(0.01), &ParallaxConfig::horovod_baseline(), 16).unwrap();
+        assert!(ar.iter().all(|d| matches!(d, SyncDecision::AllReduce)));
+        let ps = decide(&g, &profile(0.01), &ParallaxConfig::tf_ps_baseline(), 16).unwrap();
+        assert!(matches!(ps[0], SyncDecision::PsSparse { .. }));
+        assert!(matches!(ps[1], SyncDecision::PsDense));
+    }
+
+    #[test]
+    fn predicted_bytes_favor_ps_for_sparse_ar_for_dense() {
+        let (ps, ar) = predicted_bytes(4e6, 0.01, true, 8.0, 6.0);
+        assert!(ps < ar, "sparse: PS should move fewer bytes");
+        let (ps, ar) = predicted_bytes(4e6, 1.0, false, 8.0, 6.0);
+        assert!(ar < ps, "dense: AR bottleneck is smaller than the PS host");
+    }
+
+    #[test]
+    fn per_group_partition_overrides_apply() {
+        let mut g = Graph::new();
+        let g0 = g.open_partition_group();
+        let g1 = g.open_partition_group();
+        let a = g
+            .variable_in_group(VariableDef::new("emb_a", [100, 4], Init::Glorot), g0)
+            .unwrap();
+        let b = g
+            .variable_in_group(VariableDef::new("emb_b", [100, 4], Init::Glorot), g1)
+            .unwrap();
+        let c = g
+            .variable(VariableDef::new("emb_c", [100, 4], Init::Glorot))
+            .unwrap();
+        let ids = g.placeholder("ids", PhKind::Ids).unwrap();
+        for var in [a, b, c] {
+            g.add(Op::Gather { table: var, ids }).unwrap();
+        }
+        let profile = profile_from_parts(vec![
+            (a, true, 0.1, 100, 400),
+            (b, true, 0.1, 100, 400),
+            (c, true, 0.1, 100, 400),
+        ]);
+        let config = ParallaxConfig {
+            group_partitions: vec![4, 32],
+            ..ParallaxConfig::default()
+        };
+        let d = decide(&g, &profile, &config, 16).unwrap();
+        assert!(matches!(d[0], SyncDecision::PsSparse { partitions: 4 }));
+        assert!(matches!(d[1], SyncDecision::PsSparse { partitions: 32 }));
+        // Ungrouped variables fall back to the global count.
+        assert!(matches!(d[2], SyncDecision::PsSparse { partitions: 16 }));
+    }
+
+    #[test]
+    fn profile_size_mismatch_rejected() {
+        let g = graph();
+        let short = profile_from_parts(vec![(VarId::from_index(0), true, 0.1, 10, 80)]);
+        assert!(decide(&g, &short, &ParallaxConfig::default(), 4).is_err());
+    }
+}

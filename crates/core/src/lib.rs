@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Parallax: sparsity-aware data parallel training (EuroSys '19).
+//!
+//! The paper's contribution, reproduced on the substrates in the sibling
+//! crates:
+//!
+//! * [`sparsity`] — classify variables dense/sparse from graph usage and
+//!   estimate each sparse variable's access ratio `alpha` by sampling
+//!   batches (Section 2.2).
+//! * [`transfer`] — the closed-form per-machine network-transfer
+//!   expressions of Table 3, plus their generalization to multi-GPU
+//!   machines used by the analytic throughput engine.
+//! * [`hybrid`] — the hybrid architecture decision: AllReduce for dense
+//!   variables, Parameter Server for sparse ones, with the
+//!   `alpha ~ 1` escape hatch back to AllReduce (Section 3.1).
+//! * [`partition`] — the sparse-variable partition search: sample
+//!   iteration times while doubling/halving `P`, fit
+//!   `t = th0 + th1/P + th2*P`, pick the predicted optimum (Section 3.2).
+//! * [`transform`] — automatic graph transformation: a single-GPU graph
+//!   plus resources in, a distributed execution plan out (Section 4.3).
+//! * [`runner`] — the `shard` / `get_runner` user API (Figure 3) and the
+//!   executed-mode distributed training loop over worker threads and
+//!   per-machine servers.
+//! * [`analytic`] — paper-scale workload descriptions driven through the
+//!   same transfer formulas and the cluster cost model to produce
+//!   throughput for every evaluation table and figure.
+
+pub mod analytic;
+pub mod checkpoint;
+pub mod config;
+pub mod error;
+pub mod hybrid;
+pub mod partition;
+pub mod runner;
+pub mod sparsity;
+pub mod transfer;
+pub mod transform;
+
+pub use config::{ArchChoice, OptimizerKind, ParallaxConfig};
+pub use error::CoreError;
+pub use runner::{get_runner, get_runner_from_spec, shard_range, RunReport, Runner};
+pub use transform::DistributedPlan;
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,381 @@
+//! Sparse-variable partition search (Section 3.2).
+//!
+//! Parallax models iteration time as `t(P) = th0 + th1/P + th2*P`
+//! (Eq. 1): a fixed cost, a component parallelized by partitioning, and
+//! a per-partition (stitching/bookkeeping) overhead. It samples real
+//! short runs while doubling `P` from the machine count until time
+//! rises, then halving until time rises, fits the equation by least
+//! squares, and picks the minimizing `P` — which lies inside the
+//! sampled range because the function is convex, so no extrapolation is
+//! needed.
+
+use crate::{CoreError, Result};
+
+/// A fitted instance of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModelFit {
+    /// Fixed cost (seconds).
+    pub theta0: f64,
+    /// Parallelizable cost (seconds, divided by `P`).
+    pub theta1: f64,
+    /// Per-partition overhead (seconds per partition).
+    pub theta2: f64,
+}
+
+impl CostModelFit {
+    /// Predicted iteration time at `p` partitions.
+    pub fn predict(&self, p: f64) -> f64 {
+        self.theta0 + self.theta1 / p + self.theta2 * p
+    }
+
+    /// The unconstrained continuous minimizer `sqrt(th1/th2)`.
+    pub fn continuous_optimum(&self) -> Option<f64> {
+        (self.theta1 > 0.0 && self.theta2 > 0.0).then(|| (self.theta1 / self.theta2).sqrt())
+    }
+}
+
+/// # Examples
+///
+/// ```
+/// use parallax_core::partition::{fit, CostModelFit};
+/// let truth = CostModelFit { theta0: 0.1, theta1: 4.0, theta2: 0.001 };
+/// let samples: Vec<(f64, f64)> =
+///     [2.0, 8.0, 32.0, 128.0].iter().map(|&p| (p, truth.predict(p))).collect();
+/// let fitted = fit(&samples).unwrap();
+/// assert!((fitted.theta1 - 4.0).abs() < 1e-6);
+/// ```
+/// Least-squares fit of Eq. 1 to `(P, time)` samples.
+///
+/// Solves the 3x3 normal equations for the basis `[1, 1/P, P]` by
+/// Gaussian elimination with partial pivoting.
+pub fn fit(samples: &[(f64, f64)]) -> Result<CostModelFit> {
+    if samples.len() < 3 {
+        return Err(CoreError::Config(format!(
+            "need at least 3 samples to fit Eq. 1, got {}",
+            samples.len()
+        )));
+    }
+    // Basis functions.
+    let phi = |p: f64| [1.0, 1.0 / p, p];
+    // Normal equations A x = b.
+    let mut a = [[0.0f64; 3]; 3];
+    let mut b = [0.0f64; 3];
+    for &(p, t) in samples {
+        if p <= 0.0 {
+            return Err(CoreError::Config(
+                "partition counts must be positive".into(),
+            ));
+        }
+        let f = phi(p);
+        for i in 0..3 {
+            for j in 0..3 {
+                a[i][j] += f[i] * f[j];
+            }
+            b[i] += f[i] * t;
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut m = [[0.0f64; 4]; 3];
+    for i in 0..3 {
+        m[i][..3].copy_from_slice(&a[i]);
+        m[i][3] = b[i];
+    }
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&r1, &r2| {
+                m[r1][col]
+                    .abs()
+                    .partial_cmp(&m[r2][col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        m.swap(col, pivot);
+        if m[col][col].abs() < 1e-12 {
+            return Err(CoreError::Config(
+                "singular system: samples do not constrain Eq. 1 (need >= 3 distinct P)".into(),
+            ));
+        }
+        for row in 0..3 {
+            if row != col {
+                let factor = m[row][col] / m[col][col];
+                let pivot_row = m[col];
+                for (k, cell) in m[row].iter_mut().enumerate().skip(col) {
+                    *cell -= factor * pivot_row[k];
+                }
+            }
+        }
+    }
+    Ok(CostModelFit {
+        theta0: m[0][3] / m[0][0],
+        theta1: m[1][3] / m[1][1],
+        theta2: m[2][3] / m[2][2],
+    })
+}
+
+/// The outcome of a partition search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// `(P, measured time)` samples in sampling order.
+    pub samples: Vec<(f64, f64)>,
+    /// The fitted cost model.
+    pub fit: CostModelFit,
+    /// The chosen partition count.
+    pub best: usize,
+}
+
+/// Runs Parallax's sampling procedure (Section 3.2): start at
+/// `initial` (the machine count), double until the sampled time rises,
+/// then halve from `initial` until it rises, fit Eq. 1, and return the
+/// integer `P` within the sampled range minimizing the prediction.
+///
+/// `sample` measures (a short real run of) iteration time at a given
+/// partition count; `max_p` bounds the search (e.g. the variable's rows).
+pub fn search<F>(initial: usize, max_p: usize, mut sample: F) -> Result<SearchResult>
+where
+    F: FnMut(usize) -> f64,
+{
+    let initial = initial.max(1).min(max_p.max(1));
+    let mut samples: Vec<(f64, f64)> = Vec::new();
+    let mut measure = |p: usize, samples: &mut Vec<(f64, f64)>| -> f64 {
+        if let Some(&(_, t)) = samples.iter().find(|&&(sp, _)| sp == p as f64) {
+            return t;
+        }
+        let t = sample(p);
+        samples.push((p as f64, t));
+        t
+    };
+
+    // Double upward while time decreases.
+    let mut prev = measure(initial, &mut samples);
+    let mut p = initial;
+    while p * 2 <= max_p {
+        let t = measure(p * 2, &mut samples);
+        p *= 2;
+        if t >= prev {
+            break;
+        }
+        prev = t;
+    }
+    // Halve downward from the initial point while time decreases.
+    let mut prev = samples[0].1;
+    let mut p = initial;
+    while p / 2 >= 1 {
+        let t = measure(p / 2, &mut samples);
+        p /= 2;
+        if t >= prev {
+            break;
+        }
+        prev = t;
+    }
+
+    // With fewer than 3 distinct samples (tiny ranges), extend minimally.
+    let mut distinct: Vec<usize> = samples.iter().map(|&(p, _)| p as usize).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let mut extra = initial.max(2) * 4;
+    while distinct.len() < 3 && extra <= max_p.max(4) {
+        if !distinct.contains(&extra.min(max_p.max(1))) {
+            let p = extra.min(max_p.max(1));
+            measure(p, &mut samples);
+            distinct.push(p);
+            distinct.sort_unstable();
+            distinct.dedup();
+        }
+        extra *= 2;
+    }
+
+    let fitted = fit(&samples)?;
+    let lo = samples
+        .iter()
+        .map(|&(p, _)| p as usize)
+        .min()
+        .expect("samples non-empty");
+    let hi = samples
+        .iter()
+        .map(|&(p, _)| p as usize)
+        .max()
+        .expect("samples non-empty");
+    // The critical point lies within [lo, hi]; evaluate on the integer
+    // range without extrapolating. Where a point was actually sampled,
+    // trust the measurement over the fit (the fit interpolates between
+    // samples; it should never override one).
+    let measured = |p: usize| -> Option<f64> {
+        samples
+            .iter()
+            .find(|&&(sp, _)| sp == p as f64)
+            .map(|&(_, t)| t)
+    };
+    let cost = |p: usize| -> f64 { measured(p).unwrap_or_else(|| fitted.predict(p as f64)) };
+    let best = (lo..=hi)
+        .min_by(|&a, &b| cost(a).partial_cmp(&cost(b)).expect("finite predictions"))
+        .expect("non-empty range");
+    Ok(SearchResult {
+        samples,
+        fit: fitted,
+        best,
+    })
+}
+
+/// The smallest partition count for which every shard of a variable of
+/// `var_bytes` bytes fits under the runtime's per-shard ceiling — the
+/// "smallest number of partitions possible without memory exceptions"
+/// that Table 5's Min column starts from.
+pub fn min_feasible_partitions(var_bytes: f64, max_shard_bytes: f64) -> usize {
+    if max_shard_bytes <= 0.0 {
+        return 1;
+    }
+    (var_bytes / max_shard_bytes).ceil().max(1.0) as usize
+}
+
+/// The brute-force baseline of Table 5: scan upward in steps of 2 from
+/// `min_p`, stopping when throughput drops more than 10% below the best
+/// seen; returns `(best P, runs used)`.
+pub fn brute_force<F>(min_p: usize, max_p: usize, mut sample_throughput: F) -> (usize, usize)
+where
+    F: FnMut(usize) -> f64,
+{
+    let mut best_p = min_p.max(1);
+    let mut best_tp = sample_throughput(best_p);
+    let mut runs = 1usize;
+    let mut p = best_p + 2;
+    while p <= max_p {
+        let tp = sample_throughput(p);
+        runs += 1;
+        if tp > best_tp {
+            best_tp = tp;
+            best_p = p;
+        } else if tp < best_tp * 0.9 {
+            break;
+        }
+        p += 2;
+    }
+    (best_p, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_planted_parameters() {
+        let truth = CostModelFit {
+            theta0: 0.05,
+            theta1: 2.0,
+            theta2: 0.001,
+        };
+        let samples: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0, 16.0, 64.0]
+            .iter()
+            .map(|&p| (p, truth.predict(p)))
+            .collect();
+        let fitted = fit(&samples).unwrap();
+        assert!((fitted.theta0 - truth.theta0).abs() < 1e-9);
+        assert!((fitted.theta1 - truth.theta1).abs() < 1e-9);
+        assert!((fitted.theta2 - truth.theta2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let truth = CostModelFit {
+            theta0: 0.1,
+            theta1: 5.0,
+            theta2: 0.002,
+        };
+        let mut sign = 1.0;
+        let samples: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]
+            .iter()
+            .map(|&p| {
+                sign = -sign;
+                (p, truth.predict(p) * (1.0 + 0.02 * sign))
+            })
+            .collect();
+        let fitted = fit(&samples).unwrap();
+        let opt_true = truth.continuous_optimum().unwrap();
+        let opt_fit = fitted.continuous_optimum().unwrap();
+        assert!(
+            (opt_fit / opt_true - 1.0).abs() < 0.3,
+            "{opt_fit} vs {opt_true}"
+        );
+    }
+
+    #[test]
+    fn fit_needs_three_distinct_points() {
+        assert!(fit(&[(1.0, 1.0), (2.0, 0.9)]).is_err());
+        assert!(fit(&[(2.0, 1.0), (2.0, 1.0), (2.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn search_finds_near_optimal_p() {
+        let truth = CostModelFit {
+            theta0: 0.02,
+            theta1: 3.2,
+            theta2: 0.0002,
+        };
+        // True optimum: sqrt(3.2/2e-4) ~ 126.
+        let result = search(8, 1024, |p| truth.predict(p as f64)).unwrap();
+        let t_best = truth.predict(result.best as f64);
+        let t_true = truth.predict(126.0);
+        assert!(
+            t_best <= t_true * 1.05,
+            "P={} gives {t_best}, optimum 126 gives {t_true}",
+            result.best
+        );
+    }
+
+    #[test]
+    fn search_handles_monotone_decreasing_within_bounds() {
+        // Overhead negligible: best is the largest sampled P.
+        let result = search(4, 64, |p| 1.0 / p as f64 + 1e-9 * p as f64).unwrap();
+        assert!(result.best >= 32, "best {}", result.best);
+    }
+
+    #[test]
+    fn search_handles_monotone_increasing() {
+        // Partitioning only hurts: best is the smallest sampled P.
+        let result = search(8, 1024, |p| 0.01 + 1e-3 * p as f64).unwrap();
+        assert!(result.best <= 8, "best {}", result.best);
+    }
+
+    #[test]
+    fn search_uses_few_samples() {
+        let truth = CostModelFit {
+            theta0: 0.02,
+            theta1: 3.2,
+            theta2: 0.0002,
+        };
+        let mut calls = 0usize;
+        let _ = search(8, 4096, |p| {
+            calls += 1;
+            truth.predict(p as f64)
+        })
+        .unwrap();
+        // Paper: "at most 5 runs"; doubling 8..512 plus halving ~ 9.
+        assert!(calls <= 12, "used {calls} samples");
+    }
+
+    #[test]
+    fn min_feasible_partitions_covers_the_variable() {
+        // The paper's LM embedding: ~1.63 GB needs 4 shards under a
+        // 0.45 GB ceiling.
+        assert_eq!(min_feasible_partitions(1.626e9, 0.45e9), 4);
+        assert_eq!(min_feasible_partitions(1.0e8, 0.45e9), 1);
+        assert_eq!(min_feasible_partitions(1.0, 0.0), 1);
+        // Shards at the minimum always fit.
+        for bytes in [1e6, 7.7e8, 3.2e9] {
+            let p = min_feasible_partitions(bytes, 0.45e9) as f64;
+            assert!(bytes / p <= 0.45e9 + 1.0);
+        }
+    }
+
+    #[test]
+    fn brute_force_finds_optimum_but_uses_many_runs() {
+        let truth = CostModelFit {
+            theta0: 0.02,
+            theta1: 1.0,
+            theta2: 0.0008,
+        };
+        // Throughput = 1/time; optimum ~ sqrt(1/8e-4) ~ 35.
+        let (best, runs) = brute_force(2, 512, |p| 1.0 / truth.predict(p as f64));
+        assert!((30..=42).contains(&best), "best {best}");
+        assert!(runs > 15, "brute force should need many runs, used {runs}");
+    }
+}

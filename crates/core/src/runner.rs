@@ -1,0 +1,696 @@
+//! The Parallax user API and executed-mode distributed runner.
+//!
+//! Mirrors Figure 3: `shard` splits input data across GPUs,
+//! `get_runner` turns a single-GPU graph plus resource information into
+//! a runnable distributed job. `Runner::run` spawns one worker thread
+//! per GPU and one server thread per machine (when the plan needs
+//! servers), executes synchronous hybrid training, and reports losses,
+//! measured traffic by transport class, and a simulated iteration time
+//! on the calibrated cluster model.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parallax_cluster::{ClusterModel, IterationSim, Phase, SparseOpCost, Transport};
+use parallax_comm::{collectives, Endpoint, Router, TrafficClass, TrafficSnapshot};
+use parallax_dataflow::grad::backward;
+use parallax_dataflow::{Feed, Graph, NodeId, Session, VarId, VarStore};
+use parallax_ps::{
+    locally_aggregate, protocol, PsClient, PsTopology, PsWorkerContext, Server, ServerConfig,
+    VarPlacement,
+};
+use parallax_tensor::{sparse::Grad, DetRng, Tensor};
+use parking_lot::Mutex;
+
+use crate::config::ParallaxConfig;
+use crate::partition::{self, SearchResult};
+use crate::sparsity::SparsityProfile;
+use crate::transform::{transform, DistributedPlan};
+use crate::{CoreError, Result};
+
+/// # Examples
+///
+/// ```
+/// use parallax_core::shard_range;
+/// assert_eq!(shard_range(10, 3, 0), 0..4);
+/// assert_eq!(shard_range(10, 3, 1), 4..7);
+/// assert_eq!(shard_range(10, 3, 2), 7..10);
+/// ```
+/// The index range of `worker`'s shard when `total` samples are split
+/// across `workers` GPUs — the `parallax.shard` API.
+pub fn shard_range(total: usize, workers: usize, worker: usize) -> std::ops::Range<usize> {
+    let base = total / workers;
+    let rem = total % workers;
+    let start = worker * base + worker.min(rem);
+    let len = base + usize::from(worker < rem);
+    start..start + len
+}
+
+/// Tag namespace for AllGatherv collectives (classified as MPI traffic).
+fn mpi_tag(var: usize, iter: u64) -> u64 {
+    0x3000_0000_0000_0000 | protocol::pack(protocol::ReqKind::PushDense, var, 0, iter)
+}
+
+/// Measured traffic of a run, by transport class.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficReport {
+    /// NCCL-class traffic (ring AllReduce).
+    pub nccl: TrafficSnapshot,
+    /// MPI-class traffic (AllGatherv).
+    pub mpi: TrafficSnapshot,
+    /// PS RPC traffic.
+    pub ps: TrafficSnapshot,
+    /// Intra-machine local aggregation traffic.
+    pub local_agg: TrafficSnapshot,
+}
+
+impl TrafficReport {
+    /// Total network bytes across classes.
+    pub fn total_network_bytes(&self) -> u64 {
+        self.nccl.total_network_bytes()
+            + self.mpi.total_network_bytes()
+            + self.ps.total_network_bytes()
+            + self.local_agg.total_network_bytes()
+    }
+}
+
+/// The result of an executed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Mean training loss per iteration (averaged over workers).
+    pub losses: Vec<f32>,
+    /// Global gradient norm per iteration (aggregated gradients, from the
+    /// chief's trace reads); empty unless `trace_gradients` is set.
+    pub grad_norms: Vec<f32>,
+    /// Measured traffic (whole run).
+    pub traffic: TrafficReport,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Mean measured compute seconds per worker per iteration (host
+    /// execution of forward+backward; used for relative comparisons).
+    pub host_compute_per_iter: f64,
+    /// Final values of every variable, by variable index.
+    pub final_model: HashMap<usize, Tensor>,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+}
+
+impl RunReport {
+    /// Rebuilds a [`VarStore`] holding the final model.
+    pub fn final_store(&self, graph: &Graph) -> Result<VarStore> {
+        let mut values = Vec::with_capacity(graph.variables().len());
+        for var in graph.var_ids() {
+            let t = self
+                .final_model
+                .get(&var.index())
+                .ok_or_else(|| CoreError::Worker(format!("missing variable {}", var.index())))?;
+            values.push(t.clone());
+        }
+        Ok(VarStore::from_values(values))
+    }
+
+    /// Simulated per-iteration time on a cluster model: measured traffic
+    /// phases plus modelled server CPU (partition-dependent) plus a
+    /// GPU-compute estimate.
+    ///
+    /// `gpu_compute` substitutes the measured host compute (worker
+    /// threads are not GPUs); pass [`RunReport::host_compute_per_iter`]
+    /// scaled however the caller calibrates.
+    pub fn simulated_iteration_time(
+        &self,
+        cluster: &ClusterModel,
+        machines: usize,
+        gpu_compute: f64,
+        server_cpu: f64,
+    ) -> f64 {
+        let per_iter = |snap: &TrafficSnapshot| -> TrafficSnapshot {
+            let scale = |v: &[u64]| -> Vec<u64> {
+                v.iter()
+                    .map(|&b| b / self.iterations.max(1) as u64)
+                    .collect()
+            };
+            TrafficSnapshot {
+                out_bytes: scale(&snap.out_bytes),
+                in_bytes: scale(&snap.in_bytes),
+                link_bytes: HashMap::new(),
+                intra_bytes_per_machine: scale(&snap.intra_bytes_per_machine),
+                inter_messages: snap.inter_messages / self.iterations.max(1) as u64,
+                intra_messages: snap.intra_messages / self.iterations.max(1) as u64,
+            }
+        };
+        let mut sim = IterationSim::new(cluster.clone(), machines);
+        sim.compute = vec![gpu_compute; machines];
+        sim.server_cpu = vec![server_cpu; machines];
+        for (transport, snap) in [
+            (Transport::Nccl, &self.traffic.nccl),
+            (Transport::Mpi, &self.traffic.mpi),
+            (Transport::Grpc, &self.traffic.ps),
+            (Transport::Grpc, &self.traffic.local_agg),
+        ] {
+            if snap.total_network_bytes() > 0 || snap.intra_bytes() > 0 {
+                sim.phases
+                    .push(Phase::from_snapshot(transport, &per_iter(snap)));
+            }
+        }
+        sim.iteration_time()
+    }
+}
+
+/// A configured distributed training job.
+pub struct Runner {
+    graph: Arc<Graph>,
+    loss: NodeId,
+    topo: PsTopology,
+    config: ParallaxConfig,
+    profile: SparsityProfile,
+    plan: Arc<DistributedPlan>,
+}
+
+/// Builds a [`Runner`] from a single-GPU graph, resources, a config and
+/// a sparsity profile (the `parallax.get_runner` call).
+pub fn get_runner(
+    graph: Graph,
+    loss: NodeId,
+    gpus_per_machine: Vec<usize>,
+    config: ParallaxConfig,
+    profile: SparsityProfile,
+) -> Result<Runner> {
+    if !config.synchronous {
+        if !matches!(config.arch, crate::config::ArchChoice::PsOnly { .. }) {
+            return Err(CoreError::Config(
+                "asynchronous training requires a PS-only architecture \
+                 (collectives are inherently synchronous)"
+                    .into(),
+            ));
+        }
+        if config.trace_gradients {
+            return Err(CoreError::Config(
+                "gradient tracing requires synchronous training".into(),
+            ));
+        }
+    }
+    graph.validate()?;
+    let topo = PsTopology::new(gpus_per_machine).map_err(CoreError::Ps)?;
+    let partitions = config
+        .sparse_partitions
+        .unwrap_or(topo.num_machines().max(1));
+    let plan = transform(
+        &graph,
+        &profile,
+        &config,
+        topo.num_machines(),
+        topo.num_workers(),
+        partitions,
+    )?;
+    Ok(Runner {
+        graph: Arc::new(graph),
+        loss,
+        topo,
+        config,
+        profile,
+        plan: Arc::new(plan),
+    })
+}
+
+/// Builds a [`Runner`] from a parsed resource specification (the
+/// `resource_info_file` of Figure 3's `get_runner`).
+pub fn get_runner_from_spec(
+    graph: Graph,
+    loss: NodeId,
+    spec: &parallax_cluster::ResourceSpec,
+    config: ParallaxConfig,
+    profile: SparsityProfile,
+) -> Result<Runner> {
+    let gpus_per_machine = spec.machines().iter().map(|m| m.gpu_ids.len()).collect();
+    get_runner(graph, loss, gpus_per_machine, config, profile)
+}
+
+impl Runner {
+    /// The distributed plan in force.
+    pub fn plan(&self) -> &DistributedPlan {
+        &self.plan
+    }
+
+    /// The sparsity profile in force.
+    pub fn profile(&self) -> &SparsityProfile {
+        &self.profile
+    }
+
+    /// The job topology.
+    pub fn topology(&self) -> &PsTopology {
+        &self.topo
+    }
+
+    /// Rebuilds the runner with a different sparse partition count.
+    pub fn with_partitions(&self, partitions: usize) -> Result<Runner> {
+        let mut config = self.config.clone();
+        config.sparse_partitions = Some(partitions);
+        let plan = transform(
+            &self.graph,
+            &self.profile,
+            &config,
+            self.topo.num_machines(),
+            self.topo.num_workers(),
+            partitions,
+        )?;
+        Ok(Runner {
+            graph: Arc::clone(&self.graph),
+            loss: self.loss,
+            topo: self.topo.clone(),
+            config,
+            profile: self.profile.clone(),
+            plan: Arc::new(plan),
+        })
+    }
+
+    /// Modelled server CPU seconds per iteration at the current plan's
+    /// partition count (the Eq. 1 `th1/P + th2*P` ingredient).
+    pub fn modelled_server_cpu(&self, cluster: &ClusterModel) -> f64 {
+        let n = self.topo.num_machines() as f64;
+        let workers = self.topo.num_workers() as f64;
+        let mut total = 0.0;
+        for v in &self.profile.vars {
+            if !v.sparse {
+                continue;
+            }
+            match self.plan.plan.placement(v.var) {
+                Ok(VarPlacement::PsSparse { partition, .. }) => {
+                    let pushed_rows = workers * v.rows_touched / n;
+                    let hosted = (partition.parts() as f64 / n).max(1.0) as usize;
+                    let cost = SparseOpCost {
+                        pushed_rows,
+                        cols: v.cols() as f64,
+                    };
+                    total += cost.time(&cluster.cpu, hosted);
+                }
+                _ => continue,
+            }
+        }
+        total
+    }
+
+    /// Runs Parallax's partition search (Section 3.2): short executed
+    /// runs at sampled partition counts, simulated iteration time as the
+    /// objective, Eq. 1 fit, optimum inside the sampled range. Returns
+    /// the re-planned runner and the search trace.
+    pub fn optimize_partitions<F>(
+        &self,
+        feed_fn: F,
+        sample_iters: usize,
+        max_partitions: usize,
+        cluster: &ClusterModel,
+    ) -> Result<(Runner, SearchResult)>
+    where
+        F: Fn(usize, usize) -> Feed + Send + Sync + Copy,
+    {
+        let initial = self.topo.num_machines().max(2);
+        let result = partition::search(initial, max_partitions, |p| {
+            let candidate = match self.with_partitions(p) {
+                Ok(r) => r,
+                Err(_) => return f64::INFINITY,
+            };
+            let report = match candidate.run(sample_iters, feed_fn) {
+                Ok(r) => r,
+                Err(_) => return f64::INFINITY,
+            };
+            let server_cpu = candidate.modelled_server_cpu(cluster);
+            report.simulated_iteration_time(
+                cluster,
+                self.topo.num_machines(),
+                report.host_compute_per_iter,
+                server_cpu,
+            )
+        })?;
+        Ok((self.with_partitions(result.best)?, result))
+    }
+
+    /// Executes `iterations` of synchronous data-parallel training.
+    ///
+    /// `feed_fn(worker, iter)` supplies each worker's mini-batch (use
+    /// [`shard_range`] to cut a dataset into disjoint shards).
+    pub fn run<F>(&self, iterations: usize, feed_fn: F) -> Result<RunReport>
+    where
+        F: Fn(usize, usize) -> Feed + Send + Sync,
+    {
+        let started = Instant::now();
+        let needs_servers = self.plan.needs_servers();
+        let (mut endpoints, traffic) = Router::build(self.topo.comm().clone());
+        let mut by_rank: Vec<Option<Endpoint>> = endpoints.drain(..).map(Some).collect();
+
+        let workers = self.topo.num_workers();
+        let losses: Mutex<Vec<Vec<f32>>> = Mutex::new(vec![Vec::new(); workers]);
+        let compute_secs: Mutex<Vec<f64>> = Mutex::new(vec![0.0; workers]);
+        let shard_values: Mutex<Vec<((VarId, usize), Tensor)>> = Mutex::new(Vec::new());
+        let chief_store: Mutex<Option<VarStore>> = Mutex::new(None);
+        let chief_norms: Mutex<Vec<f32>> = Mutex::new(Vec::new());
+        let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+        let ar_vars = self.plan.ar_vars();
+        let ps_vars = self.plan.ps_vars();
+        let gatherv_vars = self.plan.gatherv_vars();
+
+        std::thread::scope(|scope| {
+            if needs_servers {
+                for m in 0..self.topo.num_machines() {
+                    let endpoint = by_rank[self.topo.server_rank(m)]
+                        .take()
+                        .expect("server endpoint");
+                    let server_config = ServerConfig {
+                        iterations,
+                        average_gradients: self.config.average_sparse,
+                        local_aggregation: self.config.local_aggregation && self.config.synchronous,
+                        chief_triggers_update: self.config.chief_triggers_update
+                            && self.config.synchronous,
+                        synchronous: self.config.synchronous,
+                        serve_aggregates: self.config.trace_gradients,
+                        seed: self.config.seed,
+                        lr_schedule: self.config.lr_schedule,
+                    };
+                    let server = match Server::new(
+                        &self.graph,
+                        &self.plan.plan,
+                        self.topo.clone(),
+                        endpoint,
+                        server_config,
+                        self.config.optimizer.build(self.config.learning_rate),
+                    ) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            failures.lock().push(format!("server {m} init: {e}"));
+                            continue;
+                        }
+                    };
+                    if server.num_shards() == 0 {
+                        continue;
+                    }
+                    let shard_values = &shard_values;
+                    let failures = &failures;
+                    scope.spawn(move || match server.run() {
+                        Ok(shards) => shard_values.lock().extend(shards),
+                        Err(e) => {
+                            // Surface immediately: peers block on a dead
+                            // server, so the collected error would
+                            // otherwise never be seen.
+                            eprintln!("parallax: server {m} failed: {e}");
+                            failures.lock().push(format!("server {m}: {e}"))
+                        }
+                    });
+                }
+            }
+
+            for (widx, &rank) in self.topo.worker_ranks().iter().enumerate() {
+                let endpoint = by_rank[rank].take().expect("worker endpoint");
+                let losses = &losses;
+                let compute_secs = &compute_secs;
+                let chief_store = &chief_store;
+                let chief_norms = &chief_norms;
+                let failures = &failures;
+                let feed_fn = &feed_fn;
+                let ar_vars = &ar_vars;
+                let ps_vars = &ps_vars;
+                let gatherv_vars = &gatherv_vars;
+                let runner = &*self;
+                scope.spawn(move || {
+                    match runner.worker_loop(
+                        endpoint,
+                        rank,
+                        widx,
+                        iterations,
+                        feed_fn,
+                        ar_vars,
+                        ps_vars,
+                        gatherv_vars,
+                    ) {
+                        Ok((my_losses, my_norms, my_compute, store)) => {
+                            losses.lock()[widx] = my_losses;
+                            compute_secs.lock()[widx] = my_compute;
+                            if rank == runner.topo.chief() {
+                                *chief_store.lock() = Some(store);
+                                *chief_norms.lock() = my_norms;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("parallax: worker {widx} failed: {e}");
+                            failures.lock().push(format!("worker {widx}: {e}"))
+                        }
+                    }
+                });
+            }
+        });
+
+        let failures = failures.into_inner();
+        if let Some(first) = failures.into_iter().next() {
+            return Err(CoreError::Worker(first));
+        }
+
+        // Mean loss per iteration across workers.
+        let per_worker = losses.into_inner();
+        let mut mean_losses = vec![0.0f32; iterations];
+        for series in &per_worker {
+            for (slot, &l) in mean_losses.iter_mut().zip(series) {
+                *slot += l / workers as f32;
+            }
+        }
+
+        // Final model: AR variables from the chief replica, PS variables
+        // stitched from server shards.
+        let chief = chief_store
+            .into_inner()
+            .ok_or_else(|| CoreError::Worker("chief produced no model".into()))?;
+        let mut final_model: HashMap<usize, Tensor> = HashMap::new();
+        for &var in &ar_vars {
+            final_model.insert(var.index(), chief.get(var)?.clone());
+        }
+        let mut shards_by_var: HashMap<usize, Vec<(usize, Tensor)>> = HashMap::new();
+        for ((var, part), value) in shard_values.into_inner() {
+            shards_by_var
+                .entry(var.index())
+                .or_default()
+                .push((part, value));
+        }
+        for (var_idx, mut parts) in shards_by_var {
+            parts.sort_by_key(|(p, _)| *p);
+            let var = VarId::from_index(var_idx);
+            let shape = self.graph.var_def(var)?.shape.clone();
+            match self.plan.plan.placement(var).map_err(CoreError::Ps)? {
+                VarPlacement::PsDense { .. } => {
+                    final_model.insert(var_idx, parts.pop().expect("one shard").1);
+                }
+                VarPlacement::PsSparse { partition, .. } => {
+                    let tensors: Vec<Tensor> = parts.into_iter().map(|(_, t)| t).collect();
+                    let full = partition.stitch(&tensors).map_err(CoreError::Ps)?;
+                    final_model.insert(var_idx, full.reshape(shape)?);
+                }
+                VarPlacement::AllReduce => {}
+            }
+        }
+
+        let compute = compute_secs.into_inner();
+        let host_compute_per_iter =
+            compute.iter().copied().fold(0.0, f64::max) / iterations.max(1) as f64;
+
+        Ok(RunReport {
+            losses: mean_losses,
+            grad_norms: chief_norms.into_inner(),
+            traffic: TrafficReport {
+                nccl: traffic.class_snapshot(TrafficClass::Nccl),
+                mpi: traffic.class_snapshot(TrafficClass::Mpi),
+                ps: traffic.class_snapshot(TrafficClass::Ps),
+                local_agg: traffic.class_snapshot(TrafficClass::LocalAgg),
+            },
+            iterations,
+            host_compute_per_iter,
+            final_model,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// One worker's training loop.
+    #[allow(clippy::too_many_arguments)]
+    fn worker_loop<F>(
+        &self,
+        endpoint: Endpoint,
+        rank: usize,
+        widx: usize,
+        iterations: usize,
+        feed_fn: &F,
+        ar_vars: &[VarId],
+        ps_vars: &[VarId],
+        gatherv_vars: &[VarId],
+    ) -> Result<(Vec<f32>, Vec<f32>, f64, VarStore)>
+    where
+        F: Fn(usize, usize) -> Feed + Send + Sync,
+    {
+        let workers = self.topo.num_workers();
+        let worker_ranks = self.topo.worker_ranks();
+        let is_global_chief = rank == self.topo.chief();
+        let client = PsClient::new(Arc::new(self.plan.plan.clone()), self.topo.clone());
+        let local = VarStore::init(&self.graph, &mut DetRng::seed(self.config.seed));
+        let mut ctx = PsWorkerContext::new(endpoint, client, local);
+        let mut optimizer = self.config.optimizer.build(self.config.learning_rate);
+        let session = Session::new(&self.graph);
+        let mut losses = Vec::with_capacity(iterations);
+        let mut norms = Vec::new();
+        let mut compute_secs = 0.0f64;
+        let sync = self.config.synchronous;
+
+        for iter in 0..iterations {
+            optimizer.set_learning_rate(
+                self.config
+                    .lr_schedule
+                    .at(self.config.learning_rate, iter as u64),
+            );
+            ctx.begin_iteration(iter as u64);
+            let feed = feed_fn(widx, iter);
+            let t0 = Instant::now();
+            let acts = session.forward(&feed, &mut ctx)?;
+            let grads = backward(&self.graph, &acts, self.loss)?;
+            compute_secs += t0.elapsed().as_secs_f64();
+            losses.push(acts.scalar(self.loss)?);
+
+            let PsWorkerContext {
+                endpoint,
+                client,
+                local,
+            } = &mut ctx;
+
+            // AllReduce path: dense via ring AllReduce, sparse via
+            // AllGatherv; every replica applies the identical aggregate.
+            let mut sq_norm = 0.0f64;
+            for &var in ar_vars {
+                let Some(grad) = grads.get(&var) else {
+                    continue;
+                };
+                // Sparse gradients densify onto the ring unless this
+                // variable is in pure-AR AllGatherv mode (Horovod).
+                let densified;
+                let grad = if grad.is_sparse() && !gatherv_vars.contains(&var) {
+                    densified = Grad::Dense(grad.to_dense());
+                    &densified
+                } else {
+                    grad
+                };
+                match grad {
+                    Grad::Dense(t) => {
+                        let mut agg = t.clone();
+                        collectives::ring_allreduce_tensor(
+                            endpoint,
+                            &worker_ranks,
+                            protocol::allreduce_tag(var.index(), iter as u64),
+                            &mut agg,
+                        )?;
+                        if self.config.average_dense {
+                            for v in agg.data_mut() {
+                                *v /= workers as f32;
+                            }
+                        }
+                        if self.config.trace_gradients {
+                            sq_norm += agg.data().iter().map(|x| (x * x) as f64).sum::<f64>();
+                        }
+                        optimizer.apply_dense(var.index() as u64, local.get_mut(var)?, &agg)?;
+                    }
+                    Grad::Sparse(s) => {
+                        let gathered = collectives::allgatherv_slices(
+                            endpoint,
+                            &worker_ranks,
+                            mpi_tag(var.index(), iter as u64),
+                            s.clone(),
+                        )?;
+                        let mut agg = gathered.coalesce();
+                        if self.config.average_sparse {
+                            agg = agg.scale(1.0 / workers as f32);
+                        }
+                        if self.config.trace_gradients {
+                            sq_norm += agg
+                                .values()
+                                .data()
+                                .iter()
+                                .map(|x| (x * x) as f64)
+                                .sum::<f64>();
+                        }
+                        optimizer.apply_sparse(var.index() as u64, local.get_mut(var)?, &agg)?;
+                    }
+                }
+            }
+
+            // Parameter Server path.
+            for &var in ps_vars {
+                let grad = grads.get(&var).ok_or_else(|| {
+                    let name = self
+                        .graph
+                        .var_def(var)
+                        .map(|d| d.name.clone())
+                        .unwrap_or_else(|_| format!("#{}", var.index()));
+                    CoreError::Worker(format!(
+                        "PS variable '{name}' received no gradient; servers would stall"
+                    ))
+                })?;
+                if self.config.local_aggregation && sync {
+                    if let Some(agg) =
+                        locally_aggregate(endpoint, &self.topo, iter as u64, var, grad)
+                            .map_err(CoreError::Ps)?
+                    {
+                        client.push(endpoint, var, &agg).map_err(CoreError::Ps)?;
+                    }
+                } else {
+                    client.push(endpoint, var, grad).map_err(CoreError::Ps)?;
+                }
+            }
+            if sync && self.config.chief_triggers_update && is_global_chief {
+                for &var in ps_vars {
+                    client.chief_update(endpoint, var).map_err(CoreError::Ps)?;
+                }
+            }
+            if sync {
+                for &var in ps_vars {
+                    client
+                        .await_update_done(endpoint, var)
+                        .map_err(CoreError::Ps)?;
+                }
+            }
+            // Trace reads: every worker fetches the aggregated gradients
+            // the servers saved at update time (Section 5's mechanism for
+            // global-norm clipping / status tracing).
+            if self.config.trace_gradients {
+                for &var in ps_vars {
+                    for grad in client
+                        .read_aggregates(endpoint, var)
+                        .map_err(CoreError::Ps)?
+                    {
+                        let t = grad.to_dense();
+                        sq_norm += t.data().iter().map(|x| (x * x) as f64).sum::<f64>();
+                    }
+                }
+                norms.push(sq_norm.sqrt() as f32);
+            }
+        }
+        Ok((losses, norms, compute_secs, ctx.local))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_range_covers_disjointly() {
+        for total in [0usize, 1, 7, 48, 100] {
+            for workers in [1usize, 3, 6] {
+                let mut covered = 0usize;
+                for w in 0..workers {
+                    let r = shard_range(total, workers, w);
+                    assert_eq!(r.start, covered, "contiguous");
+                    covered = r.end;
+                }
+                assert_eq!(covered, total, "full coverage");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_range_balances_remainders() {
+        let sizes: Vec<usize> = (0..3).map(|w| shard_range(10, 3, w).len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+}

@@ -1,0 +1,303 @@
+//! Automatic graph transformation (Section 4.3).
+//!
+//! Consumes a single-GPU graph, a sparsity profile and a configuration;
+//! produces a [`DistributedPlan`]: per-variable synchronization
+//! decisions, the sharding plan, and the list of synchronization
+//! operations the transformation inserts — AllReduce per dense variable
+//! (Figure 4), local aggregation / global aggregation / update per
+//! sparse shard with the aggregation and update placed on the shard's
+//! own server (Figure 5), composed per variable kind for the hybrid
+//! architecture (Figure 6). Main computation (Model/Grads) is
+//! replicated once per GPU in every architecture.
+
+use parallax_dataflow::{Graph, VarId};
+use parallax_ps::placement::{build_plan, SyncDecision};
+use parallax_ps::{PlacementStrategy, ShardingPlan, VarPlacement};
+
+use crate::config::{ArchChoice, ParallaxConfig};
+use crate::hybrid;
+use crate::sparsity::SparsityProfile;
+use crate::Result;
+
+/// One synchronization operation inserted by the transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncOpDesc {
+    /// Ring AllReduce of a dense gradient across all replicas.
+    AllReduce {
+        /// The variable.
+        var: VarId,
+    },
+    /// AllGatherv of a sparse gradient across all replicas (pure-AR).
+    AllGatherv {
+        /// The variable.
+        var: VarId,
+    },
+    /// Per-machine aggregation before pushing (`LocalAggN`).
+    LocalAgg {
+        /// The variable.
+        var: VarId,
+    },
+    /// Cross-machine aggregation on a server (`GlobalAggN`), placed on
+    /// the server hosting the shard it feeds.
+    GlobalAgg {
+        /// The variable.
+        var: VarId,
+        /// The shard's partition index.
+        part: usize,
+        /// The hosting machine.
+        server: usize,
+    },
+    /// The variable-update operation (`UpdateN`), colocated with its
+    /// variable's shard.
+    Update {
+        /// The variable.
+        var: VarId,
+        /// The shard's partition index.
+        part: usize,
+        /// The hosting machine.
+        server: usize,
+    },
+}
+
+/// The output of graph transformation: everything the runner needs to
+/// execute the (conceptually rewritten) graph on a cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedPlan {
+    /// Per-variable synchronization decisions.
+    pub decisions: Vec<SyncDecision>,
+    /// Shard placement.
+    pub plan: ShardingPlan,
+    /// The sparse partition count in force.
+    pub partitions: usize,
+    /// Synchronization operations inserted by the transformation.
+    pub sync_ops: Vec<SyncOpDesc>,
+    /// Replicas of the main computation (one per GPU).
+    pub replicas: usize,
+}
+
+impl DistributedPlan {
+    /// True when the plan requires server processes.
+    pub fn needs_servers(&self) -> bool {
+        self.plan.needs_servers()
+    }
+
+    /// Variables synchronized by AllReduce/AllGatherv.
+    pub fn ar_vars(&self) -> Vec<VarId> {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| matches!(d, SyncDecision::AllReduce))
+            .map(|(i, _)| VarId::from_index(i))
+            .collect()
+    }
+
+    /// AllReduce variables whose sparse gradients travel as AllGatherv
+    /// (pure-AR mode); all other AR variables densify onto the ring.
+    pub fn gatherv_vars(&self) -> Vec<VarId> {
+        self.sync_ops
+            .iter()
+            .filter_map(|o| match o {
+                SyncOpDesc::AllGatherv { var } => Some(*var),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Variables synchronized through the Parameter Server.
+    pub fn ps_vars(&self) -> Vec<VarId> {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !matches!(d, SyncDecision::AllReduce))
+            .map(|(i, _)| VarId::from_index(i))
+            .collect()
+    }
+}
+
+/// Transforms a single-GPU graph into a distributed plan.
+///
+/// `machines`/`gpus_total` describe the resources; `partitions` is the
+/// sparse partition count (from the search or the config).
+pub fn transform(
+    graph: &Graph,
+    profile: &SparsityProfile,
+    config: &ParallaxConfig,
+    machines: usize,
+    gpus_total: usize,
+    partitions: usize,
+) -> Result<DistributedPlan> {
+    let decisions = hybrid::decide(graph, profile, config, partitions)?;
+    let strategy = match config.arch {
+        ArchChoice::PsOnly { optimized: false } => PlacementStrategy::RoundRobin,
+        _ => config.placement,
+    };
+    let plan = build_plan(graph, &decisions, machines, strategy).map_err(crate::CoreError::Ps)?;
+
+    let mut sync_ops = Vec::new();
+    for (idx, decision) in decisions.iter().enumerate() {
+        let var = VarId::from_index(idx);
+        let sparse = graph.is_sparse_variable(var);
+        match decision {
+            SyncDecision::AllReduce => {
+                if sparse && matches!(config.arch, ArchChoice::ArOnly) {
+                    sync_ops.push(SyncOpDesc::AllGatherv { var });
+                } else {
+                    // Dense, or a sparse variable promoted to dense by the
+                    // hybrid alpha rule: densify and AllReduce.
+                    sync_ops.push(SyncOpDesc::AllReduce { var });
+                }
+            }
+            SyncDecision::PsDense | SyncDecision::PsSparse { .. } => {
+                if config.local_aggregation {
+                    sync_ops.push(SyncOpDesc::LocalAgg { var });
+                }
+                match plan.placement(var).map_err(crate::CoreError::Ps)? {
+                    VarPlacement::PsDense { server } => {
+                        sync_ops.push(SyncOpDesc::GlobalAgg {
+                            var,
+                            part: 0,
+                            server: *server,
+                        });
+                        sync_ops.push(SyncOpDesc::Update {
+                            var,
+                            part: 0,
+                            server: *server,
+                        });
+                    }
+                    VarPlacement::PsSparse { servers, .. } => {
+                        for (part, &server) in servers.iter().enumerate() {
+                            sync_ops.push(SyncOpDesc::GlobalAgg { var, part, server });
+                            sync_ops.push(SyncOpDesc::Update { var, part, server });
+                        }
+                    }
+                    VarPlacement::AllReduce => unreachable!("decision is PS"),
+                }
+            }
+        }
+    }
+    Ok(DistributedPlan {
+        decisions,
+        plan,
+        partitions,
+        sync_ops,
+        replicas: gpus_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparsity::profile_from_parts;
+    use parallax_dataflow::graph::{Init, Op, PhKind};
+    use parallax_dataflow::VariableDef;
+
+    fn sparse_model() -> (Graph, SparsityProfile) {
+        let mut g = Graph::new();
+        let emb = g
+            .variable(VariableDef::new("emb", [64, 8], Init::Glorot))
+            .unwrap();
+        let _w = g
+            .variable(VariableDef::new("w", [8, 8], Init::Glorot))
+            .unwrap();
+        let ids = g.placeholder("ids", PhKind::Ids).unwrap();
+        g.add(Op::Gather { table: emb, ids }).unwrap();
+        let profile = profile_from_parts(vec![
+            (VarId::from_index(0), true, 0.1, 64, 512),
+            (VarId::from_index(1), false, 1.0, 8, 64),
+        ]);
+        let _ = emb;
+        (g, profile)
+    }
+
+    #[test]
+    fn hybrid_transform_composes_figure6() {
+        let (g, profile) = sparse_model();
+        let plan = transform(&g, &profile, &ParallaxConfig::default(), 2, 4, 4).unwrap();
+        assert!(plan.needs_servers());
+        assert_eq!(plan.replicas, 4);
+        // Dense variable: exactly one AllReduce op, no PS ops.
+        let dense_ops: Vec<_> = plan
+            .sync_ops
+            .iter()
+            .filter(|o| match o {
+                SyncOpDesc::AllReduce { var } => var.index() == 1,
+                SyncOpDesc::GlobalAgg { var, .. } | SyncOpDesc::Update { var, .. } => {
+                    var.index() == 1
+                }
+                _ => false,
+            })
+            .collect();
+        assert_eq!(dense_ops.len(), 1);
+        assert!(matches!(dense_ops[0], SyncOpDesc::AllReduce { .. }));
+        // Sparse variable: local agg + per-partition global agg & update.
+        let parts = 4;
+        let gagg = plan
+            .sync_ops
+            .iter()
+            .filter(|o| matches!(o, SyncOpDesc::GlobalAgg { var, .. } if var.index() == 0))
+            .count();
+        assert_eq!(gagg, parts);
+        assert!(plan
+            .sync_ops
+            .iter()
+            .any(|o| matches!(o, SyncOpDesc::LocalAgg { var } if var.index() == 0)));
+    }
+
+    #[test]
+    fn global_agg_and_update_are_colocated_with_shard() {
+        let (g, profile) = sparse_model();
+        let plan = transform(&g, &profile, &ParallaxConfig::default(), 4, 8, 8).unwrap();
+        // For each (var, part), GlobalAgg and Update name the same server
+        // as the placement (smart operation placement).
+        for op in &plan.sync_ops {
+            if let SyncOpDesc::GlobalAgg { var, part, server }
+            | SyncOpDesc::Update { var, part, server } = op
+            {
+                match plan.plan.placement(*var).unwrap() {
+                    VarPlacement::PsSparse { servers, .. } => {
+                        assert_eq!(servers[*part], *server);
+                    }
+                    VarPlacement::PsDense { server: s } => assert_eq!(s, server),
+                    VarPlacement::AllReduce => panic!("PS op on AR variable"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pure_ar_plan_has_no_ps_ops_and_uses_allgatherv_for_sparse() {
+        let (g, profile) = sparse_model();
+        let plan = transform(&g, &profile, &ParallaxConfig::horovod_baseline(), 2, 4, 4).unwrap();
+        assert!(!plan.needs_servers());
+        assert!(plan
+            .sync_ops
+            .iter()
+            .any(|o| matches!(o, SyncOpDesc::AllGatherv { var } if var.index() == 0)));
+        assert!(!plan
+            .sync_ops
+            .iter()
+            .any(|o| matches!(o, SyncOpDesc::Update { .. })));
+    }
+
+    #[test]
+    fn dense_only_model_needs_no_servers_under_hybrid() {
+        let mut g = Graph::new();
+        g.variable(VariableDef::new("w", [8, 8], Init::Glorot))
+            .unwrap();
+        let profile = profile_from_parts(vec![(VarId::from_index(0), false, 1.0, 8, 64)]);
+        let plan = transform(&g, &profile, &ParallaxConfig::default(), 2, 4, 4).unwrap();
+        assert!(!plan.needs_servers());
+        assert_eq!(plan.ar_vars().len(), 1);
+        assert!(plan.ps_vars().is_empty());
+    }
+
+    #[test]
+    fn naive_ps_uses_round_robin_even_with_balanced_config() {
+        let (g, profile) = sparse_model();
+        let mut config = ParallaxConfig::tf_ps_baseline();
+        config.placement = PlacementStrategy::Balanced; // Ignored for naive.
+        let plan = transform(&g, &profile, &config, 2, 4, 2).unwrap();
+        assert!(plan.needs_servers());
+        assert_eq!(plan.ps_vars().len(), 2);
+    }
+}

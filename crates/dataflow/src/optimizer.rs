@@ -1,0 +1,374 @@
+//! Gradient-descent optimizers.
+//!
+//! Optimizers apply a [`Grad`] to a parameter tensor in place. They are
+//! used in two positions in the reproduction: AllReduce replicas update
+//! their local copies, and Parameter Server shards update server-resident
+//! partitions — so the update API works on bare tensors, keyed by an
+//! opaque slot id for optimizers with state.
+
+use std::collections::HashMap;
+
+use parallax_tensor::{ops, sparse::Grad, IndexedSlices, Tensor};
+
+use crate::Result;
+
+/// A learning-rate schedule, evaluated per iteration on both replicas
+/// and servers so every update site stays in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply the rate by `factor` every `every` iterations.
+    StepDecay {
+        /// Iterations between decays.
+        every: u64,
+        /// Multiplicative factor per decay (e.g. 0.5).
+        factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// # Examples
+    ///
+    /// ```
+    /// use parallax_dataflow::optimizer::LrSchedule;
+    /// let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+    /// assert_eq!(s.at(1.0, 25), 0.25);
+    /// ```
+    /// The learning rate at `iteration` given the base rate.
+    pub fn at(&self, base: f32, iteration: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every, factor } => {
+                let steps = iteration.checked_div(every).unwrap_or(0);
+                base * factor.powi(steps as i32)
+            }
+        }
+    }
+}
+
+/// A stateful parameter-update rule.
+pub trait Optimizer: Send {
+    /// Applies a dense gradient to `param`. `slot` identifies the parameter
+    /// (or parameter partition) for optimizers that keep per-parameter state.
+    fn apply_dense(&mut self, slot: u64, param: &mut Tensor, grad: &Tensor) -> Result<()>;
+
+    /// Applies a sparse gradient to `param`, touching only the rows present
+    /// in `grad` (this is what makes sparse updates cheap on servers).
+    fn apply_sparse(&mut self, slot: u64, param: &mut Tensor, grad: &IndexedSlices) -> Result<()>;
+
+    /// Applies either kind of gradient.
+    fn apply(&mut self, slot: u64, param: &mut Tensor, grad: &Grad) -> Result<()> {
+        match grad {
+            Grad::Dense(g) => self.apply_dense(slot, param, g),
+            Grad::Sparse(s) => self.apply_sparse(slot, param, s),
+        }
+    }
+
+    /// The optimizer's learning rate (for reporting).
+    fn learning_rate(&self) -> f32;
+
+    /// Updates the learning rate (schedules re-set it per iteration).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent: `theta -= lr * g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn apply_dense(&mut self, _slot: u64, param: &mut Tensor, grad: &Tensor) -> Result<()> {
+        ops::axpy(-self.lr, grad, param)?;
+        Ok(())
+    }
+
+    fn apply_sparse(&mut self, _slot: u64, param: &mut Tensor, grad: &IndexedSlices) -> Result<()> {
+        let merged = grad.coalesce();
+        let cols = merged.cols();
+        for (slot_idx, &row) in merged.indices().iter().enumerate() {
+            let src = &merged.values().data()[slot_idx * cols..(slot_idx + 1) * cols];
+            let dst = &mut param.row_mut(row)?;
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d -= self.lr * s;
+            }
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// SGD with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub mu: f32,
+    velocity: HashMap<u64, Tensor>,
+}
+
+impl Momentum {
+    /// Creates a momentum optimizer.
+    pub fn new(lr: f32, mu: f32) -> Self {
+        Momentum {
+            lr,
+            mu,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn apply_dense(&mut self, slot: u64, param: &mut Tensor, grad: &Tensor) -> Result<()> {
+        let v = self
+            .velocity
+            .entry(slot)
+            .or_insert_with(|| Tensor::zeros(param.shape().clone()));
+        for (vi, gi) in v.data_mut().iter_mut().zip(grad.data()) {
+            *vi = self.mu * *vi + gi;
+        }
+        ops::axpy(-self.lr, v, param)?;
+        Ok(())
+    }
+
+    fn apply_sparse(&mut self, slot: u64, param: &mut Tensor, grad: &IndexedSlices) -> Result<()> {
+        // Momentum for sparse rows: decay and update only touched rows,
+        // matching TensorFlow's sparse momentum semantics.
+        let merged = grad.coalesce();
+        let cols = merged.cols();
+        let v = self
+            .velocity
+            .entry(slot)
+            .or_insert_with(|| Tensor::zeros(param.shape().clone()));
+        for (slot_idx, &row) in merged.indices().iter().enumerate() {
+            let src = &merged.values().data()[slot_idx * cols..(slot_idx + 1) * cols];
+            let vrow = v.row_mut(row)?;
+            for (vi, gi) in vrow.iter_mut().zip(src) {
+                *vi = self.mu * *vi + gi;
+            }
+            let vsnap: Vec<f32> = v.row(row)?.to_vec();
+            let prow = param.row_mut(row)?;
+            for (p, vi) in prow.iter_mut().zip(vsnap) {
+                *p -= self.lr * vi;
+            }
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adagrad: per-element adaptive learning rates, commonly used for the
+/// sparse embedding variables of NLP models.
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    /// Base learning rate.
+    pub lr: f32,
+    /// Numerical-stability floor.
+    pub eps: f32,
+    accum: HashMap<u64, Tensor>,
+}
+
+impl Adagrad {
+    /// Creates an Adagrad optimizer.
+    pub fn new(lr: f32) -> Self {
+        Adagrad {
+            lr,
+            eps: 1e-8,
+            accum: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn apply_dense(&mut self, slot: u64, param: &mut Tensor, grad: &Tensor) -> Result<()> {
+        let acc = self
+            .accum
+            .entry(slot)
+            .or_insert_with(|| Tensor::zeros(param.shape().clone()));
+        for ((p, a), g) in param
+            .data_mut()
+            .iter_mut()
+            .zip(acc.data_mut())
+            .zip(grad.data())
+        {
+            *a += g * g;
+            *p -= self.lr * g / (a.sqrt() + self.eps);
+        }
+        Ok(())
+    }
+
+    fn apply_sparse(&mut self, slot: u64, param: &mut Tensor, grad: &IndexedSlices) -> Result<()> {
+        let merged = grad.coalesce();
+        let cols = merged.cols();
+        let acc = self
+            .accum
+            .entry(slot)
+            .or_insert_with(|| Tensor::zeros(param.shape().clone()));
+        for (slot_idx, &row) in merged.indices().iter().enumerate() {
+            let src = &merged.values().data()[slot_idx * cols..(slot_idx + 1) * cols];
+            let arow = acc.row_mut(row)?;
+            let mut scaled = Vec::with_capacity(cols);
+            for (a, g) in arow.iter_mut().zip(src) {
+                *a += g * g;
+                scaled.push(g / (a.sqrt() + self.eps));
+            }
+            let prow = param.row_mut(row)?;
+            for (p, s) in prow.iter_mut().zip(scaled) {
+                *p -= self.lr * s;
+            }
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse(indices: Vec<usize>, rows: Vec<Vec<f32>>, dense_rows: usize) -> IndexedSlices {
+        let cols = rows[0].len();
+        let flat: Vec<f32> = rows.concat();
+        IndexedSlices::new(
+            indices.clone(),
+            Tensor::new([indices.len(), cols], flat).unwrap(),
+            dense_rows,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lr_schedule_step_decay() {
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            factor: 0.5,
+        };
+        assert_eq!(s.at(1.0, 0), 1.0);
+        assert_eq!(s.at(1.0, 9), 1.0);
+        assert_eq!(s.at(1.0, 10), 0.5);
+        assert_eq!(s.at(1.0, 25), 0.25);
+        assert_eq!(LrSchedule::Constant.at(0.3, 1000), 0.3);
+        // Degenerate `every = 0` never decays.
+        assert_eq!(
+            LrSchedule::StepDecay {
+                every: 0,
+                factor: 0.5
+            }
+            .at(1.0, 50),
+            1.0
+        );
+    }
+
+    #[test]
+    fn set_learning_rate_applies() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn sgd_dense_step() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = Tensor::full([3], 1.0);
+        opt.apply_dense(0, &mut p, &Tensor::full([3], 2.0)).unwrap();
+        assert_eq!(p.data(), &[0.8, 0.8, 0.8]);
+    }
+
+    #[test]
+    fn sgd_sparse_equals_densified_sgd() {
+        let g = sparse(
+            vec![0, 2, 0],
+            vec![vec![1., 2.], vec![3., 4.], vec![5., 6.]],
+            4,
+        );
+        let mut p1 = Tensor::full([4, 2], 1.0);
+        let mut p2 = p1.clone();
+        Sgd::new(0.5).apply_sparse(0, &mut p1, &g).unwrap();
+        Sgd::new(0.5)
+            .apply_dense(0, &mut p2, &g.to_dense())
+            .unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn momentum_accelerates_along_constant_gradient() {
+        let mut opt = Momentum::new(0.1, 0.9);
+        let mut p = Tensor::zeros([1]);
+        let g = Tensor::full([1], 1.0);
+        let mut last_step = 0.0f32;
+        let mut prev = 0.0f32;
+        for _ in 0..5 {
+            opt.apply_dense(0, &mut p, &g).unwrap();
+            let step = (prev - p.data()[0]).abs();
+            assert!(step > last_step, "momentum grows the step");
+            last_step = step;
+            prev = p.data()[0];
+        }
+    }
+
+    #[test]
+    fn adagrad_shrinks_effective_rate() {
+        let mut opt = Adagrad::new(1.0);
+        let mut p = Tensor::zeros([1]);
+        let g = Tensor::full([1], 2.0);
+        opt.apply_dense(0, &mut p, &g).unwrap();
+        let first = -p.data()[0];
+        opt.apply_dense(0, &mut p, &g).unwrap();
+        let second = -p.data()[0] - first;
+        assert!(second < first, "second step smaller: {second} < {first}");
+    }
+
+    #[test]
+    fn adagrad_sparse_touches_only_given_rows() {
+        let mut opt = Adagrad::new(0.5);
+        let mut p = Tensor::full([3, 2], 1.0);
+        let g = sparse(vec![1], vec![vec![1.0, 1.0]], 3);
+        opt.apply_sparse(0, &mut p, &g).unwrap();
+        assert_eq!(p.row(0).unwrap(), &[1.0, 1.0]);
+        assert_ne!(p.row(1).unwrap(), &[1.0, 1.0]);
+        assert_eq!(p.row(2).unwrap(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn optimizer_state_is_per_slot() {
+        let mut opt = Adagrad::new(1.0);
+        let mut a = Tensor::zeros([1]);
+        let mut b = Tensor::zeros([1]);
+        let g = Tensor::full([1], 1.0);
+        opt.apply_dense(0, &mut a, &g).unwrap();
+        opt.apply_dense(1, &mut b, &g).unwrap();
+        // Both are first steps, so both move the same amount.
+        assert!((a.data()[0] - b.data()[0]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,119 @@
+//! Runtime values and feed dictionaries.
+
+use std::collections::HashMap;
+
+use parallax_tensor::Tensor;
+
+use crate::{DataflowError, Result};
+
+/// A runtime value flowing along a graph edge: either a dense float tensor
+/// or a list of integer indices (token ids, labels, gather indices).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A dense float tensor.
+    Tensor(Tensor),
+    /// An index list.
+    Ids(Vec<usize>),
+}
+
+impl Value {
+    /// Views the value as a tensor.
+    pub fn as_tensor(&self, op: &'static str) -> Result<&Tensor> {
+        match self {
+            Value::Tensor(t) => Ok(t),
+            Value::Ids(_) => Err(DataflowError::ValueKindMismatch {
+                op,
+                expected: "tensor",
+            }),
+        }
+    }
+
+    /// Views the value as an index list.
+    pub fn as_ids(&self, op: &'static str) -> Result<&[usize]> {
+        match self {
+            Value::Ids(ids) => Ok(ids),
+            Value::Tensor(_) => Err(DataflowError::ValueKindMismatch {
+                op,
+                expected: "ids",
+            }),
+        }
+    }
+}
+
+impl From<Tensor> for Value {
+    fn from(t: Tensor) -> Self {
+        Value::Tensor(t)
+    }
+}
+
+impl From<Vec<usize>> for Value {
+    fn from(ids: Vec<usize>) -> Self {
+        Value::Ids(ids)
+    }
+}
+
+/// A feed dictionary mapping placeholder names to runtime values.
+#[derive(Debug, Clone, Default)]
+pub struct Feed {
+    values: HashMap<String, Value>,
+}
+
+impl Feed {
+    /// An empty feed.
+    pub fn new() -> Self {
+        Feed::default()
+    }
+
+    /// Adds a value under a placeholder name (builder style).
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.values.insert(name.into(), value.into());
+        self
+    }
+
+    /// Inserts a value under a placeholder name.
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.values.insert(name.into(), value.into());
+    }
+
+    /// Looks up a placeholder by name.
+    pub fn get(&self, name: &str) -> Result<&Value> {
+        self.values
+            .get(name)
+            .ok_or_else(|| DataflowError::MissingFeed(name.to_string()))
+    }
+
+    /// Number of fed placeholders.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been fed.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_lookup_and_missing() {
+        let feed = Feed::new()
+            .with("x", Tensor::scalar(1.0))
+            .with("ids", vec![1usize, 2]);
+        assert!(feed.get("x").is_ok());
+        assert!(matches!(feed.get("y"), Err(DataflowError::MissingFeed(_))));
+        assert_eq!(feed.len(), 2);
+    }
+
+    #[test]
+    fn value_kind_views() {
+        let v: Value = Tensor::scalar(2.0).into();
+        assert!(v.as_tensor("t").is_ok());
+        assert!(v.as_ids("t").is_err());
+        let w: Value = vec![3usize].into();
+        assert_eq!(w.as_ids("t").unwrap(), &[3]);
+        assert!(w.as_tensor("t").is_err());
+    }
+}

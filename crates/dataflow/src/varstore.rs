@@ -1,0 +1,174 @@
+//! Variable storage and the provider abstraction.
+//!
+//! The executor never touches variable memory directly — it asks a
+//! [`VarProvider`]. A local [`VarStore`] (AllReduce replicas) answers from
+//! its own memory; the Parameter Server client in `parallax-ps` answers by
+//! pulling from remote server processes, which is how a single graph
+//! executes under either architecture without being rebuilt.
+
+use parallax_tensor::{ops, DetRng, Tensor};
+
+use crate::graph::{Graph, Init, VarId, VariableDef};
+use crate::{DataflowError, Result};
+
+/// Source of variable values during a forward pass.
+pub trait VarProvider {
+    /// Fetches the full dense value of `var`.
+    fn fetch_dense(&mut self, var: VarId, def: &VariableDef) -> Result<Tensor>;
+
+    /// Fetches only rows `ids` of `var` (a sparse read; the provider may
+    /// transfer just `alpha * w` bytes, per the paper's analysis).
+    fn fetch_sparse_rows(&mut self, var: VarId, def: &VariableDef, ids: &[usize])
+        -> Result<Tensor>;
+}
+
+/// In-memory variable storage: one dense tensor per [`VarId`].
+#[derive(Debug, Clone)]
+pub struct VarStore {
+    values: Vec<Tensor>,
+}
+
+impl VarStore {
+    /// Initializes storage for every variable in the graph, deterministically
+    /// from `rng`.
+    pub fn init(graph: &Graph, rng: &mut DetRng) -> Self {
+        let values = graph
+            .variables()
+            .iter()
+            .map(|def| match def.init {
+                Init::Zeros => Tensor::zeros(def.shape.clone()),
+                Init::Const(c) => Tensor::full(def.shape.clone(), c),
+                Init::Normal(stddev) => Tensor::randn(def.shape.clone(), stddev, rng),
+                Init::Glorot => Tensor::glorot(def.shape.clone(), rng),
+            })
+            .collect();
+        VarStore { values }
+    }
+
+    /// Builds a store from explicit tensors (used when a replica is seeded
+    /// by broadcast from the chief).
+    pub fn from_values(values: Vec<Tensor>) -> Self {
+        VarStore { values }
+    }
+
+    /// The value of a variable.
+    pub fn get(&self, var: VarId) -> Result<&Tensor> {
+        self.values
+            .get(var.index())
+            .ok_or(DataflowError::UnknownVariable(var.index()))
+    }
+
+    /// Mutable value of a variable.
+    pub fn get_mut(&mut self, var: VarId) -> Result<&mut Tensor> {
+        self.values
+            .get_mut(var.index())
+            .ok_or(DataflowError::UnknownVariable(var.index()))
+    }
+
+    /// Replaces the value of a variable.
+    pub fn set(&mut self, var: VarId, value: Tensor) -> Result<()> {
+        *self.get_mut(var)? = value;
+        Ok(())
+    }
+
+    /// Number of stored variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the store holds no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values in [`VarId`] order.
+    pub fn values(&self) -> &[Tensor] {
+        &self.values
+    }
+
+    /// Maximum absolute element difference against another store; used by
+    /// tests asserting replica synchronization.
+    pub fn max_divergence(&self, other: &VarStore) -> f32 {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a.max_abs_diff(b).unwrap_or(f32::INFINITY))
+            .fold(0.0f32, f32::max)
+    }
+}
+
+impl VarProvider for VarStore {
+    fn fetch_dense(&mut self, var: VarId, _def: &VariableDef) -> Result<Tensor> {
+        Ok(self.get(var)?.clone())
+    }
+
+    fn fetch_sparse_rows(
+        &mut self,
+        var: VarId,
+        _def: &VariableDef,
+        ids: &[usize],
+    ) -> Result<Tensor> {
+        Ok(ops::gather_rows(self.get(var)?, ids)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::VariableDef;
+
+    fn graph_with_vars() -> Graph {
+        let mut g = Graph::new();
+        g.variable(VariableDef::new("a", [2, 2], Init::Zeros))
+            .unwrap();
+        g.variable(VariableDef::new("b", [3], Init::Const(1.5)))
+            .unwrap();
+        g.variable(VariableDef::new("c", [4, 4], Init::Glorot))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn init_respects_schemes() {
+        let g = graph_with_vars();
+        let store = VarStore::init(&g, &mut DetRng::seed(1));
+        assert_eq!(store.get(VarId(0)).unwrap().sum(), 0.0);
+        assert_eq!(store.get(VarId(1)).unwrap().data(), &[1.5, 1.5, 1.5]);
+        assert!(store.get(VarId(2)).unwrap().l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let g = graph_with_vars();
+        let a = VarStore::init(&g, &mut DetRng::seed(7));
+        let b = VarStore::init(&g, &mut DetRng::seed(7));
+        assert_eq!(a.max_divergence(&b), 0.0);
+    }
+
+    #[test]
+    fn provider_serves_dense_and_rows() {
+        let mut g = Graph::new();
+        let v = g
+            .variable(VariableDef::new("t", [3, 2], Init::Zeros))
+            .unwrap();
+        let mut store = VarStore::init(&g, &mut DetRng::seed(1));
+        store
+            .set(
+                v,
+                Tensor::new([3, 2], vec![0., 1., 10., 11., 20., 21.]).unwrap(),
+            )
+            .unwrap();
+        let def = g.var_def(v).unwrap().clone();
+        let dense = store.fetch_dense(v, &def).unwrap();
+        assert_eq!(dense.len(), 6);
+        let rows = store.fetch_sparse_rows(v, &def, &[2, 0]).unwrap();
+        assert_eq!(rows.data(), &[20., 21., 0., 1.]);
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let g = Graph::new();
+        let store = VarStore::init(&g, &mut DetRng::seed(1));
+        assert!(store.get(VarId(0)).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Model zoo and synthetic datasets for the Parallax reproduction.
+//!
+//! Four models mirror the paper's evaluation set (Section 6.1):
+//!
+//! * [`lm`] — a word language model: embedding lookup, LSTM, projection,
+//!   softmax (the paper's LM, Jozefowicz et al.). Sparse.
+//! * [`nmt`] — a sequence-to-sequence translation model with encoder and
+//!   decoder embeddings (the paper's NMT, GNMT-style). Sparse.
+//! * [`resnet`] — a residual dense network standing in for ResNet-50
+//!   (dense-matmul blocks; convolution structure is irrelevant to the
+//!   evaluation, which only needs "all-dense, compute-heavy").
+//! * [`inception`] — a multi-branch dense network standing in for
+//!   Inception-v3.
+//!
+//! [`data`] provides synthetic datasets whose *access statistics* match
+//! what drives the paper's results: Zipf-distributed token streams (so
+//! embedding-row reuse behaves like natural text, with the `length`
+//! knob of Table 6) and random images. [`presets`] carries paper-scale
+//! workload descriptions for the analytic engine plus executed-scale
+//! configurations for real training. [`metrics`] implements perplexity,
+//! top-1 error and BLEU.
+
+pub mod data;
+pub mod inception;
+pub mod lm;
+pub mod metrics;
+pub mod nmt;
+pub mod presets;
+pub mod resnet;
+
+pub use lm::LmModel;
+pub use nmt::NmtModel;
+
+/// A built model: its graph, loss node, and feed metadata.
+#[derive(Debug, Clone)]
+pub struct BuiltModel {
+    /// The single-GPU computation graph.
+    pub graph: parallax_dataflow::Graph,
+    /// The scalar loss node.
+    pub loss: parallax_dataflow::NodeId,
+    /// Logits node (for evaluation metrics).
+    pub logits: parallax_dataflow::NodeId,
+}

@@ -1,0 +1,120 @@
+//! Evaluation metrics: perplexity, top-1 error, BLEU.
+
+use std::collections::HashMap;
+
+use parallax_tensor::{Result, Tensor};
+
+/// Perplexity from a mean cross-entropy loss (Figure 7(b)'s metric).
+pub fn perplexity(mean_xent: f32) -> f32 {
+    mean_xent.exp()
+}
+
+/// Top-1 error rate (Figure 7(a)'s metric): fraction of rows whose
+/// argmax logit disagrees with the label.
+pub fn top1_error(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let preds = logits.argmax_rows()?;
+    let wrong = preds.iter().zip(labels).filter(|(p, l)| p != l).count();
+    Ok(wrong as f32 / labels.len().max(1) as f32)
+}
+
+/// Corpus-level BLEU with up to `max_n`-gram precision and brevity
+/// penalty (Figure 7(c)'s metric), over token-id sequences.
+pub fn bleu(candidates: &[Vec<usize>], references: &[Vec<usize>], max_n: usize) -> f64 {
+    assert_eq!(
+        candidates.len(),
+        references.len(),
+        "paired corpora required"
+    );
+    let max_n = max_n.max(1);
+    let mut log_precision_sum = 0.0f64;
+    let mut any_zero = false;
+    for n in 1..=max_n {
+        let mut matched = 0usize;
+        let mut total = 0usize;
+        for (cand, reference) in candidates.iter().zip(references) {
+            let cand_counts = ngram_counts(cand, n);
+            let ref_counts = ngram_counts(reference, n);
+            for (gram, &count) in &cand_counts {
+                let clip = ref_counts.get(gram).copied().unwrap_or(0);
+                matched += count.min(clip);
+            }
+            total += cand.len().saturating_sub(n - 1);
+        }
+        if total == 0 || matched == 0 {
+            any_zero = true;
+            break;
+        }
+        log_precision_sum += (matched as f64 / total as f64).ln();
+    }
+    if any_zero {
+        return 0.0;
+    }
+    let cand_len: usize = candidates.iter().map(Vec::len).sum();
+    let ref_len: usize = references.iter().map(Vec::len).sum();
+    let brevity = if cand_len >= ref_len {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / cand_len.max(1) as f64).exp()
+    };
+    brevity * (log_precision_sum / max_n as f64).exp()
+}
+
+fn ngram_counts(seq: &[usize], n: usize) -> HashMap<&[usize], usize> {
+    let mut counts = HashMap::new();
+    if seq.len() < n {
+        return counts;
+    }
+    for i in 0..=seq.len() - n {
+        *counts.entry(&seq[i..i + n]).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perplexity_of_uniform_prediction() {
+        // Uniform over 4 classes: loss = ln 4, ppl = 4.
+        assert!((perplexity(4.0f32.ln()) - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn top1_error_counts_mismatches() {
+        let logits = Tensor::new([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        // Predictions: 0, 1, 0.
+        let err = top1_error(&logits, &[0, 1, 1]).unwrap();
+        assert!((err - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bleu_perfect_match_is_one() {
+        let corpus = vec![vec![1, 2, 3, 4, 5]];
+        assert!((bleu(&corpus, &corpus, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bleu_no_overlap_is_zero() {
+        let cand = vec![vec![9, 9, 9, 9]];
+        let refs = vec![vec![1, 2, 3, 4]];
+        assert_eq!(bleu(&cand, &refs, 4), 0.0);
+    }
+
+    #[test]
+    fn bleu_partial_overlap_is_between() {
+        let cand = vec![vec![1, 2, 3, 9, 9]];
+        let refs = vec![vec![1, 2, 3, 4, 5]];
+        let score = bleu(&cand, &refs, 2);
+        assert!(score > 0.0 && score < 1.0, "score {score}");
+    }
+
+    #[test]
+    fn bleu_brevity_penalizes_short_candidates() {
+        let long = vec![vec![1, 2, 3, 4, 5, 6]];
+        let short = vec![vec![1, 2, 3]];
+        let full = bleu(&long, &long, 2);
+        let clipped = bleu(&short, &long, 2);
+        assert!(clipped < full);
+    }
+}

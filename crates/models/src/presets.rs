@@ -1,0 +1,188 @@
+//! Paper-scale workload presets for the analytic engine.
+//!
+//! Variable sizes follow Table 1 and Section 6.1: ResNet-50 (23.8M
+//! dense), Inception-v3 (25.6M dense), LM (9.4M dense + 813.3M sparse,
+//! `alpha_model = 0.02`, one-billion-word vocabulary of ~800K, LSTM 2048
+//! projected to 512) and NMT (94.1M dense + 74.9M sparse,
+//! `alpha_model = 0.65`, 8-layer LSTM of 1024 units, WMT vocabulary).
+//! Per-variable alphas are chosen to reproduce the reported
+//! `alpha_model` exactly; FLOP counts are standard estimates for the
+//! architectures.
+
+use parallax_core::analytic::{VarSpec, WorkloadSpec};
+
+/// Splits a model's dense parameters into `count` equal variables,
+/// mirroring the many weight tensors of the real architectures (ResNet-50
+/// has ~160; a single giant variable would overstate the PS hot-server
+/// effect, which in practice is spread across servers).
+fn dense_group(name: &str, total_elements: f64, count: usize) -> Vec<VarSpec> {
+    let per = total_elements / count as f64;
+    (0..count)
+        .map(|i| VarSpec::dense(format!("{name}_{i}"), per))
+        .collect()
+}
+
+/// ResNet-50 at paper scale.
+pub fn resnet50() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "ResNet-50".into(),
+        vars: dense_group("conv", 23.8e6, 54),
+        forward_flops_per_unit: 3.3e9,
+        units_per_gpu: 64.0,
+        unit: "images",
+    }
+}
+
+/// Inception-v3 at paper scale.
+pub fn inception_v3() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "Inception-v3".into(),
+        vars: dense_group("conv", 25.6e6, 96),
+        forward_flops_per_unit: 4.7e9,
+        units_per_gpu: 64.0,
+        unit: "images",
+    }
+}
+
+/// LM at paper scale: 800K-word vocabulary, embeddings of width 512,
+/// LSTM(2048) with 512 projection; batch 128 sequences of 20 steps.
+pub fn lm() -> WorkloadSpec {
+    let rows = 794_238.0;
+    let cols = 512.0;
+    let raw_in = 128.0 * 20.0; // One lookup per word.
+    let raw_out = raw_in + 9_240.0; // True labels plus sampled negatives.
+    WorkloadSpec {
+        name: "LM".into(),
+        vars: {
+            let mut vars = dense_group("lstm+proj", 9.4e6, 8);
+            // Input embedding: ~2.2K distinct tokens per worker batch.
+            vars.push(VarSpec::sparse("emb_in", rows, cols, 0.0028, raw_in));
+            // Softmax embedding: sampled softmax touches ~10K rows.
+            vars.push(VarSpec::sparse("emb_softmax", rows, cols, 0.0126, raw_out));
+            vars
+        },
+        forward_flops_per_unit: 2.2e7,
+        units_per_gpu: 128.0 * 20.0,
+        unit: "words",
+    }
+}
+
+/// NMT at paper scale: GNMT-style 8-layer LSTM of 1024 units,
+/// bidirectional encoder, 2048-wide embeddings over subword
+/// vocabularies; batch 128 sentence pairs of ~30 tokens.
+pub fn nmt() -> WorkloadSpec {
+    let rows = 18_286.0;
+    let cols = 2048.0;
+    let raw = 128.0 * 30.0;
+    WorkloadSpec {
+        name: "NMT".into(),
+        vars: {
+            let mut vars = dense_group("lstm+attn+proj", 94.1e6, 34);
+            vars.push(VarSpec::sparse("emb_src", rows, cols, 0.2103, raw));
+            vars.push(VarSpec::sparse("emb_tgt", rows, cols, 0.2103, raw));
+            vars
+        },
+        forward_flops_per_unit: 5.7e7,
+        units_per_gpu: 128.0 * 30.0,
+        unit: "words",
+    }
+}
+
+/// The constructed LM of Table 6: dense variables plus a smaller
+/// vocabulary, with `length` words per data instance controlling the
+/// sparsity degree `alpha_model`.
+pub fn constructed_lm(length: usize, alpha_model_target: f64) -> WorkloadSpec {
+    // "A constructed LM model that uses dense variables and vocabulary
+    // smaller than those of the original LM": the vocabulary equals the
+    // words per iteration at length 120 (so alpha reaches 1.0 there),
+    // and the dense core is small enough that the length-1 row's
+    // alpha_model of 0.04 is attainable.
+    let rows = 128.0 * 120.0;
+    let cols = 512.0;
+    let dense = 0.45e6;
+    let sparse = 2.0 * rows * cols;
+    // Solve the element-weighted average for the per-variable alpha.
+    let alpha = (((alpha_model_target * (dense + sparse)) - dense).max(0.0) / sparse).min(1.0);
+    let raw = 128.0 * length as f64;
+    WorkloadSpec {
+        name: format!("LM(length={length})"),
+        vars: {
+            let mut vars = dense_group("lstm+proj", dense, 4);
+            vars.push(VarSpec::sparse("emb_in", rows, cols, alpha, raw));
+            vars.push(VarSpec::sparse("emb_softmax", rows, cols, alpha, raw));
+            vars
+        },
+        forward_flops_per_unit: 5.5e7,
+        units_per_gpu: 128.0 * length as f64,
+        unit: "words",
+    }
+}
+
+/// All four headline presets in Table 1 order.
+pub fn all_models() -> Vec<WorkloadSpec> {
+    vec![resnet50(), inception_v3(), lm(), nmt()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_counts_match_table1() {
+        let rn = resnet50();
+        assert!((rn.dense_elements() - 23.8e6).abs() < 1e3);
+        assert_eq!(rn.sparse_elements(), 0.0);
+
+        let iv = inception_v3();
+        assert!((iv.dense_elements() - 25.6e6).abs() < 1e3);
+
+        let lm = lm();
+        assert!((lm.dense_elements() - 9.4e6).abs() < 1e3);
+        let sparse_m = lm.sparse_elements() / 1e6;
+        assert!((sparse_m - 813.3).abs() < 1.0, "LM sparse {sparse_m}M");
+
+        let nmt = nmt();
+        assert!((nmt.dense_elements() - 94.1e6).abs() < 1e3);
+        let sparse_m = nmt.sparse_elements() / 1e6;
+        assert!((sparse_m - 74.9).abs() < 0.5, "NMT sparse {sparse_m}M");
+    }
+
+    #[test]
+    fn alpha_model_matches_table1() {
+        assert!((resnet50().alpha_model() - 1.0).abs() < 1e-12);
+        let lm_alpha = lm().alpha_model();
+        assert!((lm_alpha - 0.02).abs() < 0.002, "LM alpha_model {lm_alpha}");
+        let nmt_alpha = nmt().alpha_model();
+        assert!(
+            (nmt_alpha - 0.65).abs() < 0.01,
+            "NMT alpha_model {nmt_alpha}"
+        );
+    }
+
+    #[test]
+    fn constructed_lm_hits_requested_alpha() {
+        for (length, target) in [
+            (120usize, 1.0),
+            (60, 0.52),
+            (30, 0.28),
+            (15, 0.16),
+            (8, 0.1),
+            (4, 0.07),
+            (1, 0.04),
+        ] {
+            let spec = constructed_lm(length, target);
+            assert!(
+                (spec.alpha_model() - target).abs() < 0.01,
+                "length {length}: {} vs {target}",
+                spec.alpha_model()
+            );
+            assert_eq!(spec.units_per_gpu, 128.0 * length as f64);
+        }
+    }
+
+    #[test]
+    fn model_order_is_table1() {
+        let names: Vec<String> = all_models().into_iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["ResNet-50", "Inception-v3", "LM", "NMT"]);
+    }
+}

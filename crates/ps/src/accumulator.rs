@@ -1,0 +1,157 @@
+//! Server-side gradient accumulators.
+//!
+//! Parallax "place\[s\] accumulators on servers to aggregate the gradients
+//! of sparse variables, where each accumulator handles gradients of a
+//! single sparse variable" (Section 5). An accumulator knows how many
+//! pushes to expect per synchronous step (all workers, or one local
+//! chief per machine under local aggregation) and releases the aggregate
+//! exactly once when complete.
+
+use parallax_tensor::{ops, IndexedSlices, Tensor};
+
+use crate::{PsError, Result};
+
+/// Accumulates dense gradient pushes by elementwise sum.
+#[derive(Debug, Clone)]
+pub struct DenseAccumulator {
+    expected: usize,
+    received: usize,
+    sum: Option<Tensor>,
+}
+
+impl DenseAccumulator {
+    /// An accumulator expecting `expected` pushes per step.
+    pub fn new(expected: usize) -> Self {
+        DenseAccumulator {
+            expected,
+            received: 0,
+            sum: None,
+        }
+    }
+
+    /// Adds one push; returns the sum when the step is complete and
+    /// resets for the next step.
+    pub fn push(&mut self, grad: Tensor) -> Result<Option<Tensor>> {
+        if self.received >= self.expected {
+            return Err(PsError::Protocol("dense accumulator overfilled".into()));
+        }
+        match &mut self.sum {
+            Some(acc) => ops::axpy(1.0, &grad, acc)?,
+            None => self.sum = Some(grad),
+        }
+        self.received += 1;
+        if self.received == self.expected {
+            self.received = 0;
+            Ok(self.sum.take())
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// True when mid-step.
+    pub fn is_pending(&self) -> bool {
+        self.received > 0
+    }
+
+    /// Pushes expected per step.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+}
+
+/// Accumulates sparse gradient pushes by concatenation, coalescing
+/// (merging duplicate row indices) on release.
+#[derive(Debug, Clone)]
+pub struct SparseAccumulator {
+    expected: usize,
+    parts: Vec<IndexedSlices>,
+}
+
+impl SparseAccumulator {
+    /// An accumulator expecting `expected` pushes per step.
+    pub fn new(expected: usize) -> Self {
+        SparseAccumulator {
+            expected,
+            parts: Vec::new(),
+        }
+    }
+
+    /// Adds one push; returns the coalesced aggregate when complete.
+    pub fn push(&mut self, grad: IndexedSlices) -> Result<Option<IndexedSlices>> {
+        if self.parts.len() >= self.expected {
+            return Err(PsError::Protocol("sparse accumulator overfilled".into()));
+        }
+        self.parts.push(grad);
+        if self.parts.len() == self.expected {
+            let joined = IndexedSlices::concat(&self.parts)?;
+            self.parts.clear();
+            Ok(Some(joined.coalesce()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// True when mid-step.
+    pub fn is_pending(&self) -> bool {
+        !self.parts.is_empty()
+    }
+
+    /// Pushes expected per step.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_releases_sum_exactly_once() {
+        let mut acc = DenseAccumulator::new(3);
+        assert!(acc.push(Tensor::full([2], 1.0)).unwrap().is_none());
+        assert!(acc.push(Tensor::full([2], 2.0)).unwrap().is_none());
+        let sum = acc.push(Tensor::full([2], 3.0)).unwrap().unwrap();
+        assert_eq!(sum.data(), &[6.0, 6.0]);
+        assert!(!acc.is_pending());
+        // Next step starts fresh.
+        assert!(acc.push(Tensor::full([2], 1.0)).unwrap().is_none());
+        assert!(acc.is_pending());
+    }
+
+    #[test]
+    fn dense_single_pusher_releases_immediately() {
+        let mut acc = DenseAccumulator::new(1);
+        let sum = acc.push(Tensor::full([1], 5.0)).unwrap().unwrap();
+        assert_eq!(sum.data(), &[5.0]);
+    }
+
+    #[test]
+    fn sparse_coalesces_across_pushers() {
+        let mut acc = SparseAccumulator::new(2);
+        let a = IndexedSlices::new(vec![1, 3], Tensor::full([2, 2], 1.0), 5).unwrap();
+        let b = IndexedSlices::new(vec![3], Tensor::full([1, 2], 2.0), 5).unwrap();
+        assert!(acc.push(a).unwrap().is_none());
+        let merged = acc.push(b).unwrap().unwrap();
+        assert_eq!(merged.indices(), &[1, 3]);
+        assert_eq!(merged.values().data(), &[1.0, 1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn completed_accumulators_reset_for_the_next_step() {
+        let mut acc = DenseAccumulator::new(1);
+        assert!(acc.push(Tensor::zeros([1])).unwrap().is_some());
+        // Completed and reset; the next step starts a fresh sum.
+        assert!(acc.push(Tensor::zeros([1])).unwrap().is_some());
+        let mut sparse = SparseAccumulator::new(1);
+        assert!(sparse.push(IndexedSlices::empty(4, 1)).unwrap().is_some());
+        assert!(sparse.push(IndexedSlices::empty(4, 1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn dense_shape_mismatch_surfaces() {
+        let mut acc = DenseAccumulator::new(2);
+        acc.push(Tensor::zeros([2])).unwrap();
+        assert!(acc.push(Tensor::zeros([3])).is_err());
+    }
+}

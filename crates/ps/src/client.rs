@@ -1,0 +1,484 @@
+//! Worker-side Parameter Server client and the hybrid variable provider.
+//!
+//! [`PsClient`] speaks the pull/push protocol; [`PsWorkerContext`]
+//! bundles a client, a worker's communication endpoint and a local
+//! replica store into a [`VarProvider`], so the *same* computation graph
+//! executes with each variable served by whichever path the sharding
+//! plan chose — the runtime realization of the paper's transformed
+//! graph (Figure 6).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parallax_comm::{Endpoint, Payload};
+use parallax_dataflow::{DataflowError, VarId, VarProvider, VarStore, VariableDef};
+use parallax_tensor::{sparse::Grad, IndexedSlices, Tensor};
+
+use crate::plan::{RowPartition, ShardingPlan, VarPlacement};
+use crate::protocol::{self, ReqKind};
+use crate::topology::PsTopology;
+use crate::{PsError, Result};
+
+/// Worker-side protocol client.
+#[derive(Debug)]
+pub struct PsClient {
+    plan: Arc<ShardingPlan>,
+    topo: PsTopology,
+    iter: u64,
+    dense_cache: HashMap<usize, Tensor>,
+}
+
+impl PsClient {
+    /// Creates a client over a plan and topology.
+    pub fn new(plan: Arc<ShardingPlan>, topo: PsTopology) -> Self {
+        PsClient {
+            plan,
+            topo,
+            iter: 0,
+            dense_cache: HashMap::new(),
+        }
+    }
+
+    /// The plan this client routes against.
+    pub fn plan(&self) -> &ShardingPlan {
+        &self.plan
+    }
+
+    /// Starts iteration `iter`: clears the per-iteration pull cache.
+    pub fn begin_iteration(&mut self, iter: u64) {
+        self.iter = iter;
+        self.dense_cache.clear();
+    }
+
+    fn request(
+        &self,
+        ep: &Endpoint,
+        machine: usize,
+        kind: ReqKind,
+        var: usize,
+        part: usize,
+        body: Payload,
+    ) -> Result<()> {
+        let server = self.topo.server_rank(machine);
+        let header = protocol::pack(kind, var, part, self.iter);
+        ep.send(
+            server,
+            protocol::request_tag(self.iter),
+            Payload::Packet {
+                header,
+                body: Box::new(body),
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Pulls a full dense variable from its server (cached per iteration,
+    /// as each variable read appears once in the transformed graph).
+    pub fn pull_dense(&mut self, ep: &mut Endpoint, var: VarId) -> Result<Tensor> {
+        if let Some(t) = self.dense_cache.get(&var.index()) {
+            return Ok(t.clone());
+        }
+        let machine = match self.plan.placement(var)? {
+            VarPlacement::PsDense { server } => *server,
+            other => {
+                return Err(PsError::Plan(format!(
+                    "pull_dense on variable with placement {other:?}"
+                )))
+            }
+        };
+        self.request(
+            ep,
+            machine,
+            ReqKind::PullDense,
+            var.index(),
+            0,
+            Payload::Control(0),
+        )?;
+        let server = self.topo.server_rank(machine);
+        let t = ep
+            .recv(
+                server,
+                protocol::response_tag(ReqKind::PullDense, var.index(), 0, self.iter),
+            )?
+            .into_tensor()?;
+        self.dense_cache.insert(var.index(), t.clone());
+        Ok(t)
+    }
+
+    /// Pulls only the rows `ids` of a partitioned sparse variable: ids are
+    /// routed to their partitions, each owning server gathers its rows
+    /// (transferring `alpha * w` bytes instead of `w`), and the client
+    /// reassembles the result in request order.
+    pub fn pull_sparse(&mut self, ep: &mut Endpoint, var: VarId, ids: &[usize]) -> Result<Tensor> {
+        let (partition, servers) = self.sparse_plan(var)?;
+        let parts = partition.parts();
+        // Route each id to its partition, remembering output positions.
+        let mut local_ids: Vec<Vec<usize>> = vec![Vec::new(); parts];
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); parts];
+        for (pos, &id) in ids.iter().enumerate() {
+            let (p, local) = partition.route(id)?;
+            local_ids[p].push(local);
+            positions[p].push(pos);
+        }
+        // Request every partition (empty requests included: the server's
+        // per-iteration quota counts one request per worker per gather).
+        for p in 0..parts {
+            self.request(
+                ep,
+                servers[p],
+                ReqKind::PullSparse,
+                var.index(),
+                p,
+                Payload::Ids(local_ids[p].clone()),
+            )?;
+        }
+        // Collect responses and scatter rows into place.
+        let mut cols = 0usize;
+        let mut rows_by_part: Vec<Tensor> = Vec::with_capacity(parts);
+        for (p, &machine) in servers.iter().enumerate().take(parts) {
+            let server = self.topo.server_rank(machine);
+            let t = ep
+                .recv(
+                    server,
+                    protocol::response_tag(ReqKind::PullSparse, var.index(), p, self.iter),
+                )?
+                .into_tensor()?;
+            let (_, c) = t.shape().as_matrix()?;
+            cols = cols.max(c);
+            rows_by_part.push(t);
+        }
+        let mut out = Tensor::zeros([ids.len(), cols]);
+        for (p, t) in rows_by_part.iter().enumerate() {
+            for (slot, &pos) in positions[p].iter().enumerate() {
+                let src = t.row(slot)?;
+                out.row_mut(pos)?.copy_from_slice(src);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pushes a gradient for a PS-hosted variable: dense gradients go
+    /// whole to the owning server; sparse gradients are split per
+    /// partition with indices rebased to partition-local rows.
+    pub fn push(&mut self, ep: &mut Endpoint, var: VarId, grad: &Grad) -> Result<()> {
+        match (self.plan.placement(var)?.clone(), grad) {
+            (VarPlacement::PsDense { server }, Grad::Dense(t)) => {
+                self.request(
+                    ep,
+                    server,
+                    ReqKind::PushDense,
+                    var.index(),
+                    0,
+                    Payload::Tensor(t.clone()),
+                )?;
+                Ok(())
+            }
+            (VarPlacement::PsSparse { partition, servers }, Grad::Sparse(slices)) => {
+                let parts = split_to_partitions(slices, &partition)?;
+                for (p, part_grad) in parts.into_iter().enumerate() {
+                    self.request(
+                        ep,
+                        servers[p],
+                        ReqKind::PushSparse,
+                        var.index(),
+                        p,
+                        Payload::Slices(part_grad),
+                    )?;
+                }
+                Ok(())
+            }
+            (VarPlacement::AllReduce, _) => {
+                Err(PsError::Plan("push on an AllReduce variable".into()))
+            }
+            (placement, _) => Err(PsError::Plan(format!(
+                "gradient kind does not match placement {placement:?}"
+            ))),
+        }
+    }
+
+    /// Chief-only: triggers the read-aggregated-gradients-and-update step
+    /// for every shard of `var` (Section 5).
+    pub fn chief_update(&mut self, ep: &mut Endpoint, var: VarId) -> Result<()> {
+        for (machine, part) in self.shard_targets(var)? {
+            self.request(
+                ep,
+                machine,
+                ReqKind::ChiefUpdate,
+                var.index(),
+                part,
+                Payload::Control(0),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads back every shard's aggregated gradient for `var` (requires
+    /// the server's `serve_aggregates`; call after
+    /// [`PsClient::await_update_done`]). Returns one gradient per shard
+    /// in partition order — the paper's mechanism for workers that "need
+    /// aggregated gradients to trace their status during training or to
+    /// compute a global norm of gradients for clipping" (Section 5).
+    pub fn read_aggregates(&mut self, ep: &mut Endpoint, var: VarId) -> Result<Vec<Grad>> {
+        let mut out = Vec::new();
+        for (machine, part) in self.shard_targets(var)? {
+            self.request(
+                ep,
+                machine,
+                ReqKind::ReadAgg,
+                var.index(),
+                part,
+                Payload::Control(0),
+            )?;
+            let server = self.topo.server_rank(machine);
+            let payload = ep.recv(
+                server,
+                protocol::response_tag(ReqKind::ReadAgg, var.index(), part, self.iter),
+            )?;
+            out.push(match payload {
+                Payload::Tensor(t) => Grad::Dense(t),
+                Payload::Slices(s) => Grad::Sparse(s),
+                _ => return Err(PsError::Protocol("unexpected ReadAgg payload".into())),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Blocks until every shard of `var` reports its update applied (the
+    /// shared-queue notification read).
+    pub fn await_update_done(&mut self, ep: &mut Endpoint, var: VarId) -> Result<()> {
+        for (machine, part) in self.shard_targets(var)? {
+            let server = self.topo.server_rank(machine);
+            ep.recv(
+                server,
+                protocol::response_tag(ReqKind::UpdateDone, var.index(), part, self.iter),
+            )?
+            .into_control()?;
+        }
+        Ok(())
+    }
+
+    /// `(machine, partition)` shard coordinates of a PS variable.
+    fn shard_targets(&self, var: VarId) -> Result<Vec<(usize, usize)>> {
+        Ok(match self.plan.placement(var)? {
+            VarPlacement::AllReduce => vec![],
+            VarPlacement::PsDense { server } => vec![(*server, 0)],
+            VarPlacement::PsSparse { servers, .. } => servers
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(p, m)| (m, p))
+                .collect(),
+        })
+    }
+
+    fn sparse_plan(&self, var: VarId) -> Result<(RowPartition, Vec<usize>)> {
+        match self.plan.placement(var)? {
+            VarPlacement::PsSparse { partition, servers } => {
+                Ok((partition.clone(), servers.clone()))
+            }
+            other => Err(PsError::Plan(format!(
+                "sparse access to variable with placement {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Splits a global-index slice set into per-partition slice sets with
+/// partition-local indices and `dense_rows` equal to each partition's row
+/// count (so server-side concatenation across workers validates).
+pub fn split_to_partitions(
+    slices: &IndexedSlices,
+    partition: &RowPartition,
+) -> Result<Vec<IndexedSlices>> {
+    let parts = partition.parts();
+    let cols = slices.cols();
+    let mut idx: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    let mut val: Vec<Vec<f32>> = vec![Vec::new(); parts];
+    for (slot, &row) in slices.indices().iter().enumerate() {
+        let (p, local) = partition.route(row)?;
+        idx[p].push(local);
+        val[p].extend_from_slice(&slices.values().data()[slot * cols..(slot + 1) * cols]);
+    }
+    idx.into_iter()
+        .zip(val)
+        .enumerate()
+        .map(|(p, (indices, data))| {
+            let n = indices.len();
+            Ok(IndexedSlices::new(
+                indices,
+                Tensor::new([n, cols], data)?,
+                partition.part_rows(p),
+            )?)
+        })
+        .collect()
+}
+
+/// Worker-side *local aggregation* (Section 4.3): the workers of one
+/// machine combine their gradients for `var` — dense by reduction, sparse
+/// by concatenation + coalescing — so that only the machine's local chief
+/// pushes to the server, cutting worker->server traffic by the number of
+/// GPUs per machine.
+///
+/// Every worker on the machine must call this; the local chief receives
+/// `Some(aggregate)` (and is responsible for the push), others get `None`.
+pub fn locally_aggregate(
+    ep: &mut Endpoint,
+    topo: &PsTopology,
+    iter: u64,
+    var: VarId,
+    grad: &Grad,
+) -> Result<Option<Grad>> {
+    let machine = topo.machine_of(ep.rank())?;
+    let peers = topo.workers_of(machine);
+    let chief = topo.local_chief(machine);
+    let tag = protocol::local_agg_tag(var.index(), iter);
+    match grad {
+        Grad::Dense(t) => {
+            let summed =
+                parallax_comm::collectives::reduce_to(ep, &peers, tag, chief, t.data().to_vec())?;
+            Ok(summed.map(|data| {
+                Grad::Dense(Tensor::new(t.shape().clone(), data).expect("reduce preserves length"))
+            }))
+        }
+        Grad::Sparse(s) => {
+            let gathered =
+                parallax_comm::collectives::gather_slices_to(ep, &peers, tag, chief, s.clone())?;
+            Ok(gathered.map(|joined| Grad::Sparse(joined.coalesce())))
+        }
+    }
+}
+
+/// A worker's complete variable-access context: local replicas for
+/// AllReduce variables, the PS client for server-hosted ones.
+pub struct PsWorkerContext {
+    /// The worker's communication endpoint.
+    pub endpoint: Endpoint,
+    /// The PS protocol client.
+    pub client: PsClient,
+    /// Local replica storage (authoritative for AllReduce variables).
+    pub local: VarStore,
+}
+
+impl PsWorkerContext {
+    /// Bundles the pieces into a provider.
+    pub fn new(endpoint: Endpoint, client: PsClient, local: VarStore) -> Self {
+        PsWorkerContext {
+            endpoint,
+            client,
+            local,
+        }
+    }
+
+    /// Starts an iteration (clears pull caches).
+    pub fn begin_iteration(&mut self, iter: u64) {
+        self.client.begin_iteration(iter);
+    }
+}
+
+fn provider_err(e: PsError) -> DataflowError {
+    DataflowError::Provider(e.to_string())
+}
+
+impl VarProvider for PsWorkerContext {
+    fn fetch_dense(&mut self, var: VarId, def: &VariableDef) -> parallax_dataflow::Result<Tensor> {
+        let placement = self
+            .client
+            .plan
+            .placement(var)
+            .map_err(provider_err)?
+            .clone();
+        match placement {
+            VarPlacement::AllReduce => self.local.fetch_dense(var, def),
+            VarPlacement::PsDense { .. } => self
+                .client
+                .pull_dense(&mut self.endpoint, var)
+                .map_err(provider_err),
+            VarPlacement::PsSparse { .. } => Err(DataflowError::Provider(format!(
+                "dense read of partitioned sparse variable '{}'",
+                def.name
+            ))),
+        }
+    }
+
+    fn fetch_sparse_rows(
+        &mut self,
+        var: VarId,
+        def: &VariableDef,
+        ids: &[usize],
+    ) -> parallax_dataflow::Result<Tensor> {
+        let placement = self
+            .client
+            .plan
+            .placement(var)
+            .map_err(provider_err)?
+            .clone();
+        match placement {
+            VarPlacement::AllReduce => self.local.fetch_sparse_rows(var, def, ids),
+            VarPlacement::PsDense { .. } => {
+                // Unpartitioned PS variable accessed sparsely: pull the
+                // needed rows from its single server via a one-partition
+                // route.
+                let whole = self
+                    .client
+                    .pull_dense(&mut self.endpoint, var)
+                    .map_err(provider_err)?;
+                Ok(parallax_tensor::ops::gather_rows(&whole, ids)?)
+            }
+            VarPlacement::PsSparse { .. } => self
+                .client
+                .pull_sparse(&mut self.endpoint, var, ids)
+                .map_err(provider_err),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_to_partitions_rebases_and_sizes() {
+        let partition = RowPartition::even(10, 3).unwrap();
+        // Ranges: 0..4, 4..7, 7..10.
+        let slices = IndexedSlices::new(
+            vec![0, 5, 9, 4],
+            Tensor::new([4, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
+            10,
+        )
+        .unwrap();
+        let parts = split_to_partitions(&slices, &partition).unwrap();
+        assert_eq!(parts[0].indices(), &[0]);
+        assert_eq!(parts[0].dense_rows(), 4);
+        assert_eq!(parts[1].indices(), &[1, 0]);
+        assert_eq!(parts[1].values().data(), &[2.0, 4.0]);
+        assert_eq!(parts[2].indices(), &[2]);
+        assert_eq!(parts[2].dense_rows(), 3);
+    }
+
+    #[test]
+    fn split_reassembles_to_same_dense() {
+        let partition = RowPartition::even(8, 4).unwrap();
+        let slices = IndexedSlices::new(
+            vec![7, 0, 3, 3],
+            Tensor::new([4, 2], (0..8).map(|x| x as f32).collect()).unwrap(),
+            8,
+        )
+        .unwrap();
+        let parts = split_to_partitions(&slices, &partition).unwrap();
+        // Densify each partition and stitch: must equal densifying whole.
+        let stitched: Vec<Tensor> = parts.iter().map(|p| p.to_dense()).collect();
+        let rebuilt = partition.stitch(&stitched).unwrap();
+        assert_eq!(rebuilt, slices.to_dense());
+    }
+
+    #[test]
+    fn empty_partitions_still_present() {
+        let partition = RowPartition::even(6, 3).unwrap();
+        let slices =
+            IndexedSlices::new(vec![0], Tensor::new([1, 1], vec![1.0]).unwrap(), 6).unwrap();
+        let parts = split_to_partitions(&slices, &partition).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[1].nnz_rows(), 0);
+        assert_eq!(parts[2].nnz_rows(), 0);
+    }
+}

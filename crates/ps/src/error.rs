@@ -1,0 +1,54 @@
+//! Parameter Server errors.
+
+use std::fmt;
+
+use parallax_comm::CommError;
+use parallax_dataflow::DataflowError;
+use parallax_tensor::TensorError;
+
+/// Errors from PS planning, serving and client protocol handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PsError {
+    /// Underlying transport failure.
+    Comm(CommError),
+    /// Underlying dataflow failure.
+    Dataflow(DataflowError),
+    /// Underlying tensor failure.
+    Tensor(TensorError),
+    /// The sharding plan is inconsistent with the request.
+    Plan(String),
+    /// A protocol invariant was violated.
+    Protocol(String),
+}
+
+impl fmt::Display for PsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsError::Comm(e) => write!(f, "comm: {e}"),
+            PsError::Dataflow(e) => write!(f, "dataflow: {e}"),
+            PsError::Tensor(e) => write!(f, "tensor: {e}"),
+            PsError::Plan(msg) => write!(f, "plan: {msg}"),
+            PsError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PsError {}
+
+impl From<CommError> for PsError {
+    fn from(e: CommError) -> Self {
+        PsError::Comm(e)
+    }
+}
+
+impl From<DataflowError> for PsError {
+    fn from(e: DataflowError) -> Self {
+        PsError::Dataflow(e)
+    }
+}
+
+impl From<TensorError> for PsError {
+    fn from(e: TensorError) -> Self {
+        PsError::Tensor(e)
+    }
+}

@@ -1,0 +1,426 @@
+//! The server process: shard storage, request serving, updates.
+//!
+//! One server runs per machine (colocated with that machine's workers —
+//! "this colocation works well since workers are GPU-intensive while
+//! servers run lightweight computation", Section 4.3). A server owns the
+//! shards its machine was assigned, serves pulls, accumulates pushes,
+//! and applies updates; with `chief_triggers_update` the update is gated
+//! on the chief worker's trigger and completion is announced to every
+//! worker — the shared-queue notification of Section 5.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use parallax_comm::{Endpoint, Payload};
+use parallax_dataflow::optimizer::LrSchedule;
+use parallax_dataflow::{Graph, Optimizer, VarId, VarStore};
+use parallax_tensor::{ops, sparse::Grad, DetRng, Tensor};
+
+use crate::accumulator::{DenseAccumulator, SparseAccumulator};
+use crate::plan::ShardingPlan;
+use crate::protocol::{self, ReqKind};
+use crate::topology::PsTopology;
+use crate::{PsError, Result};
+
+/// Server behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Training iterations to serve.
+    pub iterations: usize,
+    /// Divide aggregated gradients by the worker count (averaging) before
+    /// the update; otherwise apply the sum.
+    pub average_gradients: bool,
+    /// Per-machine local aggregation: only each machine's local chief
+    /// pushes, so a shard expects `machines` pushes instead of `workers`.
+    pub local_aggregation: bool,
+    /// Gate each shard's update on a `ChiefUpdate` trigger from the chief
+    /// worker (the paper's exact mechanism). When false the update fires
+    /// as soon as the accumulator completes.
+    pub chief_triggers_update: bool,
+    /// Synchronous training (the default). When false, every push is
+    /// applied immediately without waiting for the other workers —
+    /// asynchronous SGD, with all the staleness that implies
+    /// (Section 2.1; Parallax supports both modes).
+    pub synchronous: bool,
+    /// Serve `ReadAgg` requests: keep each shard's last aggregated
+    /// gradient and let every worker read it (gradient tracing /
+    /// global-norm clipping support, Section 5). Synchronous mode only.
+    pub serve_aggregates: bool,
+    /// Seed shared with workers so initial shard values match replicas.
+    pub seed: u64,
+    /// Learning-rate schedule, applied per iteration in lockstep with
+    /// the workers' replicas.
+    pub lr_schedule: LrSchedule,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            iterations: 1,
+            average_gradients: true,
+            local_aggregation: false,
+            chief_triggers_update: true,
+            synchronous: true,
+            serve_aggregates: false,
+            seed: 0,
+            lr_schedule: LrSchedule::Constant,
+        }
+    }
+}
+
+struct ShardState {
+    var: VarId,
+    part: usize,
+    /// Global row range for sparse shards (`0..MAX` marker for dense).
+    _rows: Range<usize>,
+    value: Tensor,
+    sparse: bool,
+    /// Pull requests expected per iteration.
+    pulls_expected: usize,
+    dense_acc: DenseAccumulator,
+    sparse_acc: SparseAccumulator,
+    /// Aggregate released by an accumulator, awaiting the chief trigger.
+    pending: Option<Grad>,
+    /// The last applied aggregate, kept for `ReadAgg` requests.
+    last_aggregate: Option<Grad>,
+    chief_seen: bool,
+    pulls_seen: usize,
+    applied: bool,
+    pushes_seen: usize,
+}
+
+/// A Parameter Server process.
+pub struct Server {
+    endpoint: Endpoint,
+    topo: PsTopology,
+    machine: usize,
+    config: ServerConfig,
+    optimizer: Box<dyn Optimizer>,
+    base_lr: f32,
+    shards: Vec<ShardState>,
+    index: HashMap<(usize, usize), usize>,
+}
+
+impl Server {
+    /// Builds the server for `machine`, initializing its shards from the
+    /// deterministic initializer shared with workers.
+    pub fn new(
+        graph: &Graph,
+        plan: &ShardingPlan,
+        topo: PsTopology,
+        endpoint: Endpoint,
+        config: ServerConfig,
+        optimizer: Box<dyn Optimizer>,
+    ) -> Result<Self> {
+        let machine = topo
+            .machine_of(endpoint.rank())
+            .map_err(|_| PsError::Protocol("server endpoint has no machine".into()))?;
+        if topo.server_rank(machine) != endpoint.rank() {
+            return Err(PsError::Protocol(format!(
+                "endpoint rank {} is not machine {}'s server rank",
+                endpoint.rank(),
+                machine
+            )));
+        }
+        let store = VarStore::init(graph, &mut DetRng::seed(config.seed));
+        let workers = topo.num_workers();
+        let machines = topo.num_machines();
+        let pushers = if config.local_aggregation {
+            machines
+        } else {
+            workers
+        };
+
+        let mut shards = Vec::new();
+        let mut index = HashMap::new();
+        for (var, part, rows) in plan.shards_of_machine(machine) {
+            let full = store.get(var)?;
+            let sparse = rows != (0..usize::MAX);
+            let value = if sparse {
+                full.slice_rows(rows.start, rows.end)?
+            } else {
+                full.clone()
+            };
+            let gathers = graph.gather_nodes_of(var).len().max(1);
+            let pulls_expected = if sparse { workers * gathers } else { workers };
+            index.insert((var.index(), part), shards.len());
+            shards.push(ShardState {
+                var,
+                part,
+                _rows: rows,
+                value,
+                sparse,
+                pulls_expected,
+                dense_acc: DenseAccumulator::new(pushers),
+                sparse_acc: SparseAccumulator::new(pushers),
+                pending: None,
+                last_aggregate: None,
+                chief_seen: false,
+                pulls_seen: 0,
+                applied: false,
+                pushes_seen: 0,
+            });
+        }
+        let base_lr = optimizer.learning_rate();
+        Ok(Server {
+            endpoint,
+            topo,
+            machine,
+            config,
+            optimizer,
+            base_lr,
+            shards,
+            index,
+        })
+    }
+
+    /// Number of shards this server owns.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The machine this server runs on.
+    pub fn machine(&self) -> usize {
+        self.machine
+    }
+
+    /// Serves all configured iterations, then returns the final shard
+    /// values as `((var, part), tensor)` pairs.
+    pub fn run(mut self) -> Result<Vec<((VarId, usize), Tensor)>> {
+        for iter in 0..self.config.iterations as u64 {
+            self.run_iteration(iter)?;
+        }
+        Ok(self
+            .shards
+            .into_iter()
+            .map(|s| ((s.var, s.part), s.value))
+            .collect())
+    }
+
+    fn run_iteration(&mut self, iter: u64) -> Result<()> {
+        self.optimizer
+            .set_learning_rate(self.config.lr_schedule.at(self.base_lr, iter));
+        let sync = self.config.synchronous;
+        let chief_msgs = usize::from(sync && self.config.chief_triggers_update);
+        let readagg_msgs = if sync && self.config.serve_aggregates {
+            self.topo.num_workers()
+        } else {
+            0
+        };
+        // Total messages this iteration must consume.
+        let mut outstanding: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                let pushes = if sync {
+                    s.dense_acc.expected().max(s.sparse_acc.expected())
+                } else {
+                    // Async: every worker pushes individually.
+                    self.topo.num_workers()
+                };
+                s.pulls_expected + pushes + chief_msgs + readagg_msgs
+            })
+            .sum();
+        for shard in &mut self.shards {
+            shard.pending = None;
+            shard.chief_seen = false;
+            shard.pulls_seen = 0;
+            shard.applied = false;
+            shard.pushes_seen = 0;
+        }
+        while outstanding > 0 {
+            let (from, payload) = self.endpoint.recv_any(protocol::request_tag(iter))?;
+            let (header, body) = payload.into_packet()?;
+            let (kind, var, part, hdr_iter) = protocol::unpack(header)?;
+            if hdr_iter != (iter & ((1 << 30) - 1)) {
+                return Err(PsError::Protocol(format!(
+                    "iteration mismatch: header {hdr_iter}, serving {iter}"
+                )));
+            }
+            self.dispatch(iter, from, kind, var, part, body)?;
+            outstanding -= 1;
+        }
+        // In synchronous mode every shard's update must have fired.
+        if self.config.synchronous {
+            if let Some(s) = self.shards.iter().find(|s| !s.applied) {
+                return Err(PsError::Protocol(format!(
+                    "iteration {iter} ended with unapplied shard (var {}, part {})",
+                    s.var.index(),
+                    s.part
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn shard_idx(&self, var: usize, part: usize) -> Result<usize> {
+        self.index
+            .get(&(var, part))
+            .copied()
+            .ok_or_else(|| PsError::Plan(format!("shard (var {var}, part {part}) not owned")))
+    }
+
+    fn dispatch(
+        &mut self,
+        iter: u64,
+        from: usize,
+        kind: ReqKind,
+        var: usize,
+        part: usize,
+        body: Payload,
+    ) -> Result<()> {
+        let idx = self.shard_idx(var, part)?;
+        match kind {
+            ReqKind::PullDense => {
+                body.into_control()?;
+                let shard = &mut self.shards[idx];
+                shard.pulls_seen += 1;
+                let value = shard.value.clone();
+                self.endpoint.send(
+                    from,
+                    protocol::response_tag(ReqKind::PullDense, var, part, iter),
+                    Payload::Tensor(value),
+                )?;
+            }
+            ReqKind::PullSparse => {
+                let ids = body.into_ids()?;
+                let shard = &mut self.shards[idx];
+                shard.pulls_seen += 1;
+                let rows = ops::gather_rows(&shard.value, &ids)?;
+                self.endpoint.send(
+                    from,
+                    protocol::response_tag(ReqKind::PullSparse, var, part, iter),
+                    Payload::Tensor(rows),
+                )?;
+            }
+            ReqKind::PushDense => {
+                let grad = body.into_tensor()?;
+                let shard = &mut self.shards[idx];
+                if shard.sparse {
+                    return Err(PsError::Protocol("dense push to a sparse shard".into()));
+                }
+                shard.pushes_seen += 1;
+                if !self.config.synchronous {
+                    self.apply_async(idx, Grad::Dense(grad))?;
+                } else {
+                    if let Some(sum) = shard.dense_acc.push(grad)? {
+                        shard.pending = Some(Grad::Dense(sum));
+                    }
+                    self.maybe_apply(idx, iter)?;
+                }
+            }
+            ReqKind::PushSparse => {
+                let grad = body.into_slices()?;
+                let shard = &mut self.shards[idx];
+                if !shard.sparse {
+                    return Err(PsError::Protocol("sparse push to a dense shard".into()));
+                }
+                shard.pushes_seen += 1;
+                if !self.config.synchronous {
+                    self.apply_async(idx, Grad::Sparse(grad))?;
+                } else {
+                    if let Some(agg) = shard.sparse_acc.push(grad)? {
+                        shard.pending = Some(Grad::Sparse(agg));
+                    }
+                    self.maybe_apply(idx, iter)?;
+                }
+            }
+            ReqKind::ChiefUpdate => {
+                body.into_control()?;
+                if from != self.topo.chief() {
+                    return Err(PsError::Protocol(format!(
+                        "ChiefUpdate from non-chief worker {from}"
+                    )));
+                }
+                self.shards[idx].chief_seen = true;
+                self.maybe_apply(idx, iter)?;
+            }
+            ReqKind::UpdateDone => {
+                return Err(PsError::Protocol(
+                    "UpdateDone is server-to-worker only".into(),
+                ));
+            }
+            ReqKind::ReadAgg => {
+                body.into_control()?;
+                if !self.config.serve_aggregates {
+                    return Err(PsError::Protocol(
+                        "ReadAgg requires serve_aggregates".into(),
+                    ));
+                }
+                let shard = &self.shards[idx];
+                if !shard.applied {
+                    return Err(PsError::Protocol(
+                        "ReadAgg before the shard's update applied".into(),
+                    ));
+                }
+                let payload = match &shard.last_aggregate {
+                    Some(Grad::Dense(t)) => Payload::Tensor(t.clone()),
+                    Some(Grad::Sparse(s)) => Payload::Slices(s.clone()),
+                    None => return Err(PsError::Protocol("no aggregate saved for shard".into())),
+                };
+                self.endpoint.send(
+                    from,
+                    protocol::response_tag(ReqKind::ReadAgg, var, part, iter),
+                    payload,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Asynchronous update: applies one worker's gradient immediately,
+    /// without accumulation, chief gating, or notifications — stale reads
+    /// and writes are inherent to the mode (Section 2.1).
+    fn apply_async(&mut self, idx: usize, grad: Grad) -> Result<()> {
+        let shard = &mut self.shards[idx];
+        let slot = ((shard.var.index() as u64) << 20) | shard.part as u64;
+        self.optimizer.apply(slot, &mut shard.value, &grad)?;
+        shard.applied = true;
+        Ok(())
+    }
+
+    /// Applies the update for shard `idx` once all pushes (and the chief
+    /// trigger, when enabled) have arrived, then notifies all workers.
+    fn maybe_apply(&mut self, idx: usize, iter: u64) -> Result<()> {
+        let workers = self.topo.num_workers() as f32;
+        let shard = &mut self.shards[idx];
+        let gated = self.config.chief_triggers_update && !shard.chief_seen;
+        if shard.applied || shard.pending.is_none() || gated {
+            return Ok(());
+        }
+        // Pulls must all have been served before mutating the value
+        // (synchronous-semantics guard; see module docs).
+        if shard.pulls_seen != shard.pulls_expected {
+            return Err(PsError::Protocol(format!(
+                "update ready but only {}/{} pulls served (var {}, part {})",
+                shard.pulls_seen,
+                shard.pulls_expected,
+                shard.var.index(),
+                shard.part
+            )));
+        }
+        let scale = if self.config.average_gradients {
+            1.0 / workers
+        } else {
+            1.0
+        };
+        let slot = ((shard.var.index() as u64) << 20) | shard.part as u64;
+        let agg = shard.pending.take().expect("checked above").scale(scale);
+        self.optimizer.apply(slot, &mut shard.value, &agg)?;
+        shard.last_aggregate = if self.config.serve_aggregates {
+            Some(agg)
+        } else {
+            None
+        };
+        shard.applied = true;
+        let (var, part) = (shard.var.index(), shard.part);
+        for w in self.topo.worker_ranks() {
+            self.endpoint.send(
+                w,
+                protocol::response_tag(ReqKind::UpdateDone, var, part, iter),
+                Payload::Control(0),
+            )?;
+        }
+        Ok(())
+    }
+}

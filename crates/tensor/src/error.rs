@@ -1,0 +1,101 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// The left-hand shape, as a dimension list.
+        lhs: Vec<usize>,
+        /// The right-hand shape, as a dimension list.
+        rhs: Vec<usize>,
+    },
+    /// The number of data elements did not match the shape volume.
+    LengthMismatch {
+        /// Expected number of elements (shape volume).
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A row or element index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it must be below.
+        bound: usize,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// A generic invalid-argument error.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: shape mismatch {lhs:?} vs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "length mismatch: expected {expected} elements, got {actual}"
+                )
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound})")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(f, "{op}: expected rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        let b = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,127 @@
+//! Activation kernels and their derivatives.
+
+use crate::tensor::Tensor;
+use crate::{ops::elementwise::hadamard, Result};
+
+fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let data = a.data().iter().map(|&x| f(x)).collect();
+    Tensor::new(a.shape().clone(), data).expect("same length")
+}
+
+/// Logistic sigmoid `1 / (1 + e^-x)`.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    map(a, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Backward of sigmoid given the *output* `y`: `dy * y * (1 - y)`.
+pub fn sigmoid_grad(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let local = map(y, |v| v * (1.0 - v));
+    hadamard(dy, &local)
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(a: &Tensor) -> Tensor {
+    map(a, f32::tanh)
+}
+
+/// Backward of tanh given the *output* `y`: `dy * (1 - y^2)`.
+pub fn tanh_grad(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let local = map(y, |v| 1.0 - v * v);
+    hadamard(dy, &local)
+}
+
+/// Rectified linear unit.
+pub fn relu(a: &Tensor) -> Tensor {
+    map(a, |x| x.max(0.0))
+}
+
+/// Backward of ReLU given the *input* `x`: `dy * [x > 0]`.
+pub fn relu_grad(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let mask = map(x, |v| if v > 0.0 { 1.0 } else { 0.0 });
+    hadamard(dy, &mask)
+}
+
+/// Row-wise, numerically-stabilized softmax of a matrix-viewed tensor.
+pub fn softmax_rows(a: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = a.shape().as_matrix()?;
+    let mut out = Vec::with_capacity(a.len());
+    for r in 0..rows {
+        let row = &a.data()[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        out.extend(exps.into_iter().map(|e| e / z));
+    }
+    Tensor::new(a.shape().clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: &[usize], data: &[f32]) -> Tensor {
+        Tensor::new(dims, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn sigmoid_known_points() {
+        let s = sigmoid(&t(&[3], &[0.0, 100.0, -100.0]));
+        assert!((s.data()[0] - 0.5).abs() < 1e-6);
+        assert!((s.data()[1] - 1.0).abs() < 1e-6);
+        assert!(s.data()[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let y = tanh(&t(&[2], &[0.7, -0.7]));
+        assert!((y.data()[0] + y.data()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let y = relu(&t(&[3], &[-1.0, 0.0, 2.0]));
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_grad_masks() {
+        let x = t(&[3], &[-1.0, 0.5, 0.0]);
+        let dy = t(&[3], &[10.0, 10.0, 10.0]);
+        assert_eq!(relu_grad(&x, &dy).unwrap().data(), &[0.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_grad_matches_numeric() {
+        let x = t(&[1], &[0.3]);
+        let y = sigmoid(&x);
+        let dy = t(&[1], &[1.0]);
+        let analytic = sigmoid_grad(&y, &dy).unwrap().data()[0];
+        let eps = 1e-3f32;
+        let fp = sigmoid(&t(&[1], &[0.3 + eps])).data()[0];
+        let fm = sigmoid(&t(&[1], &[0.3 - eps])).data()[0];
+        let numeric = (fp - fm) / (2.0 * eps);
+        assert!((analytic - numeric).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tanh_grad_matches_numeric() {
+        let x0 = -0.4f32;
+        let y = tanh(&t(&[1], &[x0]));
+        let dy = t(&[1], &[1.0]);
+        let analytic = tanh_grad(&y, &dy).unwrap().data()[0];
+        let eps = 1e-3f32;
+        let numeric = ((x0 + eps).tanh() - (x0 - eps).tanh()) / (2.0 * eps);
+        assert!((analytic - numeric).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order() {
+        let s = softmax_rows(&t(&[2, 3], &[1., 2., 3., 1000., 1000., 1000.])).unwrap();
+        let row0: f32 = s.data()[0..3].iter().sum();
+        let row1: f32 = s.data()[3..6].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-5);
+        assert!((row1 - 1.0).abs() < 1e-5);
+        assert!(s.data()[2] > s.data()[1] && s.data()[1] > s.data()[0]);
+        assert!(s.all_finite());
+    }
+}

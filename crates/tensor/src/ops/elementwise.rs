@@ -1,0 +1,156 @@
+//! Elementwise kernels.
+
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// Elementwise `a + b` for identical shapes.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.shape().ensure_same(b.shape(), "add")?;
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    Tensor::new(a.shape().clone(), data)
+}
+
+/// Elementwise `a - b` for identical shapes.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.shape().ensure_same(b.shape(), "sub")?;
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x - y).collect();
+    Tensor::new(a.shape().clone(), data)
+}
+
+/// Elementwise product (Hadamard) for identical shapes.
+pub fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.shape().ensure_same(b.shape(), "hadamard")?;
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
+    Tensor::new(a.shape().clone(), data)
+}
+
+/// Scales every element by `factor`.
+pub fn scale(a: &Tensor, factor: f32) -> Tensor {
+    let data = a.data().iter().map(|x| x * factor).collect();
+    Tensor::new(a.shape().clone(), data).expect("same shape, same length")
+}
+
+/// Adds a length-`cols` bias vector to every row of a matrix-viewed tensor
+/// (the broadcast used by fully-connected layers).
+pub fn add_bias(a: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = a.shape().as_matrix()?;
+    if bias.len() != cols {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_bias",
+            lhs: a.shape().dims().to_vec(),
+            rhs: bias.shape().dims().to_vec(),
+        });
+    }
+    let mut data = Vec::with_capacity(a.len());
+    for r in 0..rows {
+        for c in 0..cols {
+            data.push(a.data()[r * cols + c] + bias.data()[c]);
+        }
+    }
+    Tensor::new(a.shape().clone(), data)
+}
+
+/// Scales each row of a matrix-viewed tensor by the matching entry of a
+/// single-column (or rank-1) tensor `s` — the broadcast behind attention
+/// read-out.
+pub fn scale_rows(x: &Tensor, s: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = x.shape().as_matrix()?;
+    if s.len() != rows {
+        return Err(TensorError::ShapeMismatch {
+            op: "scale_rows",
+            lhs: x.shape().dims().to_vec(),
+            rhs: s.shape().dims().to_vec(),
+        });
+    }
+    let mut data = Vec::with_capacity(x.len());
+    for r in 0..rows {
+        let factor = s.data()[r];
+        data.extend(
+            x.data()[r * cols..(r + 1) * cols]
+                .iter()
+                .map(|v| v * factor),
+        );
+    }
+    Tensor::new(x.shape().clone(), data)
+}
+
+/// In-place AXPY: `y += alpha * x`, the hot loop of gradient application.
+pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) -> Result<()> {
+    x.shape().ensure_same(y.shape(), "axpy")?;
+    for (yi, xi) in y.data_mut().iter_mut().zip(x.data()) {
+        *yi += alpha * xi;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: &[usize], data: &[f32]) -> Tensor {
+        Tensor::new(dims, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = t(&[2, 2], &[1., 2., 3., 4.]);
+        let b = t(&[2, 2], &[4., 3., 2., 1.]);
+        let s = add(&a, &b).unwrap();
+        assert_eq!(s.data(), &[5., 5., 5., 5.]);
+        let d = sub(&s, &b).unwrap();
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn add_rejects_shape_mismatch() {
+        let a = t(&[2], &[1., 2.]);
+        let b = t(&[3], &[1., 2., 3.]);
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn hadamard_multiplies_pointwise() {
+        let a = t(&[3], &[1., 2., 3.]);
+        let b = t(&[3], &[2., 2., 2.]);
+        assert_eq!(hadamard(&a, &b).unwrap().data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn scale_multiplies_all() {
+        let a = t(&[2], &[1., -2.]);
+        assert_eq!(scale(&a, -0.5).data(), &[-0.5, 1.0]);
+    }
+
+    #[test]
+    fn add_bias_broadcasts_rows() {
+        let a = t(&[2, 3], &[0., 0., 0., 1., 1., 1.]);
+        let b = t(&[3], &[1., 2., 3.]);
+        let out = add_bias(&a, &b).unwrap();
+        assert_eq!(out.data(), &[1., 2., 3., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn add_bias_rejects_wrong_width() {
+        let a = t(&[2, 3], &[0.; 6]);
+        let b = t(&[2], &[1., 2.]);
+        assert!(add_bias(&a, &b).is_err());
+    }
+
+    #[test]
+    fn scale_rows_broadcasts_column() {
+        let x = t(&[2, 3], &[1., 1., 1., 2., 2., 2.]);
+        let s = t(&[2], &[10., -1.]);
+        let y = scale_rows(&x, &s).unwrap();
+        assert_eq!(y.data(), &[10., 10., 10., -2., -2., -2.]);
+        let bad = t(&[3], &[0.; 3]);
+        assert!(scale_rows(&x, &bad).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = t(&[2], &[1., 2.]);
+        let mut y = t(&[2], &[10., 10.]);
+        axpy(-2.0, &x, &mut y).unwrap();
+        assert_eq!(y.data(), &[8., 6.]);
+    }
+}

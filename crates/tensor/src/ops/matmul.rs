@@ -1,0 +1,209 @@
+//! Matrix multiplication, transpose and row-gather kernels.
+
+use crate::sparse::IndexedSlices;
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+fn matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    t.shape()
+        .as_matrix()
+        .map_err(|_| TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.shape().rank(),
+        })
+}
+
+/// `A (m x k) * B (k x n) -> (m x n)`, plain ikj loop with a hoisted scalar.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = matrix(a, "matmul lhs")?;
+    let (k2, n) = matrix(b, "matmul rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for p in 0..k {
+            let aip = ad[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    }
+    Tensor::new([m, n], out)
+}
+
+/// `A^T (k x m)^T * B (k x n) -> (m x n)`; used for weight gradients
+/// (`dW = X^T * dY`) without materializing the transpose.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = matrix(a, "matmul_at_b lhs")?;
+    let (k2, n) = matrix(b, "matmul_at_b rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::new([m, n], out)
+}
+
+/// `A (m x k) * B^T (n x k)^T -> (m x n)`; used for input gradients
+/// (`dX = dY * W^T`) without materializing the transpose.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = matrix(a, "matmul_a_bt lhs")?;
+    let (n, k2) = matrix(b, "matmul_a_bt rhs")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::new([m, n], out)
+}
+
+/// Matrix transpose.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    let (m, n) = matrix(a, "transpose")?;
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a.data()[i * n + j];
+        }
+    }
+    Tensor::new([n, m], out)
+}
+
+/// Gathers rows `ids` of `table` into an `[ids.len(), cols]` tensor — the
+/// embedding lookup whose gradient is sparse.
+pub fn gather_rows(table: &Tensor, ids: &[usize]) -> Result<Tensor> {
+    let (rows, cols) = matrix(table, "gather_rows")?;
+    let mut data = Vec::with_capacity(ids.len() * cols);
+    for &id in ids {
+        if id >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: id,
+                bound: rows,
+            });
+        }
+        data.extend_from_slice(&table.data()[id * cols..(id + 1) * cols]);
+    }
+    Tensor::new([ids.len(), cols], data)
+}
+
+/// The backward of [`gather_rows`]: upstream gradient rows become an
+/// [`IndexedSlices`] against the table.
+pub fn gather_rows_grad(
+    upstream: &Tensor,
+    ids: &[usize],
+    table_rows: usize,
+) -> Result<IndexedSlices> {
+    IndexedSlices::new(ids.to_vec(), upstream.clone(), table_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: &[usize], data: &[f32]) -> Tensor {
+        Tensor::new(dims, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = t(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = t(&[3, 2], &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_rejects_inner_mismatch() {
+        let a = t(&[2, 3], &[0.; 6]);
+        let b = t(&[2, 2], &[0.; 4]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn at_b_equals_transpose_then_matmul() {
+        let a = t(&[3, 2], &[1., 2., 3., 4., 5., 6.]);
+        let b = t(&[3, 4], &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let direct = matmul_at_b(&a, &b).unwrap();
+        let via = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn a_bt_equals_matmul_with_transpose() {
+        let a = t(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = t(&[4, 3], &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let direct = matmul_a_bt(&a, &b).unwrap();
+        let via = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(transpose(&transpose(&a).unwrap()).unwrap(), a);
+    }
+
+    #[test]
+    fn gather_picks_rows_with_repeats() {
+        let table = t(&[3, 2], &[0., 1., 10., 11., 20., 21.]);
+        let g = gather_rows(&table, &[2, 0, 2]).unwrap();
+        assert_eq!(g.data(), &[20., 21., 0., 1., 20., 21.]);
+        assert!(gather_rows(&table, &[3]).is_err());
+    }
+
+    #[test]
+    fn gather_grad_is_sparse_scatter() {
+        let up = t(&[2, 2], &[1., 1., 2., 2.]);
+        let g = gather_rows_grad(&up, &[1, 1], 4).unwrap();
+        let dense = g.to_dense();
+        assert_eq!(dense.data(), &[0., 0., 3., 3., 0., 0., 0., 0.]);
+    }
+}

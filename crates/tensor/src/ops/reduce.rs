@@ -1,0 +1,202 @@
+//! Reductions, loss kernels, and column concat/split.
+
+use crate::ops::activation::softmax_rows;
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// Mean of all elements as a scalar tensor.
+pub fn mean_all(a: &Tensor) -> Tensor {
+    Tensor::scalar(a.mean())
+}
+
+/// Column sums of a matrix-viewed tensor (rank-1 result of length `cols`);
+/// this is the bias-gradient reduction.
+pub fn sum_cols(a: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = a.shape().as_matrix()?;
+    let mut out = vec![0.0f32; cols];
+    for r in 0..rows {
+        for (slot, &v) in out.iter_mut().zip(&a.data()[r * cols..(r + 1) * cols]) {
+            *slot += v;
+        }
+    }
+    Tensor::new([cols], out)
+}
+
+/// Row sums of a matrix-viewed tensor (rank-1 result of length `rows`).
+pub fn sum_rows(a: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = a.shape().as_matrix()?;
+    let mut out = vec![0.0f32; rows];
+    for (r, slot) in out.iter_mut().enumerate() {
+        *slot = a.data()[r * cols..(r + 1) * cols].iter().sum();
+    }
+    Tensor::new([rows], out)
+}
+
+/// Softmax cross-entropy against integer labels.
+///
+/// Returns `(mean loss, dlogits)` where `dlogits = (softmax - onehot) / rows`
+/// — the fused kernel every model's output layer uses.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    let (rows, cols) = logits.shape().as_matrix()?;
+    if labels.len() != rows {
+        return Err(TensorError::LengthMismatch {
+            expected: rows,
+            actual: labels.len(),
+        });
+    }
+    let probs = softmax_rows(logits)?;
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    for (r, &label) in labels.iter().enumerate() {
+        if label >= cols {
+            return Err(TensorError::IndexOutOfBounds {
+                index: label,
+                bound: cols,
+            });
+        }
+        let p = probs.data()[r * cols + label].max(1e-12);
+        loss -= (p as f64).ln();
+        grad.data_mut()[r * cols + label] -= 1.0;
+    }
+    let inv = 1.0 / rows as f32;
+    for g in grad.data_mut() {
+        *g *= inv;
+    }
+    Ok(((loss / rows as f64) as f32, grad))
+}
+
+/// Concatenates matrices horizontally (same row count).
+pub fn concat_cols(parts: &[&Tensor]) -> Result<Tensor> {
+    let first = parts
+        .first()
+        .ok_or_else(|| TensorError::InvalidArgument("concat_cols of nothing".into()))?;
+    let (rows, _) = first.shape().as_matrix()?;
+    let mut widths = Vec::with_capacity(parts.len());
+    for p in parts {
+        let (r, c) = p.shape().as_matrix()?;
+        if r != rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat_cols",
+                lhs: first.shape().dims().to_vec(),
+                rhs: p.shape().dims().to_vec(),
+            });
+        }
+        widths.push(c);
+    }
+    let total: usize = widths.iter().sum();
+    let mut out = Vec::with_capacity(rows * total);
+    for r in 0..rows {
+        for (p, &w) in parts.iter().zip(&widths) {
+            out.extend_from_slice(&p.data()[r * w..(r + 1) * w]);
+        }
+    }
+    Tensor::new([rows, total], out)
+}
+
+/// Splits a matrix into column blocks of the given widths (inverse of
+/// [`concat_cols`]).
+pub fn split_cols(a: &Tensor, widths: &[usize]) -> Result<Vec<Tensor>> {
+    let (rows, cols) = a.shape().as_matrix()?;
+    let total: usize = widths.iter().sum();
+    if total != cols {
+        return Err(TensorError::LengthMismatch {
+            expected: cols,
+            actual: total,
+        });
+    }
+    let mut outs: Vec<Vec<f32>> = widths
+        .iter()
+        .map(|&w| Vec::with_capacity(rows * w))
+        .collect();
+    for r in 0..rows {
+        let mut off = 0usize;
+        for (slot, &w) in widths.iter().enumerate() {
+            outs[slot].extend_from_slice(&a.data()[r * cols + off..r * cols + off + w]);
+            off += w;
+        }
+    }
+    outs.into_iter()
+        .zip(widths)
+        .map(|(data, &w)| Tensor::new([rows, w], data))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: &[usize], data: &[f32]) -> Tensor {
+        Tensor::new(dims, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn sums() {
+        let a = t(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(sum_cols(&a).unwrap().data(), &[5., 7., 9.]);
+        assert_eq!(sum_rows(&a).unwrap().data(), &[6., 15.]);
+        assert_eq!(mean_all(&a).scalar_value().unwrap(), 3.5);
+    }
+
+    #[test]
+    fn xent_loss_decreases_toward_correct_label() {
+        let bad = t(&[1, 3], &[2.0, 0.0, 0.0]);
+        let good = t(&[1, 3], &[0.0, 0.0, 4.0]);
+        let (l_bad, _) = softmax_cross_entropy(&bad, &[2]).unwrap();
+        let (l_good, _) = softmax_cross_entropy(&good, &[2]).unwrap();
+        assert!(l_good < l_bad);
+    }
+
+    #[test]
+    fn xent_grad_rows_sum_to_zero() {
+        let logits = t(&[2, 4], &[0.1, -0.3, 2.0, 0.7, 1.0, 1.0, 1.0, 1.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]).unwrap();
+        for r in 0..2 {
+            let s: f32 = grad.data()[r * 4..(r + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn xent_grad_matches_numeric() {
+        let logits = t(&[1, 3], &[0.5, -0.2, 0.1]);
+        let labels = [1usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut up = logits.clone();
+            up.data_mut()[j] += eps;
+            let mut dn = logits.clone();
+            dn.data_mut()[j] -= eps;
+            let (lu, _) = softmax_cross_entropy(&up, &labels).unwrap();
+            let (ld, _) = softmax_cross_entropy(&dn, &labels).unwrap();
+            let numeric = (lu - ld) / (2.0 * eps);
+            assert!((grad.data()[j] - numeric).abs() < 1e-2, "dim {j}");
+        }
+    }
+
+    #[test]
+    fn xent_rejects_bad_label() {
+        let logits = t(&[1, 2], &[0.0, 0.0]);
+        assert!(softmax_cross_entropy(&logits, &[2]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = t(&[2, 2], &[1., 2., 3., 4.]);
+        let b = t(&[2, 3], &[5., 6., 7., 8., 9., 10.]);
+        let joined = concat_cols(&[&a, &b]).unwrap();
+        assert_eq!(joined.shape().dims(), &[2, 5]);
+        assert_eq!(joined.row(0).unwrap(), &[1., 2., 5., 6., 7.]);
+        let parts = split_cols(&joined, &[2, 3]).unwrap();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn concat_rejects_row_mismatch() {
+        let a = t(&[2, 2], &[0.; 4]);
+        let b = t(&[3, 2], &[0.; 6]);
+        assert!(concat_cols(&[&a, &b]).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Shape arithmetic for dense tensors.
+
+use crate::{Result, TensorError};
+
+/// The shape of a tensor: an ordered list of dimension extents.
+///
+/// Rank 0 (scalar) is represented by an empty dimension list and has
+/// volume 1, matching TensorFlow semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Returns the dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Returns the number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns the total number of elements.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns the extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`; shapes are validated at graph-construction
+    /// time so an out-of-range axis here is a programming error.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Interprets the shape as a matrix `(rows, cols)`.
+    ///
+    /// Rank-1 shapes are viewed as a single row; higher ranks collapse all
+    /// leading dimensions into rows, which is how the dataflow layer feeds
+    /// batched activations into matmul kernels.
+    pub fn as_matrix(&self) -> Result<(usize, usize)> {
+        match self.0.len() {
+            0 => Err(TensorError::RankMismatch {
+                op: "as_matrix",
+                expected: 2,
+                actual: 0,
+            }),
+            1 => Ok((1, self.0[0])),
+            _ => {
+                let cols = *self.0.last().expect("non-empty dims");
+                let rows = self.0[..self.0.len() - 1].iter().product();
+                Ok((rows, cols))
+            }
+        }
+    }
+
+    /// Checks that two shapes are identical, producing a typed error when not.
+    pub fn ensure_same(&self, other: &Shape, op: &'static str) -> Result<()> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.0.clone(),
+                rhs: other.0.clone(),
+            })
+        }
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-dimensional index into a linear offset.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                op: "offset",
+                expected: self.rank(),
+                actual: index.len(),
+            });
+        }
+        let strides = self.strides();
+        let mut off = 0usize;
+        for (axis, (&i, &d)) in index.iter().zip(self.0.iter()).enumerate() {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds { index: i, bound: d });
+            }
+            off += i * strides[axis];
+        }
+        Ok(off)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_volume_one() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.volume(), 1);
+    }
+
+    #[test]
+    fn volume_is_product_of_dims() {
+        assert_eq!(Shape::from([2, 3, 4]).volume(), 24);
+        assert_eq!(Shape::from([7]).volume(), 7);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_round_trips() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[1, 0, 2]).unwrap(), 14);
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::from([2, 3]);
+        assert!(matches!(
+            s.offset(&[2, 0]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            s.offset(&[0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn as_matrix_collapses_leading_dims() {
+        assert_eq!(Shape::from([2, 3]).as_matrix().unwrap(), (2, 3));
+        assert_eq!(Shape::from([2, 3, 4]).as_matrix().unwrap(), (6, 4));
+        assert_eq!(Shape::from([5]).as_matrix().unwrap(), (1, 5));
+        assert!(Shape::scalar().as_matrix().is_err());
+    }
+
+    #[test]
+    fn ensure_same_reports_op() {
+        let a = Shape::from([1, 2]);
+        let b = Shape::from([2, 1]);
+        let err = a.ensure_same(&b, "add").unwrap_err();
+        assert!(err.to_string().contains("add"));
+    }
+}

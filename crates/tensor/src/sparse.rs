@@ -1,0 +1,400 @@
+//! Sparse gradients: the `IndexedSlices` representation.
+//!
+//! Mirrors TensorFlow's `IndexedSlices`: a gradient of an embedding-like
+//! variable touches only a subset of rows, so it is stored as a list of row
+//! indices plus a dense `[n, cols]` value block. The per-variable sparsity
+//! ratio `alpha` from the paper (Section 2.2) is the ratio of *distinct*
+//! rows touched in a step to the total number of rows.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// A sparse update/gradient for a 2-D variable: `values[i]` applies to row
+/// `indices[i]` of the variable. Indices may repeat (e.g. the same word
+/// occurring twice in a batch); [`IndexedSlices::coalesce`] merges them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedSlices {
+    indices: Vec<usize>,
+    values: Tensor,
+    /// Number of rows in the full (dense) variable this slices into.
+    dense_rows: usize,
+}
+
+impl IndexedSlices {
+    /// Creates a sparse slice set.
+    pub fn new(indices: Vec<usize>, values: Tensor, dense_rows: usize) -> Result<Self> {
+        let (rows, _cols) = values.shape().as_matrix()?;
+        if rows != indices.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: indices.len(),
+                actual: rows,
+            });
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i >= dense_rows) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: bad,
+                bound: dense_rows,
+            });
+        }
+        Ok(IndexedSlices {
+            indices,
+            values,
+            dense_rows,
+        })
+    }
+
+    /// An empty slice set for a variable with `dense_rows` rows and
+    /// `cols` columns.
+    pub fn empty(dense_rows: usize, cols: usize) -> Self {
+        IndexedSlices {
+            indices: Vec::new(),
+            values: Tensor::zeros([0, cols]),
+            dense_rows,
+        }
+    }
+
+    /// The row indices (possibly with duplicates).
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// The `[n, cols]` value block.
+    pub fn values(&self) -> &Tensor {
+        &self.values
+    }
+
+    /// Number of rows in the dense variable.
+    pub fn dense_rows(&self) -> usize {
+        self.dense_rows
+    }
+
+    /// Row width.
+    pub fn cols(&self) -> usize {
+        self.values.shape().as_matrix().map(|(_, c)| c).unwrap_or(0)
+    }
+
+    /// Number of (index, value-row) entries.
+    pub fn nnz_rows(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Bytes on the wire: values plus 8-byte indices. The paper's analysis
+    /// neglects index bytes; we carry them so the accounting is honest, and
+    /// the analytic formulas remain a close approximation (cols >> 2).
+    pub fn byte_size(&self) -> u64 {
+        self.values.byte_size() + (self.indices.len() * std::mem::size_of::<u64>()) as u64
+    }
+
+    /// The sparsity ratio `alpha`: distinct rows touched / total rows.
+    pub fn alpha(&self) -> f64 {
+        if self.dense_rows == 0 {
+            return 0.0;
+        }
+        let mut seen: Vec<usize> = self.indices.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len() as f64 / self.dense_rows as f64
+    }
+
+    /// # Examples
+    ///
+    /// ```
+    /// use parallax_tensor::{IndexedSlices, Tensor};
+    /// let s = IndexedSlices::new(
+    ///     vec![3, 1, 3],
+    ///     Tensor::new([3, 1], vec![1.0, 2.0, 4.0]).unwrap(),
+    ///     5,
+    /// )
+    /// .unwrap();
+    /// let c = s.coalesce();
+    /// assert_eq!(c.indices(), &[1, 3]);
+    /// assert_eq!(c.values().data(), &[2.0, 5.0]);
+    /// ```
+    /// Merges duplicate indices by summing their value rows, producing a
+    /// canonical (sorted, unique-index) slice set.
+    ///
+    /// This is the "gradient aggregation for sparse variables requires
+    /// iterating through nonzero indices one by one" operation whose cost
+    /// partitioning parallelizes (Section 3.2).
+    pub fn coalesce(&self) -> IndexedSlices {
+        let cols = self.cols();
+        let mut map: HashMap<usize, Vec<f32>> = HashMap::new();
+        for (slot, &idx) in self.indices.iter().enumerate() {
+            let row = &self.values.data()[slot * cols..(slot + 1) * cols];
+            match map.get_mut(&idx) {
+                Some(acc) => {
+                    for (a, b) in acc.iter_mut().zip(row) {
+                        *a += b;
+                    }
+                }
+                None => {
+                    map.insert(idx, row.to_vec());
+                }
+            }
+        }
+        let mut keys: Vec<usize> = map.keys().copied().collect();
+        keys.sort_unstable();
+        let mut data = Vec::with_capacity(keys.len() * cols);
+        for k in &keys {
+            data.extend_from_slice(&map[k]);
+        }
+        let values = Tensor::new([keys.len(), cols], data).expect("coalesce shape is consistent");
+        IndexedSlices {
+            indices: keys,
+            values,
+            dense_rows: self.dense_rows,
+        }
+    }
+
+    /// Concatenates several slice sets (the `AllGatherv` aggregation of the
+    /// AR architecture): indices and values are appended in argument order.
+    pub fn concat(parts: &[IndexedSlices]) -> Result<IndexedSlices> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("concat of zero IndexedSlices".into()))?;
+        let cols = first.cols();
+        let dense_rows = first.dense_rows;
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        for p in parts {
+            if p.cols() != cols || p.dense_rows != dense_rows {
+                return Err(TensorError::ShapeMismatch {
+                    op: "IndexedSlices::concat",
+                    lhs: vec![dense_rows, cols],
+                    rhs: vec![p.dense_rows, p.cols()],
+                });
+            }
+            indices.extend_from_slice(&p.indices);
+            data.extend_from_slice(p.values.data());
+        }
+        let values = Tensor::new([indices.len(), cols], data)?;
+        IndexedSlices::new(indices, values, dense_rows)
+    }
+
+    /// Expands to a dense `[dense_rows, cols]` tensor, accumulating
+    /// duplicate indices.
+    pub fn to_dense(&self) -> Tensor {
+        let cols = self.cols();
+        let mut out = Tensor::zeros([self.dense_rows, cols]);
+        for (slot, &idx) in self.indices.iter().enumerate() {
+            let src = &self.values.data()[slot * cols..(slot + 1) * cols];
+            let dst = &mut out.data_mut()[idx * cols..(idx + 1) * cols];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        out
+    }
+
+    /// Scales all values by a constant (gradient averaging).
+    pub fn scale(&self, factor: f32) -> IndexedSlices {
+        let mut values = self.values.clone();
+        for v in values.data_mut() {
+            *v *= factor;
+        }
+        IndexedSlices {
+            indices: self.indices.clone(),
+            values,
+            dense_rows: self.dense_rows,
+        }
+    }
+
+    /// Splits the slice set by a row-partitioning function: entry `i` goes
+    /// to bucket `route(indices[i])` with its index rebased by the bucket's
+    /// row offset. Used to scatter sparse pushes across PS partitions.
+    pub fn split_by<F>(&self, buckets: usize, route: F) -> Vec<IndexedSlices>
+    where
+        F: Fn(usize) -> (usize, usize),
+    {
+        let cols = self.cols();
+        let mut idx_parts: Vec<Vec<usize>> = vec![Vec::new(); buckets];
+        let mut val_parts: Vec<Vec<f32>> = vec![Vec::new(); buckets];
+        let mut rows_parts: Vec<usize> = vec![0; buckets];
+        for (slot, &idx) in self.indices.iter().enumerate() {
+            let (bucket, local) = route(idx);
+            idx_parts[bucket].push(local);
+            val_parts[bucket]
+                .extend_from_slice(&self.values.data()[slot * cols..(slot + 1) * cols]);
+        }
+        // Each bucket's dense_rows must cover its largest local index; the
+        // caller re-labels with true partition sizes, so use a safe bound.
+        for (b, part) in idx_parts.iter().enumerate() {
+            rows_parts[b] = part.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        }
+        idx_parts
+            .into_iter()
+            .zip(val_parts)
+            .zip(rows_parts)
+            .map(|((indices, data), rows)| {
+                let n = indices.len();
+                IndexedSlices {
+                    indices,
+                    values: Tensor::new([n, cols], data).expect("split shape consistent"),
+                    dense_rows: rows,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Either a dense or a sparse gradient — the discriminator Parallax uses to
+/// classify variables (Section 5, "Identifying the sparsity of a variable").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Grad {
+    /// Gradient with every element present.
+    Dense(Tensor),
+    /// Gradient touching a subset of rows.
+    Sparse(IndexedSlices),
+}
+
+impl Grad {
+    /// True if this is a sparse gradient.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Grad::Sparse(_))
+    }
+
+    /// Bytes on the wire for this gradient.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            Grad::Dense(t) => t.byte_size(),
+            Grad::Sparse(s) => s.byte_size(),
+        }
+    }
+
+    /// Densifies (sparse gradients accumulate duplicates).
+    pub fn to_dense(&self) -> Tensor {
+        match self {
+            Grad::Dense(t) => t.clone(),
+            Grad::Sparse(s) => s.to_dense(),
+        }
+    }
+
+    /// Scales the gradient by a constant.
+    pub fn scale(&self, factor: f32) -> Grad {
+        match self {
+            Grad::Dense(t) => {
+                let mut t = t.clone();
+                for v in t.data_mut() {
+                    *v *= factor;
+                }
+                Grad::Dense(t)
+            }
+            Grad::Sparse(s) => Grad::Sparse(s.scale(factor)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slices(indices: Vec<usize>, rows_data: Vec<Vec<f32>>, dense_rows: usize) -> IndexedSlices {
+        let cols = rows_data[0].len();
+        let flat: Vec<f32> = rows_data.concat();
+        IndexedSlices::new(
+            indices.clone(),
+            Tensor::new([indices.len(), cols], flat).unwrap(),
+            dense_rows,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_bounds_and_len() {
+        let vals = Tensor::zeros([2, 3]);
+        assert!(IndexedSlices::new(vec![0, 9], vals.clone(), 10).is_ok());
+        assert!(IndexedSlices::new(vec![0, 10], vals.clone(), 10).is_err());
+        assert!(IndexedSlices::new(vec![0], vals, 10).is_err());
+    }
+
+    #[test]
+    fn alpha_counts_distinct_rows() {
+        let s = slices(vec![1, 1, 3], vec![vec![1.0], vec![2.0], vec![3.0]], 10);
+        assert!((s.alpha() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalesce_sums_duplicates_and_sorts() {
+        let s = slices(
+            vec![3, 1, 3],
+            vec![vec![1.0, 0.0], vec![2.0, 2.0], vec![4.0, 1.0]],
+            5,
+        );
+        let c = s.coalesce();
+        assert_eq!(c.indices(), &[1, 3]);
+        assert_eq!(c.values().data(), &[2.0, 2.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn to_dense_accumulates() {
+        let s = slices(vec![0, 0, 2], vec![vec![1.0], vec![1.0], vec![7.0]], 3);
+        let d = s.to_dense();
+        assert_eq!(d.data(), &[2.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn coalesce_then_densify_equals_densify() {
+        let s = slices(
+            vec![4, 0, 4, 2, 0],
+            vec![
+                vec![1., 2.],
+                vec![3., 4.],
+                vec![5., 6.],
+                vec![7., 8.],
+                vec![9., 10.],
+            ],
+            6,
+        );
+        let direct = s.to_dense();
+        let via = s.coalesce().to_dense();
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn concat_appends_in_order() {
+        let a = slices(vec![1], vec![vec![1.0]], 4);
+        let b = slices(vec![3, 0], vec![vec![2.0], vec![3.0]], 4);
+        let c = IndexedSlices::concat(&[a, b]).unwrap();
+        assert_eq!(c.indices(), &[1, 3, 0]);
+        assert_eq!(c.values().data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_width() {
+        let a = slices(vec![0], vec![vec![1.0]], 4);
+        let b = slices(vec![0], vec![vec![1.0, 2.0]], 4);
+        assert!(IndexedSlices::concat(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn split_by_routes_rows() {
+        // Partition rows 0..6 into [0..3) and [3..6).
+        let s = slices(
+            vec![0, 4, 2, 5],
+            vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]],
+            6,
+        );
+        let parts = s.split_by(2, |r| if r < 3 { (0, r) } else { (1, r - 3) });
+        assert_eq!(parts[0].indices(), &[0, 2]);
+        assert_eq!(parts[0].values().data(), &[1.0, 3.0]);
+        assert_eq!(parts[1].indices(), &[1, 2]);
+        assert_eq!(parts[1].values().data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn grad_byte_size_includes_indices() {
+        let s = slices(vec![0, 1], vec![vec![1.0, 1.0], vec![1.0, 1.0]], 4);
+        // 4 values * 4 bytes + 2 indices * 8 bytes.
+        assert_eq!(Grad::Sparse(s).byte_size(), 16 + 16);
+    }
+
+    #[test]
+    fn grad_scale_dense_and_sparse() {
+        let d = Grad::Dense(Tensor::full([2], 2.0)).scale(0.5);
+        assert_eq!(d.to_dense().data(), &[1.0, 1.0]);
+        let s = Grad::Sparse(slices(vec![1], vec![vec![4.0]], 2)).scale(0.25);
+        assert_eq!(s.to_dense().data(), &[0.0, 1.0]);
+    }
+}

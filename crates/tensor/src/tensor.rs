@@ -1,0 +1,327 @@
+//! The dense [`Tensor`] type.
+
+use crate::rng::DetRng;
+use crate::shape::Shape;
+use crate::{Result, TensorError};
+
+/// A dense, row-major, `f32` tensor.
+///
+/// This is the unit of computation and of communication: AllReduce
+/// operates on flattened tensor buffers, and Parameter Server shards hold
+/// row ranges of 2-D tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and backing data.
+    pub fn new(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = vec![0.0; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let data = vec![value; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// A rank-0 tensor holding one value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// A tensor with i.i.d. normal entries scaled by `stddev`.
+    pub fn randn(shape: impl Into<Shape>, stddev: f32, rng: &mut DetRng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.volume()).map(|_| rng.normal() * stddev).collect();
+        Tensor { shape, data }
+    }
+
+    /// Glorot/Xavier uniform initialization for a `[fan_in, fan_out]` weight.
+    pub fn glorot(shape: impl Into<Shape>, rng: &mut DetRng) -> Self {
+        let shape = shape.into();
+        let dims = shape.dims();
+        let (fan_in, fan_out) = match dims.len() {
+            0 => (1, 1),
+            1 => (dims[0], dims[0]),
+            _ => (dims[0], dims[dims.len() - 1]),
+        };
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let data = (0..shape.volume())
+            .map(|_| rng.uniform_range(-limit, limit))
+            .collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the backing buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The size of this tensor in bytes when serialized on the wire.
+    pub fn byte_size(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Value of a scalar tensor.
+    pub fn scalar_value(&self) -> Result<f32> {
+        if self.data.len() == 1 {
+            Ok(self.data[0])
+        } else {
+            Err(TensorError::InvalidArgument(format!(
+                "scalar_value on tensor with {} elements",
+                self.data.len()
+            )))
+        }
+    }
+
+    /// Reshapes in place to a shape of the same volume.
+    pub fn reshape(mut self, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Returns row `r` of a matrix-viewed tensor.
+    pub fn row(&self, r: usize) -> Result<&[f32]> {
+        let (rows, cols) = self.shape.as_matrix()?;
+        if r >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: r,
+                bound: rows,
+            });
+        }
+        Ok(&self.data[r * cols..(r + 1) * cols])
+    }
+
+    /// Mutable row `r` of a matrix-viewed tensor.
+    pub fn row_mut(&mut self, r: usize) -> Result<&mut [f32]> {
+        let (rows, cols) = self.shape.as_matrix()?;
+        if r >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: r,
+                bound: rows,
+            });
+        }
+        Ok(&mut self.data[r * cols..(r + 1) * cols])
+    }
+
+    /// # Examples
+    ///
+    /// ```
+    /// use parallax_tensor::Tensor;
+    /// let t = Tensor::new([3, 2], vec![0., 1., 2., 3., 4., 5.]).unwrap();
+    /// let mid = t.slice_rows(1, 2).unwrap();
+    /// assert_eq!(mid.data(), &[2., 3.]);
+    /// ```
+    /// Extracts the row range `[start, end)` of a matrix-viewed tensor as a
+    /// new tensor. Used by Parameter Server sharding.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Result<Tensor> {
+        let (rows, cols) = self.shape.as_matrix()?;
+        if start > end || end > rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: end,
+                bound: rows + 1,
+            });
+        }
+        Tensor::new(
+            [end - start, cols],
+            self.data[start * cols..end * cols].to_vec(),
+        )
+    }
+
+    /// Element access by multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Returns the index of the maximum element in each row.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        let (rows, cols) = self.shape.as_matrix()?;
+        if cols == 0 {
+            return Err(TensorError::InvalidArgument(
+                "argmax over empty rows".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// True when all elements are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        self.shape.ensure_same(&other.shape, "max_abs_diff")?;
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_length() {
+        assert!(Tensor::new([2, 2], vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Tensor::new([2, 2], vec![1.0; 3]),
+            Err(TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros([3, 2]);
+        assert_eq!(z.sum(), 0.0);
+        let f = Tensor::full([3], 2.5);
+        assert_eq!(f.data(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn row_access() {
+        let t = Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(t.row(1).unwrap(), &[4., 5., 6.]);
+        assert!(t.row(2).is_err());
+    }
+
+    #[test]
+    fn slice_rows_extracts_contiguous_range() {
+        let t = Tensor::new([4, 2], (0..8).map(|x| x as f32).collect()).unwrap();
+        let s = t.slice_rows(1, 3).unwrap();
+        assert_eq!(s.shape().dims(), &[2, 2]);
+        assert_eq!(s.data(), &[2., 3., 4., 5.]);
+        let empty = t.slice_rows(2, 2).unwrap();
+        assert_eq!(empty.len(), 0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let r = t.reshape([3, 2]).unwrap();
+        assert_eq!(r.shape().dims(), &[3, 2]);
+        assert_eq!(r.data()[3], 4.0);
+        assert!(r.reshape([5]).is_err());
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max() {
+        let t = Tensor::new([2, 3], vec![0., 5., 5., 9., 1., 2.]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn glorot_is_bounded() {
+        let mut rng = DetRng::seed(1);
+        let t = Tensor::glorot([64, 64], &mut rng);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn l2_norm_matches_manual() {
+        let t = Tensor::new([2], vec![3.0, 4.0]).unwrap();
+        assert!((t.l2_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn byte_size_is_four_per_element() {
+        assert_eq!(Tensor::zeros([10, 10]).byte_size(), 400);
+    }
+
+    #[test]
+    fn scalar_value_checks_len() {
+        assert_eq!(Tensor::scalar(3.0).scalar_value().unwrap(), 3.0);
+        assert!(Tensor::zeros([2]).scalar_value().is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Algebraic property tests over the tensor kernels.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use parallax_tensor::{ops, DetRng, Tensor};
+
+fn tensor_from(seed: u64, rows: usize, cols: usize) -> Tensor {
+    Tensor::randn([rows, cols], 1.0, &mut DetRng::seed(seed))
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.max_abs_diff(b).map(|d| d < tol).unwrap_or(false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Matmul distributes over addition: `A (B + C) == A B + A C`.
+    #[test]
+    fn matmul_distributes_over_add(
+        m in 1usize..5,
+        k in 1usize..5,
+        n in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let a = tensor_from(seed, m, k);
+        let b = tensor_from(seed + 1, k, n);
+        let c = tensor_from(seed + 2, k, n);
+        let lhs = ops::matmul(&a, &ops::add(&b, &c).unwrap()).unwrap();
+        let rhs = ops::add(
+            &ops::matmul(&a, &b).unwrap(),
+            &ops::matmul(&a, &c).unwrap(),
+        )
+        .unwrap();
+        prop_assert!(close(&lhs, &rhs, 1e-3));
+    }
+
+    /// `(A B)^T == B^T A^T`, and the fused transpose kernels agree with
+    /// materialized transposes.
+    #[test]
+    fn transpose_of_product(
+        m in 1usize..5,
+        k in 1usize..5,
+        n in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let a = tensor_from(seed, m, k);
+        let b = tensor_from(seed + 7, k, n);
+        let ab_t = ops::transpose(&ops::matmul(&a, &b).unwrap()).unwrap();
+        let bt_at = ops::matmul(
+            &ops::transpose(&b).unwrap(),
+            &ops::transpose(&a).unwrap(),
+        )
+        .unwrap();
+        prop_assert!(close(&ab_t, &bt_at, 1e-3));
+
+        let fused = ops::matmul_a_bt(&a, &ops::transpose(&b).unwrap()).unwrap();
+        let plain = ops::matmul(&a, &b).unwrap();
+        prop_assert!(close(&fused, &plain, 1e-3));
+    }
+
+    /// Softmax rows are invariant to a constant shift of the logits.
+    #[test]
+    fn softmax_shift_invariance(
+        rows in 1usize..4,
+        cols in 1usize..6,
+        shift in -5.0f32..5.0,
+        seed in 0u64..1000,
+    ) {
+        let x = tensor_from(seed, rows, cols);
+        let shifted = ops::scale(&ops::add(&x, &Tensor::full([rows, cols], shift)).unwrap(), 1.0);
+        let a = ops::softmax_rows(&x).unwrap();
+        let b = ops::softmax_rows(&shifted).unwrap();
+        prop_assert!(close(&a, &b, 1e-4));
+    }
+
+    /// Gathering every row in order is the identity; gather then re-gather
+    /// with inverse indices round-trips a permutation.
+    #[test]
+    fn gather_permutation_roundtrip(
+        rows in 1usize..12,
+        cols in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let table = tensor_from(seed, rows, cols);
+        let identity: Vec<usize> = (0..rows).collect();
+        prop_assert_eq!(ops::gather_rows(&table, &identity).unwrap(), table.clone());
+
+        let mut perm = identity.clone();
+        DetRng::seed(seed + 3).shuffle(&mut perm);
+        let mut inverse = vec![0usize; rows];
+        for (pos, &p) in perm.iter().enumerate() {
+            inverse[p] = pos;
+        }
+        let shuffled = ops::gather_rows(&table, &perm).unwrap();
+        let restored = ops::gather_rows(&shuffled, &inverse).unwrap();
+        prop_assert_eq!(restored, table);
+    }
+
+    /// Concat/split of arbitrary column widths round-trips.
+    #[test]
+    fn concat_split_arbitrary_widths(
+        rows in 1usize..5,
+        widths in vec(1usize..4, 1..5),
+        seed in 0u64..1000,
+    ) {
+        let parts: Vec<Tensor> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| tensor_from(seed + i as u64, rows, w))
+            .collect();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let joined = ops::concat_cols(&refs).unwrap();
+        let split = ops::split_cols(&joined, &widths).unwrap();
+        prop_assert_eq!(split, parts);
+    }
+
+    /// The fused softmax-cross-entropy gradient sums to zero per row and
+    /// its loss is minimized by one-hot-correct logits.
+    #[test]
+    fn xent_gradient_rows_sum_to_zero(
+        rows in 1usize..4,
+        cols in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let logits = tensor_from(seed, rows, cols);
+        let labels: Vec<usize> = (0..rows).map(|r| (r + seed as usize) % cols).collect();
+        let (loss, grad) = ops::softmax_cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(loss.is_finite() && loss > 0.0);
+        for r in 0..rows {
+            let s: f32 = grad.data()[r * cols..(r + 1) * cols].iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Trains the dense image models (ResNet-like and Inception-like) and
+//! shows the hybrid architecture degenerating to pure AllReduce: dense
+//! models need no servers, and Parallax matches Horovod (the paper's
+//! Figure 8(a)/(b) observation).
+//!
+//! ```text
+//! cargo run --example image_classification
+//! ```
+
+use parallax_repro::core::sparsity::estimate_profile;
+use parallax_repro::core::{get_runner, ParallaxConfig};
+use parallax_repro::dataflow::Session;
+use parallax_repro::models::data::ImageDataset;
+use parallax_repro::models::metrics;
+use parallax_repro::models::{inception, resnet};
+use parallax_repro::tensor::DetRng;
+
+const MACHINES: usize = 2;
+const GPUS: usize = 2;
+const BATCH: usize = 8;
+const ITERS: usize = 40;
+
+fn main() {
+    let resnet_cfg = resnet::ResNetConfig::tiny();
+    let resnet = resnet::build(resnet_cfg).expect("resnet builds");
+    run_one(
+        "ResNet-like",
+        resnet,
+        resnet_cfg.features,
+        resnet_cfg.classes,
+    );
+
+    let inception_cfg = inception::InceptionConfig::tiny();
+    let inception = inception::build(inception_cfg).expect("inception builds");
+    run_one(
+        "Inception-like",
+        inception,
+        inception_cfg.features,
+        inception_cfg.classes,
+    );
+}
+
+fn run_one(name: &str, model: parallax_repro::models::BuiltModel, features: usize, classes: usize) {
+    let ds = ImageDataset::new(features, classes);
+    let profile = {
+        let feed = ds.feed(BATCH, &mut DetRng::seed(1));
+        estimate_profile(&model.graph, &[feed], 1).expect("profile")
+    };
+    let runner = get_runner(
+        model.graph.clone(),
+        model.loss,
+        vec![GPUS; MACHINES],
+        ParallaxConfig {
+            learning_rate: 0.2,
+            seed: 5,
+            ..ParallaxConfig::default()
+        },
+        profile,
+    )
+    .expect("runner");
+
+    println!(
+        "{name}: {} variables, all dense -> servers needed: {} (pure AllReduce)",
+        model.graph.variables().len(),
+        runner.plan().needs_servers(),
+    );
+
+    let ds_ref = &ds;
+    let report = runner
+        .run(ITERS, move |worker, iter| {
+            ds_ref.feed(
+                BATCH,
+                &mut DetRng::seed(40_000 + (iter * 64 + worker) as u64),
+            )
+        })
+        .expect("training");
+
+    // Evaluate top-1 error with the final model on a held-out batch.
+    let mut store = report.final_store(&model.graph).expect("final model");
+    let eval = ds.feed(64, &mut DetRng::seed(999));
+    let acts = Session::new(&model.graph)
+        .forward(&eval, &mut store)
+        .expect("eval");
+    let logits = acts.tensor(model.logits).expect("logits");
+    let labels = eval
+        .get("labels")
+        .expect("labels")
+        .as_ids("eval")
+        .expect("labels");
+    let err = metrics::top1_error(logits, labels).expect("top-1");
+    println!(
+        "  loss {:.3} -> {:.3}; eval top-1 error {:.1}% (chance {:.1}%)",
+        report.losses[0],
+        report.losses.last().expect("losses"),
+        err * 100.0,
+        (1.0 - 1.0 / classes as f32) * 100.0,
+    );
+    println!(
+        "  traffic: nccl {} KiB, ps {} KiB",
+        report.traffic.nccl.total_network_bytes() / 1024,
+        report.traffic.ps.total_network_bytes() / 1024,
+    );
+}

@@ -1,0 +1,80 @@
+//! Runs Parallax's sparse-variable partition search (Section 3.2) on the
+//! NMT model: short sampled runs, a fitted `th0 + th1/P + th2*P` cost
+//! model, and the chosen near-optimal partition count.
+//!
+//! ```text
+//! cargo run --example partition_search
+//! ```
+
+use parallax_repro::cluster::ClusterModel;
+use parallax_repro::core::sparsity::estimate_profile;
+use parallax_repro::core::{get_runner, ParallaxConfig};
+use parallax_repro::models::data::ZipfCorpus;
+use parallax_repro::models::nmt::{NmtConfig, NmtModel};
+use parallax_repro::tensor::DetRng;
+
+const MACHINES: usize = 2;
+const GPUS: usize = 2;
+
+fn main() {
+    let model = NmtModel::build(NmtConfig::tiny()).expect("NMT builds");
+    let src = ZipfCorpus::new(model.config.src_vocab, 1.0);
+    let tgt = ZipfCorpus::new(model.config.tgt_vocab, 1.0);
+    let profile = {
+        let feed = model.feed(&src, &tgt, &mut DetRng::seed(42));
+        estimate_profile(&model.built.graph, &[feed], 1).expect("profile")
+    };
+
+    let runner = get_runner(
+        model.built.graph.clone(),
+        model.built.loss,
+        vec![GPUS; MACHINES],
+        ParallaxConfig {
+            learning_rate: 0.5,
+            seed: 3,
+            ..ParallaxConfig::default()
+        },
+        profile,
+    )
+    .expect("runner");
+
+    let cluster = ClusterModel::paper_testbed();
+    let m = &model;
+    let (s, t) = (&src, &tgt);
+    let feed_fn = move |worker: usize, iter: usize| {
+        m.sharded_feed(
+            s,
+            t,
+            MACHINES * GPUS,
+            worker,
+            &mut DetRng::seed(500 + iter as u64),
+        )
+    };
+
+    println!("searching partition counts (doubling/halving from {MACHINES})...");
+    let (tuned, result) = runner
+        .optimize_partitions(feed_fn, 3, model.config.src_vocab, &cluster)
+        .expect("search succeeds");
+
+    for (p, time) in &result.samples {
+        println!("  P = {p:>3}: simulated iteration {:.3} ms", time * 1e3);
+    }
+    println!(
+        "fitted Eq. 1: t(P) = {:.4} + {:.4}/P + {:.6}*P  (seconds)",
+        result.fit.theta0, result.fit.theta1, result.fit.theta2,
+    );
+    println!(
+        "chosen P = {} ({} samples)",
+        result.best,
+        result.samples.len()
+    );
+
+    // Train with the tuned partitioning.
+    let report = tuned.run(10, feed_fn).expect("training");
+    println!(
+        "trained 10 iterations at P = {}: loss {:.4} -> {:.4}",
+        tuned.plan().partitions,
+        report.losses[0],
+        report.losses.last().expect("losses"),
+    );
+}
