@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algebra_props-9b434ee9782298ea.d: crates/tensor/tests/algebra_props.rs
+
+/root/repo/target/release/deps/algebra_props-9b434ee9782298ea: crates/tensor/tests/algebra_props.rs
+
+crates/tensor/tests/algebra_props.rs:

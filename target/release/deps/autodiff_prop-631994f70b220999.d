@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/autodiff_prop-631994f70b220999.d: crates/dataflow/tests/autodiff_prop.rs
+
+/root/repo/target/release/deps/autodiff_prop-631994f70b220999: crates/dataflow/tests/autodiff_prop.rs
+
+crates/dataflow/tests/autodiff_prop.rs:

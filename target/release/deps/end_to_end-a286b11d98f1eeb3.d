@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-a286b11d98f1eeb3.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-a286b11d98f1eeb3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parallax_bench-40f5ca81762431eb.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/parallax_bench-40f5ca81762431eb: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

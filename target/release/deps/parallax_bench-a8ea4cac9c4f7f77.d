@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallax_bench-a8ea4cac9c4f7f77.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libparallax_bench-a8ea4cac9c4f7f77.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libparallax_bench-a8ea4cac9c4f7f77.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/parallax_cluster-35f7639ee32b499c.d: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/release/deps/parallax_cluster-35f7639ee32b499c: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/costmodel.rs:
+crates/cluster/src/des.rs:
+crates/cluster/src/hardware.rs:
+crates/cluster/src/sim.rs:
+crates/cluster/src/spec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/parallax_comm-06884a331b255af3.d: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs
+
+/root/repo/target/release/deps/parallax_comm-06884a331b255af3: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/collectives.rs:
+crates/comm/src/error.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/traffic.rs:
+crates/comm/src/transport.rs:

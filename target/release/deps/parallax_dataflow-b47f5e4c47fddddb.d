@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/parallax_dataflow-b47f5e4c47fddddb.d: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs
+
+/root/repo/target/release/deps/parallax_dataflow-b47f5e4c47fddddb: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/builder.rs:
+crates/dataflow/src/error.rs:
+crates/dataflow/src/exec.rs:
+crates/dataflow/src/grad.rs:
+crates/dataflow/src/graph.rs:
+crates/dataflow/src/meta.rs:
+crates/dataflow/src/optimizer.rs:
+crates/dataflow/src/value.rs:
+crates/dataflow/src/varstore.rs:

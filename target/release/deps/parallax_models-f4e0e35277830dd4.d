@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/parallax_models-f4e0e35277830dd4.d: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs
+
+/root/repo/target/release/deps/parallax_models-f4e0e35277830dd4: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs
+
+crates/models/src/lib.rs:
+crates/models/src/data.rs:
+crates/models/src/inception.rs:
+crates/models/src/lm.rs:
+crates/models/src/metrics.rs:
+crates/models/src/nmt.rs:
+crates/models/src/presets.rs:
+crates/models/src/resnet.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/parallax_ps-562d9e4fc27c1239.d: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs
+
+/root/repo/target/release/deps/parallax_ps-562d9e4fc27c1239: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs
+
+crates/ps/src/lib.rs:
+crates/ps/src/accumulator.rs:
+crates/ps/src/client.rs:
+crates/ps/src/error.rs:
+crates/ps/src/placement.rs:
+crates/ps/src/plan.rs:
+crates/ps/src/protocol.rs:
+crates/ps/src/server.rs:
+crates/ps/src/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallax_repro-56c2b5688f9bf895.d: src/lib.rs
+
+/root/repo/target/release/deps/parallax_repro-56c2b5688f9bf895: src/lib.rs
+
+src/lib.rs:

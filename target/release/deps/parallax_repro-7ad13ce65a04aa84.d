@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parallax_repro-7ad13ce65a04aa84.d: src/lib.rs
+
+/root/repo/target/release/deps/libparallax_repro-7ad13ce65a04aa84.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libparallax_repro-7ad13ce65a04aa84.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-457b5af890257dc8.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-457b5af890257dc8: tests/properties.rs
+
+tests/properties.rs:

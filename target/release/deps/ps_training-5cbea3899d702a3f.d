@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ps_training-5cbea3899d702a3f.d: crates/ps/tests/ps_training.rs
+
+/root/repo/target/release/deps/ps_training-5cbea3899d702a3f: crates/ps/tests/ps_training.rs
+
+crates/ps/tests/ps_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-bfac3a4b506d6ce1.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-bfac3a4b506d6ce1: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

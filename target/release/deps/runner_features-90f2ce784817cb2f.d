@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runner_features-90f2ce784817cb2f.d: crates/core/tests/runner_features.rs
+
+/root/repo/target/release/deps/runner_features-90f2ce784817cb2f: crates/core/tests/runner_features.rs
+
+crates/core/tests/runner_features.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runner_prop-7f9bc15f27ea9541.d: crates/core/tests/runner_prop.rs
+
+/root/repo/target/release/deps/runner_prop-7f9bc15f27ea9541: crates/core/tests/runner_prop.rs
+
+crates/core/tests/runner_prop.rs:

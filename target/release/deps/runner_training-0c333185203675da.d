@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runner_training-0c333185203675da.d: crates/core/tests/runner_training.rs
+
+/root/repo/target/release/deps/runner_training-0c333185203675da: crates/core/tests/runner_training.rs
+
+crates/core/tests/runner_training.rs:

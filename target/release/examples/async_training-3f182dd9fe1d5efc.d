@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/async_training-3f182dd9fe1d5efc.d: examples/async_training.rs
+
+/root/repo/target/release/examples/async_training-3f182dd9fe1d5efc: examples/async_training.rs
+
+examples/async_training.rs:

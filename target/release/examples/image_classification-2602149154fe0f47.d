@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_classification-2602149154fe0f47.d: examples/image_classification.rs
+
+/root/repo/target/release/examples/image_classification-2602149154fe0f47: examples/image_classification.rs
+
+examples/image_classification.rs:

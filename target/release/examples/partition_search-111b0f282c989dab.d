@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/partition_search-111b0f282c989dab.d: examples/partition_search.rs
+
+/root/repo/target/release/examples/partition_search-111b0f282c989dab: examples/partition_search.rs
+
+examples/partition_search.rs:

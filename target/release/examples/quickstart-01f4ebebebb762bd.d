@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-01f4ebebebb762bd.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-01f4ebebebb762bd: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scratch_lm-3fc5ea0384493b4a.d: examples/scratch_lm.rs
+
+/root/repo/target/release/examples/scratch_lm-3fc5ea0384493b4a: examples/scratch_lm.rs
+
+examples/scratch_lm.rs:

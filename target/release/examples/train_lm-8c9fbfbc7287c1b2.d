@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/train_lm-8c9fbfbc7287c1b2.d: examples/train_lm.rs
+
+/root/repo/target/release/examples/train_lm-8c9fbfbc7287c1b2: examples/train_lm.rs
+
+examples/train_lm.rs:

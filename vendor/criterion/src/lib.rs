@@ -1,0 +1,212 @@
+//! Offline drop-in replacement for the subset of `criterion` this
+//! workspace uses: benchmark groups, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Timing is a plain wall-clock mean. Like real criterion, running the
+//! binary without `--bench` (as `cargo test` does for `harness = false`
+//! bench targets) executes every routine exactly once in "test mode" so
+//! the suite stays fast under `cargo test`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` for parity with criterion's API.
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full timing runs (`cargo bench` passes `--bench`).
+    Bench,
+    /// One iteration per routine (`cargo test`).
+    Test,
+}
+
+/// The benchmark context handed to `criterion_group!` targets.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mode = if std::env::args().any(|a| a == "--bench") {
+            Mode::Bench
+        } else {
+            Mode::Test
+        };
+        Criterion { mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            mode: self.mode,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mode = self.mode;
+        run_one(mode, &id.into(), f);
+        self
+    }
+}
+
+/// A named identifier for one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into an id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(self.mode, &label, &mut f);
+        self
+    }
+
+    /// Times `f` with an input value under `<group>/<id>`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(self.mode, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, label: &str, mut f: F) {
+    let mut b = Bencher {
+        mode,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    match mode {
+        Mode::Test => println!("test-mode {label}: ok"),
+        Mode::Bench => {
+            let per_iter = if b.iters > 0 {
+                b.elapsed.as_nanos() as f64 / b.iters as f64
+            } else {
+                f64::NAN
+            };
+            println!("bench {label}: {per_iter:.0} ns/iter ({} iters)", b.iters);
+        }
+    }
+}
+
+/// Times closures; handed to every benchmark routine.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly (once in test mode) and records the
+    /// mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            self.iters += 1;
+            return;
+        }
+        // Warm-up, then time iterations until the budget is spent.
+        let budget = Duration::from_millis(300);
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.iters += iters;
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("ring", 8);
+        assert_eq!(id.id, "ring/8");
+    }
+}

@@ -1,0 +1,152 @@
+//! The case runner and its deterministic RNG.
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+    /// Accepted for compatibility; this subset never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; failures are not persisted.
+    pub failure_persistence: Option<()>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            failure_persistence: None,
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case asked to be discarded (counted, not failed).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic splitmix64 RNG driving all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn name_seed(name: &str) -> u64 {
+    // FNV-1a over the test name keeps distinct tests on distinct streams.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `config.cases` deterministic cases of `case`, panicking (so the
+/// surrounding `#[test]` fails) on the first failed case.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = name_seed(name);
+    let mut rejects = 0u32;
+    for i in 0..config.cases {
+        let seed = base.wrapping_add((i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        let mut rng = TestRng::from_seed(seed);
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > config.cases.saturating_mul(4).max(64) {
+                    panic!("[{name}] too many rejected cases ({rejects})");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("[{name}] case {i} (seed {seed:#x}) failed: {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(5);
+        let mut b = TestRng::from_seed(5);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn runner_executes_all_cases() {
+        let mut n = 0;
+        run_cases(
+            &ProptestConfig {
+                cases: 17,
+                ..ProptestConfig::default()
+            },
+            "counter",
+            |_| {
+                n += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn runner_reports_failures() {
+        run_cases(&ProptestConfig::default(), "failing", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}
