@@ -72,6 +72,43 @@ fn bench_sparse_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = DetRng::seed(5);
+    // Shapes from the executed presets: a ResNet block GEMM, the LM
+    // projection, and the square size the acceptance gate measures.
+    for (m, k, n) in [(64usize, 256usize, 256usize), (160, 512, 512), (256, 256, 256)] {
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let b_ = Tensor::randn([k, n], 1.0, &mut rng);
+        group.bench_function(format!("blocked_{m}x{k}x{n}"), |b| {
+            b.iter(|| black_box(ops::matmul(&a, &b_).unwrap()))
+        });
+        group.bench_function(format!("naive_{m}x{k}x{n}"), |b| {
+            b.iter(|| black_box(ops::matmul::naive::matmul(&a, &b_).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coalesce_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalesce");
+    let mut rng = DetRng::seed(6);
+    let rows = 50_000usize;
+    let cols = 64usize;
+    for alpha in [0.01f64, 0.1, 0.5] {
+        let nnz = ((alpha * rows as f64) * 1.5).round() as usize;
+        let indices: Vec<usize> = (0..nnz)
+            .map(|_| rng.below((alpha * rows as f64) as usize))
+            .collect();
+        let values = Tensor::randn([nnz, cols], 1.0, &mut rng);
+        let slices = IndexedSlices::new(indices, values, rows).unwrap();
+        group.bench_function(format!("sorted_alpha_{alpha}"), |b| {
+            b.iter(|| black_box(slices.coalesce()))
+        });
+    }
+    group.finish();
+}
+
 fn bench_dense_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("dense");
     let mut rng = DetRng::seed(2);
@@ -136,6 +173,8 @@ criterion_group!(
     benches,
     bench_collectives,
     bench_sparse_kernels,
+    bench_matmul_kernels,
+    bench_coalesce_kernels,
     bench_dense_kernels,
     bench_training_step
 );

@@ -1,8 +1,11 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [table1|..|table6|fig7|fig8|fig9|ablations|traffic|all]
+//! repro [table1|..|table6|fig7|fig8|fig9|ablations|traffic|kernels|all]
 //! ```
+//!
+//! `kernels` measures the blocked/pooled compute kernels against the
+//! scalar reference kernels and writes `BENCH_kernels.json`.
 
 use parallax_bench::experiments::{self, Framework};
 use parallax_bench::report::{fmt_speedup, fmt_throughput, render_table};
@@ -42,6 +45,9 @@ fn main() {
     }
     if all || which == "traffic" {
         traffic();
+    }
+    if all || which == "kernels" {
+        parallax_bench::kernels::run("BENCH_kernels.json").expect("write BENCH_kernels.json");
     }
 }
 

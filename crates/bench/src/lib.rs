@@ -11,6 +11,7 @@
 //! scale through the full distributed runtime.
 
 pub mod experiments;
+pub mod kernels;
 pub mod report;
 
 pub use experiments::Framework;

@@ -10,9 +10,11 @@
 //! `w/N` bytes per worker per step for `2(N-1)` steps; AllGatherv moves
 //! each worker's full contribution for `N-1` steps.
 
+use std::sync::Arc;
+
 use parallax_tensor::{IndexedSlices, Tensor};
 
-use crate::transport::{Endpoint, Payload};
+use crate::transport::{unwrap_shared, Endpoint, Payload};
 use crate::{CommError, Result};
 
 /// Position of this endpoint within the participant list.
@@ -51,35 +53,49 @@ pub fn ring_allreduce(
     }
     let next = ranks[(pos + 1) % n];
     let prev = ranks[(pos + n - 1) % n];
+    let len = data.len();
 
-    // Reduce-scatter: after step s, chunk (pos - s - 1) holds the partial
-    // sum of s + 2 contributions; after N-1 steps rank `pos` owns the fully
-    // reduced chunk (pos + 1) mod N.
+    // The chunk travelling the ring lives in `send_buf` and rotates:
+    // every hop *moves* it into the router (no per-step copy — only the
+    // entry copy of the first outgoing chunk below), adds the local
+    // contribution into the incoming buffer, and sends that next.
+    //
+    // Reduce-scatter: after step s the travelling chunk (pos - s - 1)
+    // holds the partial sum of s + 2 contributions; after N-1 steps rank
+    // `pos` owns the fully reduced chunk (pos + 1) mod N. `data` itself
+    // stays untouched during this phase: every chunk index is received
+    // exactly once, so `data[recv_range]` is always the original local
+    // contribution, and partial sums never need to be written back
+    // (the allgather phase overwrites those ranges anyway).
+    let mut send_buf = data[chunk_range(len, n, pos)].to_vec();
     for step in 0..n - 1 {
-        let send_idx = (pos + n - step) % n;
         let recv_idx = (pos + n - step - 1) % n;
-        let send_range = chunk_range(data.len(), n, send_idx);
-        ep.send(next, tag, Payload::Floats(data[send_range].to_vec()))?;
-        let incoming = ep.recv(prev, tag)?.into_floats()?;
-        let recv_range = chunk_range(data.len(), n, recv_idx);
+        ep.send(next, tag, Payload::Floats(Arc::new(send_buf)))?;
+        let mut incoming = ep.recv(prev, tag)?.into_floats()?;
+        let recv_range = chunk_range(len, n, recv_idx);
         if incoming.len() != recv_range.len() {
             return Err(CommError::LengthMismatch {
                 expected: recv_range.len(),
                 actual: incoming.len(),
             });
         }
-        for (d, x) in data[recv_range].iter_mut().zip(incoming) {
-            *d += x;
+        // partial + local: f32 addition is commutative, so this is
+        // bitwise identical to adding incoming into the local chunk.
+        for (x, d) in incoming.iter_mut().zip(&data[recv_range]) {
+            *x += *d;
         }
+        send_buf = incoming;
     }
-    // Allgather: circulate the reduced chunks.
+    // The rotation ends holding this rank's fully reduced chunk.
+    data[chunk_range(len, n, (pos + 1) % n)].copy_from_slice(&send_buf);
+    // Allgather: circulate the reduced chunks, forwarding each received
+    // buffer on the next hop. The first outgoing chunk (pos + 1) mod N
+    // is exactly what `send_buf` already holds.
     for step in 0..n - 1 {
-        let send_idx = (pos + 1 + n - step) % n;
         let recv_idx = (pos + n - step) % n;
-        let send_range = chunk_range(data.len(), n, send_idx);
-        ep.send(next, tag, Payload::Floats(data[send_range].to_vec()))?;
+        ep.send(next, tag, Payload::Floats(Arc::new(send_buf)))?;
         let incoming = ep.recv(prev, tag)?.into_floats()?;
-        let recv_range = chunk_range(data.len(), n, recv_idx);
+        let recv_range = chunk_range(len, n, recv_idx);
         if incoming.len() != recv_range.len() {
             return Err(CommError::LengthMismatch {
                 expected: recv_range.len(),
@@ -87,6 +103,7 @@ pub fn ring_allreduce(
             });
         }
         data[recv_range].copy_from_slice(&incoming);
+        send_buf = incoming;
     }
     Ok(())
 }
@@ -103,16 +120,20 @@ pub fn ring_allreduce_tensor(
 
 /// Ring AllGatherv: every participant contributes a variable-length float
 /// buffer; everyone receives all contributions, ordered by group position.
+///
+/// Parts are returned behind [`Arc`]s: a forwarded buffer is shared by
+/// reference count instead of cloned per hop, so each contribution is
+/// allocated once ring-wide no matter how many participants relay it.
 pub fn allgatherv(
     ep: &mut Endpoint,
     ranks: &[usize],
     tag: u64,
     local: Vec<f32>,
-) -> Result<Vec<Vec<f32>>> {
+) -> Result<Vec<Arc<Vec<f32>>>> {
     let pos = position(ep, ranks)?;
     let n = ranks.len();
-    let mut parts: Vec<Option<Vec<f32>>> = vec![None; n];
-    parts[pos] = Some(local);
+    let mut parts: Vec<Option<Arc<Vec<f32>>>> = vec![None; n];
+    parts[pos] = Some(Arc::new(local));
     if n == 1 {
         return Ok(parts
             .into_iter()
@@ -124,9 +145,9 @@ pub fn allgatherv(
     for step in 0..n - 1 {
         let send_idx = (pos + n - step) % n;
         let recv_idx = (pos + n - step - 1) % n;
-        let outgoing = parts[send_idx].clone().expect("forwarding a filled slot");
+        let outgoing = Arc::clone(parts[send_idx].as_ref().expect("forwarding a filled slot"));
         ep.send(next, tag, Payload::Floats(outgoing))?;
-        parts[recv_idx] = Some(ep.recv(prev, tag)?.into_floats()?);
+        parts[recv_idx] = Some(ep.recv(prev, tag)?.into_shared_floats()?);
     }
     Ok(parts
         .into_iter()
@@ -145,21 +166,24 @@ pub fn allgatherv_slices(
 ) -> Result<IndexedSlices> {
     let pos = position(ep, ranks)?;
     let n = ranks.len();
-    let mut parts: Vec<Option<IndexedSlices>> = vec![None; n];
-    parts[pos] = Some(local);
+    let mut parts: Vec<Option<Arc<IndexedSlices>>> = vec![None; n];
+    parts[pos] = Some(Arc::new(local));
     if n > 1 {
         let next = ranks[(pos + 1) % n];
         let prev = ranks[(pos + n - 1) % n];
         for step in 0..n - 1 {
             let send_idx = (pos + n - step) % n;
             let recv_idx = (pos + n - step - 1) % n;
-            let outgoing = parts[send_idx].clone().expect("forwarding a filled slot");
+            // Forward by reference count — the slice set is allocated
+            // once ring-wide, not once per relaying hop.
+            let outgoing = Arc::clone(parts[send_idx].as_ref().expect("forwarding a filled slot"));
             ep.send(next, tag, Payload::Slices(outgoing))?;
-            parts[recv_idx] = Some(ep.recv(prev, tag)?.into_slices()?);
+            parts[recv_idx] = Some(ep.recv(prev, tag)?.into_shared_slices()?);
         }
     }
-    let owned: Vec<IndexedSlices> = parts.into_iter().map(|p| p.expect("all filled")).collect();
-    IndexedSlices::concat(&owned).map_err(|_| CommError::LengthMismatch {
+    let shared: Vec<Arc<IndexedSlices>> =
+        parts.into_iter().map(|p| p.expect("all filled")).collect();
+    IndexedSlices::concat(&shared).map_err(|_| CommError::LengthMismatch {
         expected: 0,
         actual: 0,
     })
@@ -178,12 +202,15 @@ pub fn broadcast(
     if ep.rank() == root {
         let t = value
             .ok_or_else(|| CommError::InvalidConfig("broadcast root must supply a value".into()))?;
+        // One shared allocation for every peer instead of a copy each;
+        // the root pays at most one clone when unwrapping at the end.
+        let shared = Arc::new(t);
         for &r in ranks {
             if r != root {
-                ep.send(r, tag, Payload::Tensor(t.clone()))?;
+                ep.send(r, tag, Payload::Tensor(Arc::clone(&shared)))?;
             }
         }
-        Ok(t)
+        Ok(unwrap_shared(shared))
     } else {
         ep.recv(root, tag)?.into_tensor()
     }
@@ -220,7 +247,7 @@ pub fn reduce_to(
         }
         Ok(Some(acc))
     } else {
-        ep.send(root, tag, Payload::Floats(data))?;
+        ep.send(root, tag, Payload::Floats(Arc::new(data)))?;
         Ok(None)
     }
 }
@@ -249,7 +276,7 @@ pub fn gather_slices_to(
         })?;
         Ok(Some(joined))
     } else {
-        ep.send(root, tag, Payload::Slices(data))?;
+        ep.send(root, tag, Payload::Slices(Arc::new(data)))?;
         Ok(None)
     }
 }
@@ -378,7 +405,7 @@ mod tests {
         for parts in &results {
             assert_eq!(parts.len(), 3);
             for (r, part) in parts.iter().enumerate() {
-                assert_eq!(part, &vec![r as f32; r + 1]);
+                assert_eq!(**part, vec![r as f32; r + 1]);
             }
         }
     }

@@ -18,14 +18,21 @@ use crate::traffic::TrafficStats;
 use crate::{CommError, Result};
 
 /// A typed message payload.
+///
+/// Bulk variants carry their data behind an [`Arc`] so the in-process
+/// router moves payloads by reference count instead of deep copy: a
+/// sender that hands over ownership pays `Arc::new` (one allocation, no
+/// element copy) and a broadcast to `k` peers shares one buffer.
+/// [`Payload::byte_size`] reads *through* the `Arc`, so traffic
+/// accounting is identical to the by-value representation.
 #[derive(Debug, Clone)]
 pub enum Payload {
     /// A dense tensor.
-    Tensor(Tensor),
+    Tensor(Arc<Tensor>),
     /// A sparse slice set.
-    Slices(IndexedSlices),
+    Slices(Arc<IndexedSlices>),
     /// A raw float buffer (collective chunks).
-    Floats(Vec<f32>),
+    Floats(Arc<Vec<f32>>),
     /// An index list (sparse pull requests).
     Ids(Vec<usize>),
     /// A small control message (barrier tokens, chief notifications).
@@ -62,25 +69,50 @@ impl Payload {
         }
     }
 
-    /// Unwraps a float buffer.
+    /// Unwraps a float buffer. Copies only if the buffer is still shared
+    /// with another holder (e.g. a broadcast sender).
     pub fn into_floats(self) -> Result<Vec<f32>> {
         match self {
-            Payload::Floats(f) => Ok(f),
-            Payload::Tensor(t) => Ok(t.into_data()),
+            Payload::Floats(f) => Ok(unwrap_shared(f)),
+            Payload::Tensor(t) => Ok(unwrap_shared(t).into_data()),
             _ => Err(CommError::PayloadKind { expected: "floats" }),
         }
     }
 
-    /// Unwraps a tensor.
+    /// Unwraps a tensor (copy-free when this is the last reference).
     pub fn into_tensor(self) -> Result<Tensor> {
+        match self {
+            Payload::Tensor(t) => Ok(unwrap_shared(t)),
+            _ => Err(CommError::PayloadKind { expected: "tensor" }),
+        }
+    }
+
+    /// Unwraps a float buffer without materializing an owned copy.
+    pub fn into_shared_floats(self) -> Result<Arc<Vec<f32>>> {
+        match self {
+            Payload::Floats(f) => Ok(f),
+            _ => Err(CommError::PayloadKind { expected: "floats" }),
+        }
+    }
+
+    /// Unwraps a tensor without materializing an owned copy.
+    pub fn into_shared_tensor(self) -> Result<Arc<Tensor>> {
         match self {
             Payload::Tensor(t) => Ok(t),
             _ => Err(CommError::PayloadKind { expected: "tensor" }),
         }
     }
 
-    /// Unwraps a slice set.
+    /// Unwraps a slice set (copy-free when this is the last reference).
     pub fn into_slices(self) -> Result<IndexedSlices> {
+        match self {
+            Payload::Slices(s) => Ok(unwrap_shared(s)),
+            _ => Err(CommError::PayloadKind { expected: "slices" }),
+        }
+    }
+
+    /// Unwraps a slice set without materializing an owned copy.
+    pub fn into_shared_slices(self) -> Result<Arc<IndexedSlices>> {
         match self {
             Payload::Slices(s) => Ok(s),
             _ => Err(CommError::PayloadKind { expected: "slices" }),
@@ -104,6 +136,11 @@ impl Payload {
             }),
         }
     }
+}
+
+/// Takes the value out of an `Arc`, cloning only when still shared.
+pub(crate) fn unwrap_shared<T: Clone>(a: Arc<T>) -> T {
+    Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone())
 }
 
 #[derive(Debug)]
@@ -294,7 +331,8 @@ mod tests {
         let e0 = eps.pop().unwrap();
         std::thread::scope(|s| {
             s.spawn(move || {
-                e0.send(1, 7, Payload::Floats(vec![1.0, 2.0, 3.0])).unwrap();
+                e0.send(1, 7, Payload::Floats(Arc::new(vec![1.0, 2.0, 3.0])))
+                    .unwrap();
             });
             let got = e1.recv(0, 7).unwrap().into_floats().unwrap();
             assert_eq!(got, vec![1.0, 2.0, 3.0]);
@@ -360,16 +398,28 @@ mod tests {
 
     #[test]
     fn payload_sizes() {
-        assert_eq!(Payload::Floats(vec![0.0; 10]).byte_size(), 40);
+        assert_eq!(Payload::Floats(Arc::new(vec![0.0; 10])).byte_size(), 40);
         assert_eq!(Payload::Ids(vec![0; 3]).byte_size(), 24);
         assert_eq!(Payload::Control(0).byte_size(), 8);
-        assert_eq!(Payload::Tensor(Tensor::zeros([4])).byte_size(), 16);
+        assert_eq!(
+            Payload::Tensor(Arc::new(Tensor::zeros([4]))).byte_size(),
+            16
+        );
     }
 
     #[test]
     fn payload_kind_errors() {
         assert!(Payload::Control(0).into_floats().is_err());
-        assert!(Payload::Floats(vec![]).into_ids().is_err());
+        assert!(Payload::Floats(Arc::new(vec![])).into_ids().is_err());
         assert!(Payload::Ids(vec![]).into_tensor().is_err());
+    }
+
+    #[test]
+    fn shared_payload_unwraps_without_copy_when_unique() {
+        let t = Arc::new(Tensor::zeros([8]));
+        let addr = t.data().as_ptr();
+        let out = Payload::Tensor(t).into_tensor().unwrap();
+        // Sole owner: the same allocation comes back.
+        assert!(std::ptr::eq(out.data().as_ptr(), addr));
     }
 }

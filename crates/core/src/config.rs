@@ -89,6 +89,11 @@ pub struct ParallaxConfig {
     /// Sparse variables with estimated `alpha` at or above this are
     /// treated as dense and AllReduced (Section 3.1's near-dense case).
     pub alpha_dense_threshold: f64,
+    /// Threads the shared compute-kernel pool may use (including the
+    /// calling thread). `None` keeps the pool's default (the machine's
+    /// available parallelism); `Some(1)` forces fully serial kernels.
+    /// Results are bitwise identical for every setting.
+    pub compute_threads: Option<usize>,
 }
 
 impl Default for ParallaxConfig {
@@ -109,6 +114,7 @@ impl Default for ParallaxConfig {
             sparse_partitions: None,
             group_partitions: Vec::new(),
             alpha_dense_threshold: 0.95,
+            compute_threads: None,
         }
     }
 }

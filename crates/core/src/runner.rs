@@ -191,6 +191,9 @@ pub fn get_runner(
         }
     }
     graph.validate()?;
+    if let Some(n) = config.compute_threads {
+        parallax_tensor::pool::configure_threads(n);
+    }
     let topo = PsTopology::new(gpus_per_machine).map_err(CoreError::Ps)?;
     let partitions = config
         .sparse_partitions
@@ -534,6 +537,9 @@ impl Runner {
         let mut norms = Vec::new();
         let mut compute_secs = 0.0f64;
         let sync = self.config.synchronous;
+        // Reused across iterations so the per-node value buffer is
+        // allocated once for the whole loop.
+        let mut acts = parallax_dataflow::Activations::new();
 
         for iter in 0..iterations {
             optimizer.set_learning_rate(
@@ -544,7 +550,7 @@ impl Runner {
             ctx.begin_iteration(iter as u64);
             let feed = feed_fn(widx, iter);
             let t0 = Instant::now();
-            let acts = session.forward(&feed, &mut ctx)?;
+            session.forward_into(&feed, &mut ctx, &mut acts)?;
             let grads = backward(&self.graph, &acts, self.loss)?;
             compute_secs += t0.elapsed().as_secs_f64();
             losses.push(acts.scalar(self.loss)?);

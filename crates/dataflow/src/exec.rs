@@ -8,12 +8,17 @@ use crate::varstore::VarProvider;
 use crate::{DataflowError, Result};
 
 /// An executed forward pass: the value of every node, in node order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Activations {
     values: Vec<Value>,
 }
 
 impl Activations {
+    /// An empty buffer, ready to be filled by [`Session::forward_into`].
+    pub fn new() -> Self {
+        Activations::default()
+    }
+
     /// The value of a node.
     pub fn value(&self, id: NodeId) -> Result<&Value> {
         self.values
@@ -64,12 +69,30 @@ impl<'g> Session<'g> {
     /// Variable reads and gathers are routed through `provider`, so the
     /// same graph runs against local replicas or a Parameter Server.
     pub fn forward<P: VarProvider>(&self, feed: &Feed, provider: &mut P) -> Result<Activations> {
-        let mut values: Vec<Value> = Vec::with_capacity(self.graph.num_nodes());
+        let mut acts = Activations::new();
+        self.forward_into(feed, provider, &mut acts)?;
+        Ok(acts)
+    }
+
+    /// Like [`Session::forward`], but reuses `out`'s node-value buffer.
+    ///
+    /// Training loops run the same graph every iteration; passing one
+    /// [`Activations`] across iterations keeps the per-node vector's
+    /// allocation alive instead of growing a fresh one per step.
+    pub fn forward_into<P: VarProvider>(
+        &self,
+        feed: &Feed,
+        provider: &mut P,
+        out: &mut Activations,
+    ) -> Result<()> {
+        let values = &mut out.values;
+        values.clear();
+        values.reserve(self.graph.num_nodes());
         for op in self.graph.ops() {
-            let value = self.eval(op, &values, feed, provider)?;
+            let value = self.eval(op, values, feed, provider)?;
             values.push(value);
         }
-        Ok(Activations { values })
+        Ok(())
     }
 
     fn eval<P: VarProvider>(

@@ -24,7 +24,7 @@ pub mod value;
 pub mod varstore;
 
 pub use error::DataflowError;
-pub use exec::Session;
+pub use exec::{Activations, Session};
 pub use graph::{Graph, NodeId, Op, PhId, VarId, VariableDef};
 pub use meta::MetaGraph;
 pub use optimizer::{Optimizer, Sgd};

@@ -83,9 +83,12 @@ impl SparseAccumulator {
         }
         self.parts.push(grad);
         if self.parts.len() == self.expected {
-            let joined = IndexedSlices::concat(&self.parts)?;
+            // Fused merge: sorts (index, part, slot) once and writes the
+            // coalesced rows directly, skipping the intermediate
+            // concatenated slice set.
+            let merged = IndexedSlices::coalesce_parts(&self.parts)?;
             self.parts.clear();
-            Ok(Some(joined.coalesce()))
+            Ok(Some(merged))
         } else {
             Ok(None)
         }

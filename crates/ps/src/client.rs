@@ -169,7 +169,7 @@ impl PsClient {
                     ReqKind::PushDense,
                     var.index(),
                     0,
-                    Payload::Tensor(t.clone()),
+                    Payload::Tensor(Arc::new(t.clone())),
                 )?;
                 Ok(())
             }
@@ -182,7 +182,7 @@ impl PsClient {
                         ReqKind::PushSparse,
                         var.index(),
                         p,
-                        Payload::Slices(part_grad),
+                        Payload::Slices(Arc::new(part_grad)),
                     )?;
                 }
                 Ok(())
@@ -235,8 +235,10 @@ impl PsClient {
                 protocol::response_tag(ReqKind::ReadAgg, var.index(), part, self.iter),
             )?;
             out.push(match payload {
-                Payload::Tensor(t) => Grad::Dense(t),
-                Payload::Slices(s) => Grad::Sparse(s),
+                // The server may still share the aggregate with other
+                // readers; clone only in that case.
+                Payload::Tensor(t) => Grad::Dense(Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone())),
+                Payload::Slices(s) => Grad::Sparse(Arc::try_unwrap(s).unwrap_or_else(|a| (*a).clone())),
                 _ => return Err(PsError::Protocol("unexpected ReadAgg payload".into())),
             });
         }

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 use parallax_comm::{Endpoint, Payload};
 use parallax_dataflow::optimizer::LrSchedule;
@@ -81,8 +82,9 @@ struct ShardState {
     sparse_acc: SparseAccumulator,
     /// Aggregate released by an accumulator, awaiting the chief trigger.
     pending: Option<Grad>,
-    /// The last applied aggregate, kept for `ReadAgg` requests.
-    last_aggregate: Option<Grad>,
+    /// The last applied aggregate, kept for `ReadAgg` requests. Stored
+    /// as a ready-to-send payload so all readers share one allocation.
+    last_aggregate: Option<Payload>,
     chief_seen: bool,
     pulls_seen: usize,
     applied: bool,
@@ -279,7 +281,7 @@ impl Server {
                 self.endpoint.send(
                     from,
                     protocol::response_tag(ReqKind::PullDense, var, part, iter),
-                    Payload::Tensor(value),
+                    Payload::Tensor(Arc::new(value)),
                 )?;
             }
             ReqKind::PullSparse => {
@@ -290,7 +292,7 @@ impl Server {
                 self.endpoint.send(
                     from,
                     protocol::response_tag(ReqKind::PullSparse, var, part, iter),
-                    Payload::Tensor(rows),
+                    Payload::Tensor(Arc::new(rows)),
                 )?;
             }
             ReqKind::PushDense => {
@@ -353,9 +355,10 @@ impl Server {
                         "ReadAgg before the shard's update applied".into(),
                     ));
                 }
+                // Cloning the stored payload bumps a reference count, so
+                // every reader of this shard shares one buffer.
                 let payload = match &shard.last_aggregate {
-                    Some(Grad::Dense(t)) => Payload::Tensor(t.clone()),
-                    Some(Grad::Sparse(s)) => Payload::Slices(s.clone()),
+                    Some(p) => p.clone(),
                     None => return Err(PsError::Protocol("no aggregate saved for shard".into())),
                 };
                 self.endpoint.send(
@@ -408,7 +411,10 @@ impl Server {
         let agg = shard.pending.take().expect("checked above").scale(scale);
         self.optimizer.apply(slot, &mut shard.value, &agg)?;
         shard.last_aggregate = if self.config.serve_aggregates {
-            Some(agg)
+            Some(match agg {
+                Grad::Dense(t) => Payload::Tensor(Arc::new(t)),
+                Grad::Sparse(s) => Payload::Slices(Arc::new(s)),
+            })
         } else {
             None
         };

@@ -10,6 +10,7 @@
 
 pub mod error;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod sparse;

@@ -1,8 +1,31 @@
 //! Matrix multiplication, transpose and row-gather kernels.
+//!
+//! The multiply kernels are cache-blocked: outputs are computed in
+//! `MR x NR` register tiles, with the B panel for a column block kept
+//! hot in L1 while every row tile streams past it. Within one output
+//! element the reduction over `p` runs ascending into a single
+//! accumulator — exactly the order the scalar reference kernels use —
+//! so blocked results match [`naive`] element-for-element, and the
+//! worker pool (which only splits disjoint output row ranges, see
+//! [`crate::pool`]) leaves results bit-for-bit identical to serial
+//! execution at any thread count.
 
+use crate::pool;
 use crate::sparse::IndexedSlices;
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
+
+/// Register-tile height (output rows per microkernel step).
+const MR: usize = 4;
+/// Register-tile width (output columns per microkernel step).
+const NR: usize = 16;
+/// Row count below which a matmul is not worth splitting across the pool.
+const MIN_ROWS_PER_CHUNK: usize = 8;
+/// Product count (`m * k * n`) below which the packed kernels lose to a
+/// plain loop: packing writes `m * k + k * NR` floats and performs two
+/// heap allocations per call, which dominates tiny problems (measured
+/// crossover on the dev box; see `DESIGN.md`).
+const SMALL_PRODUCTS: usize = 128 * 1024;
 
 fn matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     t.shape()
@@ -14,7 +37,274 @@ fn matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
         })
 }
 
-/// `A (m x k) * B (k x n) -> (m x n)`, plain ikj loop with a hoisted scalar.
+/// Dispatches [`matmul_rows_inner`] to an AVX2-compiled copy when the
+/// CPU supports it. The wide copy runs the identical per-lane operation
+/// sequence (no FMA contraction), so results match the portable path
+/// bit-for-bit.
+fn matmul_rows(ad: &[f32], bd: &[f32], chunk: &mut [f32], row0: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 feature was just detected at runtime.
+        return unsafe { matmul_rows_avx2(ad, bd, chunk, row0, k, n) };
+    }
+    matmul_rows_inner(ad, bd, chunk, row0, k, n);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_rows_avx2(ad: &[f32], bd: &[f32], chunk: &mut [f32], row0: usize, k: usize, n: usize) {
+    matmul_rows_inner(ad, bd, chunk, row0, k, n);
+}
+
+/// Plain-loop fallback for tiny `A * B` problems, where the packed
+/// kernels' per-call allocations and packing writes dominate. Every
+/// output element still accumulates over `p` ascending into a single
+/// f32, so results are bit-for-bit identical to the packed kernel.
+fn small_matmul(ad: &[f32], bd: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Tiny-problem fallback for `A^T * B` (A laid out `[p][i]`); same
+/// ascending-`p` per-element order as the packed kernel.
+fn small_matmul_at_b(ad: &[f32], bd: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Tiny-problem fallback for `A * B^T`: row-by-row dot products, again
+/// reducing over `p` ascending, with no transposed scratch buffer.
+fn small_matmul_a_bt(ad: &[f32], bd: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Packs the `NR`-wide B column panel starting at `j0` into `bpack`
+/// (`bpack[p * NR + c] = B[p][j0 + c]`), zero-padding columns past `jw`.
+/// Padded lanes feed accumulator columns that are never stored, so they
+/// cannot affect results.
+#[inline(always)]
+fn pack_b_panel(bd: &[f32], bpack: &mut [f32], j0: usize, jw: usize, k: usize, n: usize) {
+    for p in 0..k {
+        let dst = &mut bpack[p * NR..p * NR + NR];
+        dst[..jw].copy_from_slice(&bd[p * n + j0..p * n + j0 + jw]);
+        for z in dst[jw..].iter_mut() {
+            *z = 0.0;
+        }
+    }
+}
+
+/// The register microkernel: a full `MR x NR` output tile over packed
+/// operands (`apack[p * MR + r]`, `bpack[p * NR + c]`), accumulating `p`
+/// ascending into one accumulator per element — the same per-element
+/// operation order as the scalar reference kernels.
+#[inline(always)]
+fn microkernel(apack: &[f32], bpack: &[f32], k: usize) -> [[f32; NR]; MR] {
+    #[inline(always)]
+    fn step(acc: &mut [[f32; NR]; MR], apack: &[f32], bpack: &[f32], p: usize) {
+        let at: &[f32; MR] = apack[p * MR..p * MR + MR].try_into().unwrap();
+        let bv: &[f32; NR] = bpack[p * NR..p * NR + NR].try_into().unwrap();
+        for r in 0..MR {
+            let av = at[r];
+            for c in 0..NR {
+                acc[r][c] += av * bv[c];
+            }
+        }
+    }
+    let mut acc = [[0.0f32; NR]; MR];
+    // Unrolled by two: halves loop overhead and lets the second step's
+    // loads issue while the first step's adds retire.
+    let mut p = 0;
+    while p + 2 <= k {
+        step(&mut acc, apack, bpack, p);
+        step(&mut acc, apack, bpack, p + 1);
+        p += 2;
+    }
+    if p < k {
+        step(&mut acc, apack, bpack, p);
+    }
+    acc
+}
+
+/// Stores the live `iw x jw` corner of an accumulator tile into `chunk`.
+#[inline(always)]
+fn store_tile(
+    chunk: &mut [f32],
+    acc: &[[f32; NR]; MR],
+    i: usize,
+    j0: usize,
+    iw: usize,
+    jw: usize,
+    n: usize,
+) {
+    for r in 0..iw {
+        chunk[(i + r) * n + j0..(i + r) * n + j0 + jw].copy_from_slice(&acc[r][..jw]);
+    }
+}
+
+/// Computes rows `[row0, row0 + chunk_rows)` of `A (m x k) * B (k x n)`
+/// into `chunk`. Each `NR`-wide column panel of B is packed contiguously
+/// once and stays L1-resident while every `MR`-row tile of A streams
+/// past it; A tiles are packed transposed so the microkernel reads both
+/// operands sequentially.
+#[inline(always)]
+fn matmul_rows_inner(ad: &[f32], bd: &[f32], chunk: &mut [f32], row0: usize, k: usize, n: usize) {
+    let nrows = chunk.len() / n;
+    let tiles = nrows.div_ceil(MR);
+    // Pack every A tile once, transposed and zero-padded: tile t holds
+    // apack[t*k*MR + p*MR + r] = A[row0 + t*MR + r][p]. Padded rows feed
+    // accumulators that are never stored.
+    let mut apack = vec![0.0f32; tiles * k * MR];
+    for t in 0..tiles {
+        let i = t * MR;
+        let iw = MR.min(nrows - i);
+        let blk = &mut apack[t * k * MR..(t + 1) * k * MR];
+        for r in 0..iw {
+            let arow = &ad[(row0 + i + r) * k..(row0 + i + r + 1) * k];
+            for (p, &av) in arow.iter().enumerate() {
+                blk[p * MR + r] = av;
+            }
+        }
+    }
+    let mut bpack = vec![0.0f32; k * NR];
+    let mut j0 = 0;
+    while j0 < n {
+        let jw = NR.min(n - j0);
+        pack_b_panel(bd, &mut bpack, j0, jw, k, n);
+        for t in 0..tiles {
+            let i = t * MR;
+            let iw = MR.min(nrows - i);
+            let acc = microkernel(&apack[t * k * MR..(t + 1) * k * MR], &bpack, k);
+            store_tile(chunk, &acc, i, j0, iw, jw, n);
+        }
+        j0 += jw;
+    }
+}
+
+/// AVX2/portable dispatcher for [`matmul_at_b_rows_inner`]; see
+/// [`matmul_rows`] for why the result is identical either way.
+fn matmul_at_b_rows(
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 feature was just detected at runtime.
+        return unsafe { matmul_at_b_rows_avx2(ad, bd, chunk, row0, k, m, n) };
+    }
+    matmul_at_b_rows_inner(ad, bd, chunk, row0, k, m, n);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_at_b_rows_avx2(
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    matmul_at_b_rows_inner(ad, bd, chunk, row0, k, m, n);
+}
+
+/// Computes rows `[row0, row0 + chunk_rows)` of `A^T (k x m)^T * B (k x n)`
+/// into `chunk`. A is already laid out `[p][i]`, so the A tile packs
+/// with contiguous reads and no transpose is materialized.
+#[inline(always)]
+fn matmul_at_b_rows_inner(
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let nrows = chunk.len() / n;
+    let tiles = nrows.div_ceil(MR);
+    // apack[t*k*MR + p*MR + r] = A[p][row0 + t*MR + r]; contiguous source.
+    let mut apack = vec![0.0f32; tiles * k * MR];
+    for t in 0..tiles {
+        let i = t * MR;
+        let iw = MR.min(nrows - i);
+        let blk = &mut apack[t * k * MR..(t + 1) * k * MR];
+        for p in 0..k {
+            blk[p * MR..p * MR + iw]
+                .copy_from_slice(&ad[p * m + row0 + i..p * m + row0 + i + iw]);
+        }
+    }
+    let mut bpack = vec![0.0f32; k * NR];
+    let mut j0 = 0;
+    while j0 < n {
+        let jw = NR.min(n - j0);
+        pack_b_panel(bd, &mut bpack, j0, jw, k, n);
+        for t in 0..tiles {
+            let i = t * MR;
+            let iw = MR.min(nrows - i);
+            let acc = microkernel(&apack[t * k * MR..(t + 1) * k * MR], &bpack, k);
+            store_tile(chunk, &acc, i, j0, iw, jw, n);
+        }
+        j0 += jw;
+    }
+}
+
+/// Cache-blocked transpose of an `m x n` row-major buffer into `out`
+/// (which becomes `n x m`). Square blocks keep both the read and write
+/// streams within a few cache lines at a time.
+fn transpose_into(ad: &[f32], out: &mut [f32], m: usize, n: usize) {
+    const TB: usize = 32;
+    let mut ii = 0;
+    while ii < m {
+        let ih = (ii + TB).min(m);
+        let mut jj = 0;
+        while jj < n {
+            let jh = (jj + TB).min(n);
+            for i in ii..ih {
+                let arow = &ad[i * n..i * n + n];
+                for j in jj..jh {
+                    out[j * m + i] = arow[j];
+                }
+            }
+            jj = jh;
+        }
+        ii = ih;
+    }
+}
+
+/// `A (m x k) * B (k x n) -> (m x n)`, cache-blocked and parallelized
+/// over disjoint output row ranges.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = matrix(a, "matmul lhs")?;
     let (k2, n) = matrix(b, "matmul rhs")?;
@@ -26,19 +316,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        for p in 0..k {
-            let aip = ad[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += aip * bv;
-            }
+    if m > 0 && n > 0 {
+        let ad = a.data();
+        let bd = b.data();
+        if m * k * n <= SMALL_PRODUCTS {
+            small_matmul(ad, bd, &mut out, m, k, n);
+        } else {
+            pool::parallel_rows(&mut out, m, MIN_ROWS_PER_CHUNK, |row0, chunk| {
+                matmul_rows(ad, bd, chunk, row0, k, n);
+            });
         }
     }
     Tensor::new([m, n], out)
@@ -57,26 +343,24 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
+    if m > 0 && n > 0 {
+        let ad = a.data();
+        let bd = b.data();
+        if m * k * n <= SMALL_PRODUCTS {
+            small_matmul_at_b(ad, bd, &mut out, k, m, n);
+        } else {
+            pool::parallel_rows(&mut out, m, MIN_ROWS_PER_CHUNK, |row0, chunk| {
+                matmul_at_b_rows(ad, bd, chunk, row0, k, m, n);
+            });
         }
     }
     Tensor::new([m, n], out)
 }
 
 /// `A (m x k) * B^T (n x k)^T -> (m x n)`; used for input gradients
-/// (`dX = dY * W^T`) without materializing the transpose.
+/// (`dX = dY * W^T`). B is transposed once into a scratch buffer so the
+/// multiply runs the column-contiguous blocked kernel; the reduction
+/// order per output element is unchanged.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = matrix(a, "matmul_a_bt lhs")?;
     let (n, k2) = matrix(b, "matmul_a_bt rhs")?;
@@ -88,31 +372,27 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            out[i * n + j] = acc;
+    if m > 0 && n > 0 {
+        let ad = a.data();
+        let bd = b.data();
+        if m * k * n <= SMALL_PRODUCTS {
+            small_matmul_a_bt(ad, bd, &mut out, m, k, n);
+        } else {
+            let mut bt = vec![0.0f32; k * n];
+            transpose_into(bd, &mut bt, n, k);
+            pool::parallel_rows(&mut out, m, MIN_ROWS_PER_CHUNK, |row0, chunk| {
+                matmul_rows(ad, &bt, chunk, row0, k, n);
+            });
         }
     }
     Tensor::new([m, n], out)
 }
 
-/// Matrix transpose.
+/// Cache-blocked matrix transpose.
 pub fn transpose(a: &Tensor) -> Result<Tensor> {
     let (m, n) = matrix(a, "transpose")?;
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = a.data()[i * n + j];
-        }
-    }
+    transpose_into(a.data(), &mut out, m, n);
     Tensor::new([n, m], out)
 }
 
@@ -143,12 +423,130 @@ pub fn gather_rows_grad(
     IndexedSlices::new(ids.to_vec(), upstream.clone(), table_rows)
 }
 
+/// Scalar reference kernels: the original straight-line loops, kept as
+/// the oracle for property tests and for before/after throughput
+/// measurements (`repro kernels`). Not compiled into release builds
+/// unless the `reference-kernels` feature is on.
+#[cfg(any(test, feature = "reference-kernels"))]
+pub mod naive {
+    use super::matrix;
+    use crate::tensor::Tensor;
+    use crate::{Result, TensorError};
+
+    /// Reference `A (m x k) * B (k x n)`: plain ikj loop with a hoisted
+    /// scalar and a zero-skip.
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k) = matrix(a, "matmul lhs")?;
+        let (k2, n) = matrix(b, "matmul rhs")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: a.shape().dims().to_vec(),
+                rhs: b.shape().dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        let ad = a.data();
+        let bd = b.data();
+        for i in 0..m {
+            for p in 0..k {
+                let aip = ad[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        }
+        Tensor::new([m, n], out)
+    }
+
+    /// Reference `A^T * B`: p-outer axpy loops.
+    pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (k, m) = matrix(a, "matmul_at_b lhs")?;
+        let (k2, n) = matrix(b, "matmul_at_b rhs")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_at_b",
+                lhs: a.shape().dims().to_vec(),
+                rhs: b.shape().dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        let ad = a.data();
+        let bd = b.data();
+        for p in 0..k {
+            let arow = &ad[p * m..(p + 1) * m];
+            let brow = &bd[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::new([m, n], out)
+    }
+
+    /// Reference `A * B^T`: scalar dot products.
+    pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k) = matrix(a, "matmul_a_bt lhs")?;
+        let (n, k2) = matrix(b, "matmul_a_bt rhs")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_a_bt",
+                lhs: a.shape().dims().to_vec(),
+                rhs: b.shape().dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        let ad = a.data();
+        let bd = b.data();
+        for i in 0..m {
+            let arow = &ad[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::new([m, n], out)
+    }
+
+    /// Reference transpose: element-at-a-time.
+    pub fn transpose(a: &Tensor) -> Result<Tensor> {
+        let (m, n) = matrix(a, "transpose")?;
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a.data()[i * n + j];
+            }
+        }
+        Tensor::new([n, m], out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::DetRng;
 
     fn t(dims: &[usize], data: &[f32]) -> Tensor {
         Tensor::new(dims, data.to_vec()).unwrap()
+    }
+
+    fn random(rng: &mut DetRng, rows: usize, cols: usize) -> Tensor {
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.normal() * 0.5).collect();
+        Tensor::new([rows, cols], data).unwrap()
     }
 
     #[test]
@@ -189,6 +587,40 @@ mod tests {
     fn transpose_involution() {
         let a = t(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
         assert_eq!(transpose(&transpose(&a).unwrap()).unwrap(), a);
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_on_awkward_shapes() {
+        // Shapes straddling the MR/NR tile boundaries, including exact
+        // multiples and off-by-one remainders.
+        let mut rng = DetRng::seed(11);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 17),
+            (13, 1, 29),
+            (16, 32, 8),
+            (33, 17, 9),
+        ] {
+            let a = random(&mut rng, m, k);
+            let b = random(&mut rng, k, n);
+            assert_eq!(matmul(&a, &b).unwrap(), naive::matmul(&a, &b).unwrap());
+
+            let at = random(&mut rng, k, m);
+            assert_eq!(
+                matmul_at_b(&at, &b).unwrap(),
+                naive::matmul_at_b(&at, &b).unwrap()
+            );
+
+            let bt = random(&mut rng, n, k);
+            assert_eq!(
+                matmul_a_bt(&a, &bt).unwrap(),
+                naive::matmul_a_bt(&a, &bt).unwrap()
+            );
+
+            assert_eq!(transpose(&a).unwrap(), naive::transpose(&a).unwrap());
+        }
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! A small shared compute-worker pool for data-parallel kernels.
+//!
+//! Kernels split work across **disjoint output row ranges** only, so the
+//! per-element accumulation order never depends on the thread count and
+//! pooled results are bit-for-bit identical to serial execution (the
+//! distributed-runner tests rely on bitwise reproducibility against
+//! sequential SGD).
+//!
+//! Workers are spawned lazily on first use and shared process-wide; a
+//! kernel call dispatches its chunks to the pool and runs the first
+//! chunk on the calling thread. Pool workers never re-enter the pool
+//! (nested calls run inline), which rules out dispatch deadlocks.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Requested worker count; 0 means "use the default".
+static DESIRED: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of compute threads kernels may use (including the
+/// calling thread). `1` forces fully serial execution. Results are
+/// identical for every setting; only wall-clock time changes.
+pub fn configure_threads(n: usize) {
+    DESIRED.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The number of compute threads kernels currently use: the configured
+/// value, or the machine's available parallelism by default.
+pub fn effective_threads() -> usize {
+    match DESIRED.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+struct Shared {
+    tx: Sender<Task>,
+    rx: Receiver<Task>,
+    spawned: Mutex<usize>,
+}
+
+/// One chunk of a dispatched batch. The pointer stays valid because the
+/// dispatching call blocks until every chunk has completed.
+#[derive(Clone, Copy)]
+struct Task {
+    batch: *const Batch,
+    index: usize,
+}
+
+// SAFETY: the Batch behind the pointer is Sync and outlives the task
+// (see `run_batch`: the owner waits for `remaining == 0` on every path,
+// including unwinding).
+unsafe impl Send for Task {}
+
+struct Batch {
+    /// Lifetime-erased chunk body; valid for the duration of the batch.
+    f: *const (dyn Fn(usize) + Sync),
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: all interior state is behind Mutex/Condvar; `f` points at a
+// Sync closure.
+unsafe impl Sync for Batch {}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let (tx, rx) = unbounded();
+        Shared {
+            tx,
+            rx,
+            spawned: Mutex::new(0),
+        }
+    })
+}
+
+thread_local! {
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn ensure_workers(n: usize) {
+    let s = shared();
+    let mut spawned = s.spawned.lock().unwrap_or_else(|e| e.into_inner());
+    while *spawned < n {
+        let rx = s.rx.clone();
+        std::thread::Builder::new()
+            .name(format!("parallax-compute-{spawned}"))
+            .spawn(move || {
+                IS_WORKER.set(true);
+                while let Ok(task) = rx.recv() {
+                    run_task(task);
+                }
+            })
+            .expect("spawn compute worker");
+        *spawned += 1;
+    }
+}
+
+fn run_task(task: Task) {
+    // SAFETY: the batch outlives the task (run_batch blocks until
+    // `remaining` hits zero before returning).
+    let batch = unsafe { &*task.batch };
+    let f = unsafe { &*batch.f };
+    let result = catch_unwind(AssertUnwindSafe(|| f(task.index)));
+    if let Err(payload) = result {
+        let mut slot = batch.panic.lock().unwrap_or_else(|e| e.into_inner());
+        slot.get_or_insert(payload);
+    }
+    let mut remaining = batch.remaining.lock().unwrap_or_else(|e| e.into_inner());
+    *remaining -= 1;
+    if *remaining == 0 {
+        batch.done.notify_all();
+    }
+}
+
+/// Runs `f(0), f(1), …, f(chunks - 1)`, possibly concurrently on pool
+/// workers. Chunk 0 executes on the calling thread. Returns (or
+/// resumes a chunk's panic) only after every chunk finished; bodies
+/// must therefore partition their output so chunks never overlap.
+pub fn run_batch(chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if chunks == 0 {
+        return;
+    }
+    if chunks == 1 || IS_WORKER.get() {
+        for i in 0..chunks {
+            f(i);
+        }
+        return;
+    }
+    ensure_workers(chunks - 1);
+    // SAFETY: erase the borrow's lifetime to store it in Batch; the
+    // batch is dropped (after all chunks finish) before `f` goes away.
+    let f_erased: *const (dyn Fn(usize) + Sync + 'static) =
+        unsafe { std::mem::transmute(f as *const (dyn Fn(usize) + Sync + '_)) };
+    let batch = Batch {
+        f: f_erased,
+        remaining: Mutex::new(chunks - 1),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    };
+    let s = shared();
+    for index in 1..chunks {
+        s.tx.send(Task {
+            batch: &batch,
+            index,
+        })
+        .expect("compute pool channel closed");
+    }
+    let mine = catch_unwind(AssertUnwindSafe(|| f(0)));
+    let mut remaining = batch.remaining.lock().unwrap_or_else(|e| e.into_inner());
+    while *remaining > 0 {
+        remaining = batch
+            .done
+            .wait(remaining)
+            .unwrap_or_else(|e| e.into_inner());
+    }
+    drop(remaining);
+    if let Err(payload) = mine {
+        resume_unwind(payload);
+    }
+    let worker_panic = batch.panic.into_inner().unwrap_or_else(|e| e.into_inner());
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
+/// Splits `out` (a `rows x row_len` buffer) into contiguous row chunks
+/// and runs `body(first_row, chunk)` for each, in parallel when the
+/// pool has threads to spare. Chunks are disjoint, so any `body` that
+/// derives a row's value only from `first_row` and read-only inputs
+/// produces bitwise-identical output at every thread count.
+pub fn parallel_rows(
+    out: &mut [f32],
+    rows: usize,
+    min_rows_per_chunk: usize,
+    body: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if rows == 0 {
+        return;
+    }
+    let row_len = out.len() / rows;
+    debug_assert_eq!(out.len(), rows * row_len, "out must be rows x row_len");
+    let chunks = effective_threads()
+        .min(rows / min_rows_per_chunk.max(1))
+        .max(1);
+    if chunks == 1 {
+        body(0, out);
+        return;
+    }
+    // Even split with the remainder spread over the first chunks.
+    let base_rows = rows / chunks;
+    let extra = rows % chunks;
+    let start_row = |c: usize| c * base_rows + c.min(extra);
+    // The chunks are disjoint row ranges of `out`; share the base
+    // pointer as an address so the dispatch closure stays Sync.
+    let base_addr = out.as_mut_ptr() as usize;
+    run_batch(chunks, &|c| {
+        let (lo, hi) = (start_row(c), start_row(c + 1));
+        // SAFETY: [lo, hi) ranges are disjoint across chunks and lie
+        // within `out`, which outlives the batch.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(
+                (base_addr as *mut f32).add(lo * row_len),
+                (hi - lo) * row_len,
+            )
+        };
+        body(lo, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn run_batch_covers_every_chunk() {
+        configure_threads(3);
+        let hits: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        run_batch(8, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn parallel_rows_partitions_exactly() {
+        configure_threads(4);
+        let rows = 37;
+        let row_len = 3;
+        let mut out = vec![0.0f32; rows * row_len];
+        parallel_rows(&mut out, rows, 1, |first_row, chunk| {
+            for (r, row) in chunk.chunks_mut(row_len).enumerate() {
+                for v in row {
+                    *v = (first_row + r) as f32;
+                }
+            }
+        });
+        for r in 0..rows {
+            for c in 0..row_len {
+                assert_eq!(out[r * row_len + c], r as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        configure_threads(2);
+        let result = catch_unwind(|| {
+            run_batch(4, &|i| {
+                if i == 3 {
+                    panic!("chunk boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+        // The pool stays usable after a panic.
+        run_batch(2, &|_| {});
+    }
+}

@@ -6,10 +6,19 @@
 //! ratio `alpha` from the paper (Section 2.2) is the ratio of *distinct*
 //! rows touched in a step to the total number of rows.
 
-use std::collections::HashMap;
-
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
+
+/// Returns the entry slots sorted by `(row index, slot)`: groups of
+/// equal row indices are contiguous and, within a group, slots keep
+/// their original order. One sorted permutation serves both duplicate
+/// merging ([`IndexedSlices::coalesce`]) and distinct-row counting
+/// ([`IndexedSlices::alpha`]).
+fn sorted_slot_order(indices: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..indices.len()).collect();
+    order.sort_unstable_by_key(|&slot| (indices[slot], slot));
+    order
+}
 
 /// A sparse update/gradient for a 2-D variable: `values[i]` applies to row
 /// `indices[i]` of the variable. Indices may repeat (e.g. the same word
@@ -92,10 +101,17 @@ impl IndexedSlices {
         if self.dense_rows == 0 {
             return 0.0;
         }
-        let mut seen: Vec<usize> = self.indices.clone();
-        seen.sort_unstable();
-        seen.dedup();
-        seen.len() as f64 / self.dense_rows as f64
+        let order = sorted_slot_order(&self.indices);
+        let mut distinct = 0usize;
+        let mut prev = usize::MAX;
+        for &slot in &order {
+            let idx = self.indices[slot];
+            if distinct == 0 || idx != prev {
+                distinct += 1;
+                prev = idx;
+            }
+        }
+        distinct as f64 / self.dense_rows as f64
     }
 
     /// # Examples
@@ -118,47 +134,108 @@ impl IndexedSlices {
     /// This is the "gradient aggregation for sparse variables requires
     /// iterating through nonzero indices one by one" operation whose cost
     /// partitioning parallelizes (Section 3.2).
+    /// Sort-based: one index permutation, two exact-size output buffers,
+    /// no per-row allocations. Duplicates accumulate in original slot
+    /// order within each index group, matching a slot-order hash-merge
+    /// exactly.
     pub fn coalesce(&self) -> IndexedSlices {
         let cols = self.cols();
-        let mut map: HashMap<usize, Vec<f32>> = HashMap::new();
-        for (slot, &idx) in self.indices.iter().enumerate() {
-            let row = &self.values.data()[slot * cols..(slot + 1) * cols];
-            match map.get_mut(&idx) {
-                Some(acc) => {
-                    for (a, b) in acc.iter_mut().zip(row) {
-                        *a += b;
-                    }
+        let vals = self.values.data();
+        let order = sorted_slot_order(&self.indices);
+        let mut indices: Vec<usize> = Vec::with_capacity(order.len());
+        let mut data: Vec<f32> = Vec::with_capacity(vals.len());
+        for &slot in &order {
+            let idx = self.indices[slot];
+            let row = &vals[slot * cols..(slot + 1) * cols];
+            if indices.last() == Some(&idx) {
+                let base = data.len() - cols;
+                for (a, &b) in data[base..].iter_mut().zip(row) {
+                    *a += b;
                 }
-                None => {
-                    map.insert(idx, row.to_vec());
-                }
+            } else {
+                indices.push(idx);
+                data.extend_from_slice(row);
             }
         }
-        let mut keys: Vec<usize> = map.keys().copied().collect();
-        keys.sort_unstable();
-        let mut data = Vec::with_capacity(keys.len() * cols);
-        for k in &keys {
-            data.extend_from_slice(&map[k]);
-        }
-        let values = Tensor::new([keys.len(), cols], data).expect("coalesce shape is consistent");
+        let values = Tensor::new([indices.len(), cols], data).expect("coalesce shape is consistent");
         IndexedSlices {
-            indices: keys,
+            indices,
             values,
             dense_rows: self.dense_rows,
         }
     }
 
-    /// Concatenates several slice sets (the `AllGatherv` aggregation of the
-    /// AR architecture): indices and values are appended in argument order.
-    pub fn concat(parts: &[IndexedSlices]) -> Result<IndexedSlices> {
+    /// Coalesces the logical concatenation of several slice sets without
+    /// materializing it: equivalent to `concat(parts)?.coalesce()` (the
+    /// release path of the sparse gradient accumulator), with value rows
+    /// read in place from each part.
+    pub fn coalesce_parts<'a>(
+        parts: impl IntoIterator<Item = &'a IndexedSlices>,
+    ) -> Result<IndexedSlices> {
+        let parts: Vec<&IndexedSlices> = parts.into_iter().collect();
         let first = parts
             .first()
-            .ok_or_else(|| TensorError::InvalidArgument("concat of zero IndexedSlices".into()))?;
+            .ok_or_else(|| TensorError::InvalidArgument("coalesce of zero IndexedSlices".into()))?;
+        let cols = first.cols();
+        let dense_rows = first.dense_rows;
+        let mut total = 0usize;
+        for p in &parts {
+            if p.cols() != cols || p.dense_rows != dense_rows {
+                return Err(TensorError::ShapeMismatch {
+                    op: "IndexedSlices::coalesce_parts",
+                    lhs: vec![dense_rows, cols],
+                    rhs: vec![p.dense_rows, p.cols()],
+                });
+            }
+            total += p.indices.len();
+        }
+        // Global slots ordered as in concat: (part, local slot) ascending.
+        let mut order: Vec<(usize, usize)> = Vec::with_capacity(total);
+        for (pi, p) in parts.iter().enumerate() {
+            order.extend((0..p.indices.len()).map(|s| (pi, s)));
+        }
+        order.sort_unstable_by_key(|&(pi, s)| (parts[pi].indices[s], pi, s));
+        let mut indices: Vec<usize> = Vec::with_capacity(total);
+        let mut data: Vec<f32> = Vec::with_capacity(total * cols);
+        for &(pi, slot) in &order {
+            let part = parts[pi];
+            let idx = part.indices[slot];
+            let row = &part.values.data()[slot * cols..(slot + 1) * cols];
+            if indices.last() == Some(&idx) {
+                let base = data.len() - cols;
+                for (a, &b) in data[base..].iter_mut().zip(row) {
+                    *a += b;
+                }
+            } else {
+                indices.push(idx);
+                data.extend_from_slice(row);
+            }
+        }
+        let values = Tensor::new([indices.len(), cols], data)?;
+        Ok(IndexedSlices {
+            indices,
+            values,
+            dense_rows,
+        })
+    }
+
+    /// Concatenates several slice sets (the `AllGatherv` aggregation of the
+    /// AR architecture): indices and values are appended in argument order.
+    ///
+    /// Accepts any borrowable parts (`&[IndexedSlices]`,
+    /// `&[Arc<IndexedSlices>]`, …) so shared buffers coming off the
+    /// transport concatenate without materializing owned copies first.
+    pub fn concat<S: std::borrow::Borrow<IndexedSlices>>(parts: &[S]) -> Result<IndexedSlices> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("concat of zero IndexedSlices".into()))?
+            .borrow();
         let cols = first.cols();
         let dense_rows = first.dense_rows;
         let mut indices = Vec::new();
         let mut data = Vec::new();
         for p in parts {
+            let p = p.borrow();
             if p.cols() != cols || p.dense_rows != dense_rows {
                 return Err(TensorError::ShapeMismatch {
                     op: "IndexedSlices::concat",
@@ -209,19 +286,27 @@ impl IndexedSlices {
         F: Fn(usize) -> (usize, usize),
     {
         let cols = self.cols();
-        let mut idx_parts: Vec<Vec<usize>> = vec![Vec::new(); buckets];
-        let mut val_parts: Vec<Vec<f32>> = vec![Vec::new(); buckets];
+        // Counting-sort style: route once, then fill exactly-sized
+        // buffers in slot order (identical output to repeated pushes,
+        // without amortized-growth reallocations).
+        let routed: Vec<(usize, usize)> = self.indices.iter().map(|&idx| route(idx)).collect();
+        let mut counts: Vec<usize> = vec![0; buckets];
         let mut rows_parts: Vec<usize> = vec![0; buckets];
-        for (slot, &idx) in self.indices.iter().enumerate() {
-            let (bucket, local) = route(idx);
+        for &(bucket, local) in &routed {
+            counts[bucket] += 1;
+            // Each bucket's dense_rows must cover its largest local
+            // index; the caller re-labels with true partition sizes, so
+            // use a safe bound.
+            rows_parts[bucket] = rows_parts[bucket].max(local + 1);
+        }
+        let mut idx_parts: Vec<Vec<usize>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        let mut val_parts: Vec<Vec<f32>> =
+            counts.iter().map(|&c| Vec::with_capacity(c * cols)).collect();
+        for (slot, &(bucket, local)) in routed.iter().enumerate() {
             idx_parts[bucket].push(local);
             val_parts[bucket]
                 .extend_from_slice(&self.values.data()[slot * cols..(slot + 1) * cols]);
-        }
-        // Each bucket's dense_rows must cover its largest local index; the
-        // caller re-labels with true partition sizes, so use a safe bound.
-        for (b, part) in idx_parts.iter().enumerate() {
-            rows_parts[b] = part.iter().copied().max().map(|m| m + 1).unwrap_or(0);
         }
         idx_parts
             .into_iter()
@@ -350,6 +435,16 @@ mod tests {
         let direct = s.to_dense();
         let via = s.coalesce().to_dense();
         assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn coalesce_parts_matches_concat_then_coalesce() {
+        let a = slices(vec![4, 1, 4], vec![vec![1., 2.], vec![3., 4.], vec![5., 6.]], 6);
+        let b = slices(vec![1, 0], vec![vec![7., 8.], vec![9., 10.]], 6);
+        let fused = IndexedSlices::coalesce_parts([&a, &b]).unwrap();
+        let via = IndexedSlices::concat(&[a, b]).unwrap().coalesce();
+        assert_eq!(fused, via);
+        assert!(IndexedSlices::coalesce_parts([]).is_err());
     }
 
     #[test]

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, the whole test suite, and a
+# warning-free clippy pass over every target. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"
