@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algebra_props-2ecac079f02322a9.d: crates/tensor/tests/algebra_props.rs
+
+/root/repo/target/debug/deps/algebra_props-2ecac079f02322a9: crates/tensor/tests/algebra_props.rs
+
+crates/tensor/tests/algebra_props.rs:

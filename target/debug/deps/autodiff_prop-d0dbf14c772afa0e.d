@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autodiff_prop-d0dbf14c772afa0e.d: crates/dataflow/tests/autodiff_prop.rs
+
+/root/repo/target/debug/deps/autodiff_prop-d0dbf14c772afa0e: crates/dataflow/tests/autodiff_prop.rs
+
+crates/dataflow/tests/autodiff_prop.rs:

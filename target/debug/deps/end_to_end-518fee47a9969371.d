@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-518fee47a9969371.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-518fee47a9969371: tests/end_to_end.rs
+
+tests/end_to_end.rs:

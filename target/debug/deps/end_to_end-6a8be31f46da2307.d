@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6a8be31f46da2307.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6a8be31f46da2307: tests/end_to_end.rs
+
+tests/end_to_end.rs:

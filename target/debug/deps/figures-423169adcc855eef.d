@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-423169adcc855eef.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-423169adcc855eef: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_props-37f61781381bd090.d: crates/tensor/tests/kernel_props.rs
+
+/root/repo/target/debug/deps/kernel_props-37f61781381bd090: crates/tensor/tests/kernel_props.rs
+
+crates/tensor/tests/kernel_props.rs:

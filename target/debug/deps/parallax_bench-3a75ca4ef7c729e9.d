@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallax_bench-3a75ca4ef7c729e9.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libparallax_bench-3a75ca4ef7c729e9.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libparallax_bench-3a75ca4ef7c729e9.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

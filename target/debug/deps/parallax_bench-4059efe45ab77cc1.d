@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parallax_bench-4059efe45ab77cc1.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/kernels.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libparallax_bench-4059efe45ab77cc1.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/kernels.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libparallax_bench-4059efe45ab77cc1.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/kernels.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/kernels.rs:
+crates/bench/src/report.rs:

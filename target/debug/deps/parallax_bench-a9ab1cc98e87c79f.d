@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parallax_bench-a9ab1cc98e87c79f.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/kernels.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/parallax_bench-a9ab1cc98e87c79f: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/kernels.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/kernels.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parallax_cluster-50af446273f0c216.d: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/libparallax_cluster-50af446273f0c216.rlib: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/libparallax_cluster-50af446273f0c216.rmeta: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/costmodel.rs:
+crates/cluster/src/des.rs:
+crates/cluster/src/hardware.rs:
+crates/cluster/src/sim.rs:
+crates/cluster/src/spec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parallax_cluster-550f97ac64f39aaa.d: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/parallax_cluster-550f97ac64f39aaa: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/costmodel.rs:
+crates/cluster/src/des.rs:
+crates/cluster/src/hardware.rs:
+crates/cluster/src/sim.rs:
+crates/cluster/src/spec.rs:

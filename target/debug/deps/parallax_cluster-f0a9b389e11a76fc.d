@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parallax_cluster-f0a9b389e11a76fc.d: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/libparallax_cluster-f0a9b389e11a76fc.rlib: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/debug/deps/libparallax_cluster-f0a9b389e11a76fc.rmeta: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/costmodel.rs:
+crates/cluster/src/des.rs:
+crates/cluster/src/hardware.rs:
+crates/cluster/src/sim.rs:
+crates/cluster/src/spec.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/parallax_comm-6e0fb3dd2e36eb81.d: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallax_comm-6e0fb3dd2e36eb81.rmeta: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/collectives.rs:
+crates/comm/src/error.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/traffic.rs:
+crates/comm/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parallax_comm-e579d2662664ce49.d: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs
+
+/root/repo/target/debug/deps/libparallax_comm-e579d2662664ce49.rlib: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs
+
+/root/repo/target/debug/deps/libparallax_comm-e579d2662664ce49.rmeta: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/collectives.rs:
+crates/comm/src/error.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/traffic.rs:
+crates/comm/src/transport.rs:

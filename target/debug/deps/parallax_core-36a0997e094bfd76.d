@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/parallax_core-36a0997e094bfd76.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/partition.rs crates/core/src/runner.rs crates/core/src/sparsity.rs crates/core/src/transfer.rs crates/core/src/transform.rs
+
+/root/repo/target/debug/deps/parallax_core-36a0997e094bfd76: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/partition.rs crates/core/src/runner.rs crates/core/src/sparsity.rs crates/core/src/transfer.rs crates/core/src/transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/partition.rs:
+crates/core/src/runner.rs:
+crates/core/src/sparsity.rs:
+crates/core/src/transfer.rs:
+crates/core/src/transform.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/parallax_core-904d6002dfc2a439.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/partition.rs crates/core/src/runner.rs crates/core/src/sparsity.rs crates/core/src/transfer.rs crates/core/src/transform.rs
+
+/root/repo/target/debug/deps/libparallax_core-904d6002dfc2a439.rlib: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/partition.rs crates/core/src/runner.rs crates/core/src/sparsity.rs crates/core/src/transfer.rs crates/core/src/transform.rs
+
+/root/repo/target/debug/deps/libparallax_core-904d6002dfc2a439.rmeta: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/partition.rs crates/core/src/runner.rs crates/core/src/sparsity.rs crates/core/src/transfer.rs crates/core/src/transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/partition.rs:
+crates/core/src/runner.rs:
+crates/core/src/sparsity.rs:
+crates/core/src/transfer.rs:
+crates/core/src/transform.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/parallax_core-b41ebc865cf3b7a1.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/partition.rs crates/core/src/runner.rs crates/core/src/sparsity.rs crates/core/src/transfer.rs crates/core/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallax_core-b41ebc865cf3b7a1.rmeta: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/partition.rs crates/core/src/runner.rs crates/core/src/sparsity.rs crates/core/src/transfer.rs crates/core/src/transform.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/partition.rs:
+crates/core/src/runner.rs:
+crates/core/src/sparsity.rs:
+crates/core/src/transfer.rs:
+crates/core/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

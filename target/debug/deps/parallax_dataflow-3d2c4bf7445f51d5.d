@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/parallax_dataflow-3d2c4bf7445f51d5.d: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs
+
+/root/repo/target/debug/deps/parallax_dataflow-3d2c4bf7445f51d5: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/builder.rs:
+crates/dataflow/src/error.rs:
+crates/dataflow/src/exec.rs:
+crates/dataflow/src/grad.rs:
+crates/dataflow/src/graph.rs:
+crates/dataflow/src/meta.rs:
+crates/dataflow/src/optimizer.rs:
+crates/dataflow/src/value.rs:
+crates/dataflow/src/varstore.rs:

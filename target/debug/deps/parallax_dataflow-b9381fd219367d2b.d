@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/parallax_dataflow-b9381fd219367d2b.d: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs
+
+/root/repo/target/debug/deps/libparallax_dataflow-b9381fd219367d2b.rlib: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs
+
+/root/repo/target/debug/deps/libparallax_dataflow-b9381fd219367d2b.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/builder.rs:
+crates/dataflow/src/error.rs:
+crates/dataflow/src/exec.rs:
+crates/dataflow/src/grad.rs:
+crates/dataflow/src/graph.rs:
+crates/dataflow/src/meta.rs:
+crates/dataflow/src/optimizer.rs:
+crates/dataflow/src/value.rs:
+crates/dataflow/src/varstore.rs:

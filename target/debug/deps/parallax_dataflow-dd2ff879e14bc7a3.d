@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/parallax_dataflow-dd2ff879e14bc7a3.d: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallax_dataflow-dd2ff879e14bc7a3.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs Cargo.toml
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/builder.rs:
+crates/dataflow/src/error.rs:
+crates/dataflow/src/exec.rs:
+crates/dataflow/src/grad.rs:
+crates/dataflow/src/graph.rs:
+crates/dataflow/src/meta.rs:
+crates/dataflow/src/optimizer.rs:
+crates/dataflow/src/value.rs:
+crates/dataflow/src/varstore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/parallax_models-4d03944965e24a83.d: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallax_models-4d03944965e24a83.rmeta: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/data.rs:
+crates/models/src/inception.rs:
+crates/models/src/lm.rs:
+crates/models/src/metrics.rs:
+crates/models/src/nmt.rs:
+crates/models/src/presets.rs:
+crates/models/src/resnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/parallax_models-62c41ca7c26d22aa.d: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs
+
+/root/repo/target/debug/deps/libparallax_models-62c41ca7c26d22aa.rlib: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs
+
+/root/repo/target/debug/deps/libparallax_models-62c41ca7c26d22aa.rmeta: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs
+
+crates/models/src/lib.rs:
+crates/models/src/data.rs:
+crates/models/src/inception.rs:
+crates/models/src/lm.rs:
+crates/models/src/metrics.rs:
+crates/models/src/nmt.rs:
+crates/models/src/presets.rs:
+crates/models/src/resnet.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parallax_models-dded0e266ad5c753.d: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs
+
+/root/repo/target/debug/deps/parallax_models-dded0e266ad5c753: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs
+
+crates/models/src/lib.rs:
+crates/models/src/data.rs:
+crates/models/src/inception.rs:
+crates/models/src/lm.rs:
+crates/models/src/metrics.rs:
+crates/models/src/nmt.rs:
+crates/models/src/presets.rs:
+crates/models/src/resnet.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/parallax_ps-4ed0cb16fab81c3c.d: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs
+
+/root/repo/target/debug/deps/libparallax_ps-4ed0cb16fab81c3c.rlib: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs
+
+/root/repo/target/debug/deps/libparallax_ps-4ed0cb16fab81c3c.rmeta: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs
+
+crates/ps/src/lib.rs:
+crates/ps/src/accumulator.rs:
+crates/ps/src/client.rs:
+crates/ps/src/error.rs:
+crates/ps/src/placement.rs:
+crates/ps/src/plan.rs:
+crates/ps/src/protocol.rs:
+crates/ps/src/server.rs:
+crates/ps/src/topology.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/parallax_ps-7d1538f7e5e434d5.d: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallax_ps-7d1538f7e5e434d5.rmeta: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs Cargo.toml
+
+crates/ps/src/lib.rs:
+crates/ps/src/accumulator.rs:
+crates/ps/src/client.rs:
+crates/ps/src/error.rs:
+crates/ps/src/placement.rs:
+crates/ps/src/plan.rs:
+crates/ps/src/protocol.rs:
+crates/ps/src/server.rs:
+crates/ps/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/parallax_ps-c817fed6486df41e.d: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs
+
+/root/repo/target/debug/deps/parallax_ps-c817fed6486df41e: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs
+
+crates/ps/src/lib.rs:
+crates/ps/src/accumulator.rs:
+crates/ps/src/client.rs:
+crates/ps/src/error.rs:
+crates/ps/src/placement.rs:
+crates/ps/src/plan.rs:
+crates/ps/src/protocol.rs:
+crates/ps/src/server.rs:
+crates/ps/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parallax_repro-28dc8b692486bb54.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparallax_repro-28dc8b692486bb54.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparallax_repro-28dc8b692486bb54.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallax_repro-2dc4830897ac8bfc.d: src/lib.rs
+
+/root/repo/target/debug/deps/parallax_repro-2dc4830897ac8bfc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parallax_repro-babb76061c5d1b0e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparallax_repro-babb76061c5d1b0e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparallax_repro-babb76061c5d1b0e.rmeta: src/lib.rs
+
+src/lib.rs:

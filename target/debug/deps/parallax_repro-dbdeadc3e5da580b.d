@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallax_repro-dbdeadc3e5da580b.d: src/lib.rs
+
+/root/repo/target/debug/deps/parallax_repro-dbdeadc3e5da580b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallax_repro-fb954984ba8d694e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallax_repro-fb954984ba8d694e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

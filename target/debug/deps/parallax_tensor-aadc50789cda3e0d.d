@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/parallax_tensor-aadc50789cda3e0d.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/shape.rs crates/tensor/src/sparse.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libparallax_tensor-aadc50789cda3e0d.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/shape.rs crates/tensor/src/sparse.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libparallax_tensor-aadc50789cda3e0d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/shape.rs crates/tensor/src/sparse.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/activation.rs:
+crates/tensor/src/ops/elementwise.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/reduce.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/sparse.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-48b2d2cce9e9c2b2.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-48b2d2cce9e9c2b2: tests/properties.rs
+
+tests/properties.rs:

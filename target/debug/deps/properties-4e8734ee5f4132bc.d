@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4e8734ee5f4132bc.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4e8734ee5f4132bc: tests/properties.rs
+
+tests/properties.rs:

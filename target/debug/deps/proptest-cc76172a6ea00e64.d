@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-cc76172a6ea00e64.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-cc76172a6ea00e64.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ps_training-b8041b977d4c8899.d: crates/ps/tests/ps_training.rs
+
+/root/repo/target/debug/deps/ps_training-b8041b977d4c8899: crates/ps/tests/ps_training.rs
+
+crates/ps/tests/ps_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-c9cdb40f3a71e1f5.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-c9cdb40f3a71e1f5: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

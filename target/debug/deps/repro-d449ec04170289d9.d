@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d449ec04170289d9.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d449ec04170289d9: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-df52d9a2babfa0c3.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-df52d9a2babfa0c3: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runner_features-5664f48461681b6c.d: crates/core/tests/runner_features.rs
+
+/root/repo/target/debug/deps/runner_features-5664f48461681b6c: crates/core/tests/runner_features.rs
+
+crates/core/tests/runner_features.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runner_prop-c53509230a1ca9b0.d: crates/core/tests/runner_prop.rs
+
+/root/repo/target/debug/deps/runner_prop-c53509230a1ca9b0: crates/core/tests/runner_prop.rs
+
+crates/core/tests/runner_prop.rs:

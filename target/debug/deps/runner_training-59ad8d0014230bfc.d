@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runner_training-59ad8d0014230bfc.d: crates/core/tests/runner_training.rs
+
+/root/repo/target/debug/deps/runner_training-59ad8d0014230bfc: crates/core/tests/runner_training.rs
+
+crates/core/tests/runner_training.rs:

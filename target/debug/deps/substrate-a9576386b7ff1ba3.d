@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-a9576386b7ff1ba3.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/debug/deps/substrate-a9576386b7ff1ba3: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-bfb52d0c94e5b541.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/tables-bfb52d0c94e5b541: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/async_training-253dad480895abcd.d: examples/async_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libasync_training-253dad480895abcd.rmeta: examples/async_training.rs Cargo.toml
+
+examples/async_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

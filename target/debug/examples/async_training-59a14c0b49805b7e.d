@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_training-59a14c0b49805b7e.d: examples/async_training.rs
+
+/root/repo/target/debug/examples/async_training-59a14c0b49805b7e: examples/async_training.rs
+
+examples/async_training.rs:

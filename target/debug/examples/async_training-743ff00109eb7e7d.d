@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_training-743ff00109eb7e7d.d: examples/async_training.rs
+
+/root/repo/target/debug/examples/async_training-743ff00109eb7e7d: examples/async_training.rs
+
+examples/async_training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_classification-24d8fd45dd87e6bd.d: examples/image_classification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_classification-24d8fd45dd87e6bd.rmeta: examples/image_classification.rs Cargo.toml
+
+examples/image_classification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_classification-79640996bb5150fa.d: examples/image_classification.rs
+
+/root/repo/target/debug/examples/image_classification-79640996bb5150fa: examples/image_classification.rs
+
+examples/image_classification.rs:

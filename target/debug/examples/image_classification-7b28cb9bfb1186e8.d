@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_classification-7b28cb9bfb1186e8.d: examples/image_classification.rs
+
+/root/repo/target/debug/examples/image_classification-7b28cb9bfb1186e8: examples/image_classification.rs
+
+examples/image_classification.rs:

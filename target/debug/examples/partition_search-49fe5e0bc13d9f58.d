@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partition_search-49fe5e0bc13d9f58.d: examples/partition_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartition_search-49fe5e0bc13d9f58.rmeta: examples/partition_search.rs Cargo.toml
+
+examples/partition_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_search-9fab0b45cb233fa3.d: examples/partition_search.rs
+
+/root/repo/target/debug/examples/partition_search-9fab0b45cb233fa3: examples/partition_search.rs
+
+examples/partition_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_search-eda4ab1b61961eec.d: examples/partition_search.rs
+
+/root/repo/target/debug/examples/partition_search-eda4ab1b61961eec: examples/partition_search.rs
+
+examples/partition_search.rs:

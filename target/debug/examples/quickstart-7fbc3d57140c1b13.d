@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7fbc3d57140c1b13.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7fbc3d57140c1b13: examples/quickstart.rs
+
+examples/quickstart.rs:

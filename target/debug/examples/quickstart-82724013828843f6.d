@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-82724013828843f6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-82724013828843f6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scratch_mm-6abed664a944c7b6.d: crates/tensor/examples/scratch_mm.rs
+
+/root/repo/target/debug/examples/scratch_mm-6abed664a944c7b6: crates/tensor/examples/scratch_mm.rs
+
+crates/tensor/examples/scratch_mm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_lm-3a0282ce552bc9da.d: examples/train_lm.rs
+
+/root/repo/target/debug/examples/train_lm-3a0282ce552bc9da: examples/train_lm.rs
+
+examples/train_lm.rs:

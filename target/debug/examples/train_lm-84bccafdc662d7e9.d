@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_lm-84bccafdc662d7e9.d: examples/train_lm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_lm-84bccafdc662d7e9.rmeta: examples/train_lm.rs Cargo.toml
+
+examples/train_lm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

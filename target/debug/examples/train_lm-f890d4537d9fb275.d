@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_lm-f890d4537d9fb275.d: examples/train_lm.rs
+
+/root/repo/target/debug/examples/train_lm-f890d4537d9fb275: examples/train_lm.rs
+
+examples/train_lm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-6e84097ee281efb0.s: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-6e84097ee281efb0.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6e84097ee281efb0.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6e84097ee281efb0.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

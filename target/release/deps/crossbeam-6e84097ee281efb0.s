@@ -1,0 +1,23 @@
+	.file	"crossbeam.6dbe90209866305-cgu.0"
+	.section	".text._ZN68_$LT$crossbeam..channel..RecvError$u20$as$u20$core..fmt..Display$GT$3fmt17hafd84f22eb4892dcE","ax",@progbits
+	.globl	_ZN68_$LT$crossbeam..channel..RecvError$u20$as$u20$core..fmt..Display$GT$3fmt17hafd84f22eb4892dcE
+	.p2align	4
+	.type	_ZN68_$LT$crossbeam..channel..RecvError$u20$as$u20$core..fmt..Display$GT$3fmt17hafd84f22eb4892dcE,@function
+_ZN68_$LT$crossbeam..channel..RecvError$u20$as$u20$core..fmt..Display$GT$3fmt17hafd84f22eb4892dcE:
+	.cfi_startproc
+	movq	%rsi, %rdi
+	leaq	.Lanon.d1b57bdea2794007cfa7f7837699b041.0(%rip), %rsi
+	movl	$43, %edx
+	jmpq	*_RNvMsa_NtCsgEmfK2I1SDS_4core3fmtNtB5_9Formatter9write_str@GOTPCREL(%rip)
+.Lfunc_end0:
+	.size	_ZN68_$LT$crossbeam..channel..RecvError$u20$as$u20$core..fmt..Display$GT$3fmt17hafd84f22eb4892dcE, .Lfunc_end0-_ZN68_$LT$crossbeam..channel..RecvError$u20$as$u20$core..fmt..Display$GT$3fmt17hafd84f22eb4892dcE
+	.cfi_endproc
+
+	.type	.Lanon.d1b57bdea2794007cfa7f7837699b041.0,@object
+	.section	.rodata..Lanon.d1b57bdea2794007cfa7f7837699b041.0,"a",@progbits
+.Lanon.d1b57bdea2794007cfa7f7837699b041.0:
+	.ascii	"receiving on an empty, disconnected channel"
+	.size	.Lanon.d1b57bdea2794007cfa7f7837699b041.0, 43
+
+	.ident	"rustc version 1.95.0 (59807616e 2026-04-14)"
+	.section	".note.GNU-stack","",@progbits

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/parallax_bench-4de338b9e1ab7c39.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/kernels.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libparallax_bench-4de338b9e1ab7c39.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/kernels.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libparallax_bench-4de338b9e1ab7c39.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/kernels.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/kernels.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/parallax_cluster-852cc309c6ce8534.d: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/release/deps/libparallax_cluster-852cc309c6ce8534.rlib: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+/root/repo/target/release/deps/libparallax_cluster-852cc309c6ce8534.rmeta: crates/cluster/src/lib.rs crates/cluster/src/costmodel.rs crates/cluster/src/des.rs crates/cluster/src/hardware.rs crates/cluster/src/sim.rs crates/cluster/src/spec.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/costmodel.rs:
+crates/cluster/src/des.rs:
+crates/cluster/src/hardware.rs:
+crates/cluster/src/sim.rs:
+crates/cluster/src/spec.rs:

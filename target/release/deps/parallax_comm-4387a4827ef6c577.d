@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/parallax_comm-4387a4827ef6c577.d: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs
+
+/root/repo/target/release/deps/libparallax_comm-4387a4827ef6c577.rlib: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs
+
+/root/repo/target/release/deps/libparallax_comm-4387a4827ef6c577.rmeta: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/collectives.rs:
+crates/comm/src/error.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/traffic.rs:
+crates/comm/src/transport.rs:

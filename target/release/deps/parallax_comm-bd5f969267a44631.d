@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/parallax_comm-bd5f969267a44631.d: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs
+
+/root/repo/target/release/deps/libparallax_comm-bd5f969267a44631.rlib: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs
+
+/root/repo/target/release/deps/libparallax_comm-bd5f969267a44631.rmeta: crates/comm/src/lib.rs crates/comm/src/collectives.rs crates/comm/src/error.rs crates/comm/src/topology.rs crates/comm/src/traffic.rs crates/comm/src/transport.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/collectives.rs:
+crates/comm/src/error.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/traffic.rs:
+crates/comm/src/transport.rs:

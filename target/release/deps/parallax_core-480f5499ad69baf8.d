@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/parallax_core-480f5499ad69baf8.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/partition.rs crates/core/src/runner.rs crates/core/src/sparsity.rs crates/core/src/transfer.rs crates/core/src/transform.rs
+
+/root/repo/target/release/deps/libparallax_core-480f5499ad69baf8.rlib: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/partition.rs crates/core/src/runner.rs crates/core/src/sparsity.rs crates/core/src/transfer.rs crates/core/src/transform.rs
+
+/root/repo/target/release/deps/libparallax_core-480f5499ad69baf8.rmeta: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/partition.rs crates/core/src/runner.rs crates/core/src/sparsity.rs crates/core/src/transfer.rs crates/core/src/transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/partition.rs:
+crates/core/src/runner.rs:
+crates/core/src/sparsity.rs:
+crates/core/src/transfer.rs:
+crates/core/src/transform.rs:

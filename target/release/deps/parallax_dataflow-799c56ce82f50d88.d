@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/parallax_dataflow-799c56ce82f50d88.d: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs
+
+/root/repo/target/release/deps/libparallax_dataflow-799c56ce82f50d88.rlib: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs
+
+/root/repo/target/release/deps/libparallax_dataflow-799c56ce82f50d88.rmeta: crates/dataflow/src/lib.rs crates/dataflow/src/builder.rs crates/dataflow/src/error.rs crates/dataflow/src/exec.rs crates/dataflow/src/grad.rs crates/dataflow/src/graph.rs crates/dataflow/src/meta.rs crates/dataflow/src/optimizer.rs crates/dataflow/src/value.rs crates/dataflow/src/varstore.rs
+
+crates/dataflow/src/lib.rs:
+crates/dataflow/src/builder.rs:
+crates/dataflow/src/error.rs:
+crates/dataflow/src/exec.rs:
+crates/dataflow/src/grad.rs:
+crates/dataflow/src/graph.rs:
+crates/dataflow/src/meta.rs:
+crates/dataflow/src/optimizer.rs:
+crates/dataflow/src/value.rs:
+crates/dataflow/src/varstore.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/parallax_models-245d8422434582d1.d: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs
+
+/root/repo/target/release/deps/libparallax_models-245d8422434582d1.rlib: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs
+
+/root/repo/target/release/deps/libparallax_models-245d8422434582d1.rmeta: crates/models/src/lib.rs crates/models/src/data.rs crates/models/src/inception.rs crates/models/src/lm.rs crates/models/src/metrics.rs crates/models/src/nmt.rs crates/models/src/presets.rs crates/models/src/resnet.rs
+
+crates/models/src/lib.rs:
+crates/models/src/data.rs:
+crates/models/src/inception.rs:
+crates/models/src/lm.rs:
+crates/models/src/metrics.rs:
+crates/models/src/nmt.rs:
+crates/models/src/presets.rs:
+crates/models/src/resnet.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/parallax_ps-7839c05d0f44d060.d: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs
+
+/root/repo/target/release/deps/libparallax_ps-7839c05d0f44d060.rlib: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs
+
+/root/repo/target/release/deps/libparallax_ps-7839c05d0f44d060.rmeta: crates/ps/src/lib.rs crates/ps/src/accumulator.rs crates/ps/src/client.rs crates/ps/src/error.rs crates/ps/src/placement.rs crates/ps/src/plan.rs crates/ps/src/protocol.rs crates/ps/src/server.rs crates/ps/src/topology.rs
+
+crates/ps/src/lib.rs:
+crates/ps/src/accumulator.rs:
+crates/ps/src/client.rs:
+crates/ps/src/error.rs:
+crates/ps/src/placement.rs:
+crates/ps/src/plan.rs:
+crates/ps/src/protocol.rs:
+crates/ps/src/server.rs:
+crates/ps/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parallax_repro-ac3979137642ba29.d: src/lib.rs
+
+/root/repo/target/release/deps/libparallax_repro-ac3979137642ba29.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libparallax_repro-ac3979137642ba29.rmeta: src/lib.rs
+
+src/lib.rs:

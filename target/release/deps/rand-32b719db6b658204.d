@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-32b719db6b658204.s: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-32b719db6b658204.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-32b719db6b658204.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-32b719db6b658204.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,3 @@
+	.file	"rand.c29ae8e28bd66e0b-cgu.0"
+	.ident	"rustc version 1.95.0 (59807616e 2026-04-14)"
+	.section	".note.GNU-stack","",@progbits

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-4e10106dd7ed041f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-4e10106dd7ed041f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/async_training-57cf980ac3dc01c8.d: examples/async_training.rs
+
+/root/repo/target/release/examples/async_training-57cf980ac3dc01c8: examples/async_training.rs
+
+examples/async_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_classification-195b8b17a2a4b12d.d: examples/image_classification.rs
+
+/root/repo/target/release/examples/image_classification-195b8b17a2a4b12d: examples/image_classification.rs
+
+examples/image_classification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/partition_search-b2f235e3e1910924.d: examples/partition_search.rs
+
+/root/repo/target/release/examples/partition_search-b2f235e3e1910924: examples/partition_search.rs
+
+examples/partition_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1e90cca9b1e2c215.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1e90cca9b1e2c215: examples/quickstart.rs
+
+examples/quickstart.rs:

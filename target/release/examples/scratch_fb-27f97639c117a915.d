@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scratch_fb-27f97639c117a915.d: examples/scratch_fb.rs
+
+/root/repo/target/release/examples/scratch_fb-27f97639c117a915: examples/scratch_fb.rs
+
+examples/scratch_fb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scratch_gv-111078e7953c7d31.d: examples/scratch_gv.rs
+
+/root/repo/target/release/examples/scratch_gv-111078e7953c7d31: examples/scratch_gv.rs
+
+examples/scratch_gv.rs:

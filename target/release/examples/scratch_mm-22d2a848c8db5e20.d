@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scratch_mm-22d2a848c8db5e20.d: crates/tensor/examples/scratch_mm.rs
+
+/root/repo/target/release/examples/scratch_mm-22d2a848c8db5e20: crates/tensor/examples/scratch_mm.rs
+
+crates/tensor/examples/scratch_mm.rs:

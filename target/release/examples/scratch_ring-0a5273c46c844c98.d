@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scratch_ring-0a5273c46c844c98.d: examples/scratch_ring.rs
+
+/root/repo/target/release/examples/scratch_ring-0a5273c46c844c98: examples/scratch_ring.rs
+
+examples/scratch_ring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scratch_small-71f954c11afa85af.d: crates/tensor/examples/scratch_small.rs
+
+/root/repo/target/release/examples/scratch_small-71f954c11afa85af: crates/tensor/examples/scratch_small.rs
+
+crates/tensor/examples/scratch_small.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/train_lm-eef7a0e22f6af189.d: examples/train_lm.rs
+
+/root/repo/target/release/examples/train_lm-eef7a0e22f6af189: examples/train_lm.rs
+
+examples/train_lm.rs:
