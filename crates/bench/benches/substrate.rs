@@ -77,7 +77,11 @@ fn bench_matmul_kernels(c: &mut Criterion) {
     let mut rng = DetRng::seed(5);
     // Shapes from the executed presets: a ResNet block GEMM, the LM
     // projection, and the square size the acceptance gate measures.
-    for (m, k, n) in [(64usize, 256usize, 256usize), (160, 512, 512), (256, 256, 256)] {
+    for (m, k, n) in [
+        (64usize, 256usize, 256usize),
+        (160, 512, 512),
+        (256, 256, 256),
+    ] {
         let a = Tensor::randn([m, k], 1.0, &mut rng);
         let b_ = Tensor::randn([k, n], 1.0, &mut rng);
         group.bench_function(format!("blocked_{m}x{k}x{n}"), |b| {

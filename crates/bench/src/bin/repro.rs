@@ -2,10 +2,19 @@
 //!
 //! ```text
 //! repro [table1|..|table6|fig7|fig8|fig9|ablations|traffic|kernels|all]
+//! repro trace [--model lm|nmt] [--iters N]
+//! repro trace-overhead
 //! ```
 //!
 //! `kernels` measures the blocked/pooled compute kernels against the
 //! scalar reference kernels and writes `BENCH_kernels.json`.
+//!
+//! `trace` executes a short traced run and writes
+//! `TRACE_<model>.chrome.json` (open in chrome://tracing or Perfetto)
+//! plus a `TRACE_<model>.json` summary; `trace-overhead` measures the
+//! disabled tracer's cost on the kernel path and writes
+//! `BENCH_trace_overhead.json`. Both are excluded from `all` (they are
+//! observability artifacts, not paper figures).
 
 use parallax_bench::experiments::{self, Framework};
 use parallax_bench::report::{fmt_speedup, fmt_throughput, render_table};
@@ -49,6 +58,26 @@ fn main() {
     if all || which == "kernels" {
         parallax_bench::kernels::run("BENCH_kernels.json").expect("write BENCH_kernels.json");
     }
+    if which == "trace" {
+        let model = flag_value("--model").unwrap_or_else(|| "lm".to_string());
+        let iters: usize = flag_value("--iters")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(6);
+        let report = parallax_bench::trace::run(&model, iters, "").expect("traced run");
+        print!("{report}");
+    }
+    if which == "trace-overhead" {
+        parallax_bench::trace::run_overhead("BENCH_trace_overhead.json")
+            .expect("write BENCH_trace_overhead.json");
+    }
+}
+
+/// The value following `name` in the argument list, if any.
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn traffic() {

@@ -13,5 +13,6 @@
 pub mod experiments;
 pub mod kernels;
 pub mod report;
+pub mod trace;
 
 pub use experiments::Framework;

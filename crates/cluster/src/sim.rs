@@ -138,6 +138,60 @@ impl IterationSim {
             global_batch / t
         }
     }
+
+    /// The *modelled* timeline as trace records, one lane per machine
+    /// ([`parallax_trace::SIM_LANE`]): compute, then server CPU, then each
+    /// communication phase laid out sequentially from `start_ns`, scaled
+    /// by the exposed-communication factor. Inject these into the tracer
+    /// (`parallax_trace::inject`) alongside a measured run and the
+    /// simulated and measured timelines diff directly in one Chrome
+    /// trace.
+    pub fn trace_records(&self, iter: u64, start_ns: u64) -> Vec<parallax_trace::SpanRecord> {
+        use parallax_trace::{SpanCat, SpanRecord, SIM_LANE};
+        let ns = |secs: f64| (secs.max(0.0) * 1e9) as u64;
+        let exposed = 1.0 - self.model.comm_overlap;
+        let mut records = Vec::new();
+        for m in 0..self.compute.len() {
+            let mut cursor = start_ns;
+            let mut emit = |name: &'static str, dur_ns: u64, bytes: u64| {
+                if dur_ns == 0 {
+                    return;
+                }
+                records.push(SpanRecord {
+                    cat: SpanCat::Sim,
+                    name,
+                    machine: m as u32,
+                    lane: SIM_LANE,
+                    start_ns: cursor,
+                    dur_ns,
+                    iter,
+                    bytes,
+                });
+                cursor += dur_ns;
+            };
+            emit("sim.compute", ns(self.compute[m]), 0);
+            emit(
+                "sim.server_cpu",
+                ns(self.server_cpu.get(m).copied().unwrap_or(0.0)),
+                0,
+            );
+            for phase in &self.phases {
+                let name = match phase.transport {
+                    Transport::Nccl => "sim.comm.nccl",
+                    Transport::Mpi => "sim.comm.mpi",
+                    Transport::Grpc => "sim.comm.grpc",
+                    Transport::GrpcSparse => "sim.comm.grpc_sparse",
+                };
+                let bytes = phase.out_bytes.get(m).copied().unwrap_or(0.0) as u64;
+                emit(
+                    name,
+                    ns(phase.machine_time(&self.model, m) * exposed),
+                    bytes,
+                );
+            }
+        }
+        records
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +278,50 @@ mod tests {
         let mut sim = IterationSim::new(model(), 1);
         sim.compute = vec![0.5];
         assert!((sim.throughput(128.0) - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_records_lay_out_sequentially_per_machine() {
+        use parallax_trace::{SpanCat, SIM_LANE};
+        let mut sim = IterationSim::new(model(), 2);
+        sim.compute = vec![0.001, 0.002];
+        sim.server_cpu = vec![0.0005, 0.0];
+        sim.phases
+            .push(Phase::uniform(Transport::Nccl, 2, 1e6, 1e6, 0.0));
+        let records = sim.trace_records(3, 1000);
+        assert!(!records.is_empty());
+        assert!(records
+            .iter()
+            .all(|r| r.cat == SpanCat::Sim && r.lane == SIM_LANE && r.iter == 3));
+        // Per machine, spans start at start_ns and are contiguous.
+        for m in 0..2u32 {
+            let spans: Vec<_> = records.iter().filter(|r| r.machine == m).collect();
+            let mut cursor = 1000u64;
+            for s in &spans {
+                assert_eq!(s.start_ns, cursor);
+                cursor += s.dur_ns;
+            }
+        }
+        // machine 0 has a server_cpu span; machine 1 (zero time) does not.
+        assert!(records
+            .iter()
+            .any(|r| r.machine == 0 && r.name == "sim.server_cpu"));
+        assert!(!records
+            .iter()
+            .any(|r| r.machine == 1 && r.name == "sim.server_cpu"));
+        // Comm spans carry the phase's out-bytes.
+        assert!(records
+            .iter()
+            .any(|r| r.name == "sim.comm.nccl" && r.bytes == 1_000_000));
+        // Total modelled span time per machine matches machine_times().
+        for (m, time) in sim.machine_times().iter().enumerate() {
+            let total: u64 = records
+                .iter()
+                .filter(|r| r.machine == m as u32)
+                .map(|r| r.dur_ns)
+                .sum();
+            assert!((total as f64 / 1e9 - time).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use parallax_tensor::{IndexedSlices, Tensor};
+use parallax_trace::{span, SpanCat};
 
 use crate::transport::{unwrap_shared, Endpoint, Payload};
 use crate::{CommError, Result};
@@ -46,6 +47,7 @@ pub fn ring_allreduce(
     tag: u64,
     data: &mut [f32],
 ) -> Result<()> {
+    let _span = span(SpanCat::Collective, "allreduce");
     let pos = position(ep, ranks)?;
     let n = ranks.len();
     if n == 1 {
@@ -69,6 +71,7 @@ pub fn ring_allreduce(
     // (the allgather phase overwrites those ranges anyway).
     let mut send_buf = data[chunk_range(len, n, pos)].to_vec();
     for step in 0..n - 1 {
+        let _step = span(SpanCat::Collective, "allreduce.reduce_scatter");
         let recv_idx = (pos + n - step - 1) % n;
         ep.send(next, tag, Payload::Floats(Arc::new(send_buf)))?;
         let mut incoming = ep.recv(prev, tag)?.into_floats()?;
@@ -92,6 +95,7 @@ pub fn ring_allreduce(
     // buffer on the next hop. The first outgoing chunk (pos + 1) mod N
     // is exactly what `send_buf` already holds.
     for step in 0..n - 1 {
+        let _step = span(SpanCat::Collective, "allreduce.allgather");
         let recv_idx = (pos + n - step) % n;
         ep.send(next, tag, Payload::Floats(Arc::new(send_buf)))?;
         let incoming = ep.recv(prev, tag)?.into_floats()?;
@@ -130,6 +134,7 @@ pub fn allgatherv(
     tag: u64,
     local: Vec<f32>,
 ) -> Result<Vec<Arc<Vec<f32>>>> {
+    let _span = span(SpanCat::Collective, "allgatherv");
     let pos = position(ep, ranks)?;
     let n = ranks.len();
     let mut parts: Vec<Option<Arc<Vec<f32>>>> = vec![None; n];
@@ -143,6 +148,7 @@ pub fn allgatherv(
     let next = ranks[(pos + 1) % n];
     let prev = ranks[(pos + n - 1) % n];
     for step in 0..n - 1 {
+        let _step = span(SpanCat::Collective, "allgatherv.step");
         let send_idx = (pos + n - step) % n;
         let recv_idx = (pos + n - step - 1) % n;
         let outgoing = Arc::clone(parts[send_idx].as_ref().expect("forwarding a filled slot"));
@@ -164,6 +170,7 @@ pub fn allgatherv_slices(
     tag: u64,
     local: IndexedSlices,
 ) -> Result<IndexedSlices> {
+    let _span = span(SpanCat::Collective, "allgatherv_slices");
     let pos = position(ep, ranks)?;
     let n = ranks.len();
     let mut parts: Vec<Option<Arc<IndexedSlices>>> = vec![None; n];
@@ -172,6 +179,7 @@ pub fn allgatherv_slices(
         let next = ranks[(pos + 1) % n];
         let prev = ranks[(pos + n - 1) % n];
         for step in 0..n - 1 {
+            let _step = span(SpanCat::Collective, "allgatherv_slices.step");
             let send_idx = (pos + n - step) % n;
             let recv_idx = (pos + n - step - 1) % n;
             // Forward by reference count — the slice set is allocated
@@ -198,6 +206,7 @@ pub fn broadcast(
     root: usize,
     value: Option<Tensor>,
 ) -> Result<Tensor> {
+    let _span = span(SpanCat::Collective, "broadcast");
     position(ep, ranks)?;
     if ep.rank() == root {
         let t = value
@@ -227,6 +236,7 @@ pub fn reduce_to(
     root: usize,
     data: Vec<f32>,
 ) -> Result<Option<Vec<f32>>> {
+    let _span = span(SpanCat::Collective, "reduce_to");
     position(ep, ranks)?;
     if ep.rank() == root {
         let mut acc = data;
@@ -261,6 +271,7 @@ pub fn gather_slices_to(
     root: usize,
     data: IndexedSlices,
 ) -> Result<Option<IndexedSlices>> {
+    let _span = span(SpanCat::Collective, "gather_slices_to");
     position(ep, ranks)?;
     if ep.rank() == root {
         let mut parts = vec![data];
@@ -283,6 +294,7 @@ pub fn gather_slices_to(
 
 /// Barrier across the participant list (star through the first rank).
 pub fn barrier(ep: &mut Endpoint, ranks: &[usize], tag: u64) -> Result<()> {
+    let _span = span(SpanCat::Collective, "barrier");
     position(ep, ranks)?;
     let hub = ranks[0];
     if ep.rank() == hub {

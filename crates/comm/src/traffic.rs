@@ -85,13 +85,18 @@ impl TrafficSnapshot {
 
     /// Subtracts an earlier snapshot, yielding the traffic of the window
     /// between the two (used to attribute traffic to protocol phases).
+    ///
+    /// Subtraction saturates at zero: if the counters were `reset()`
+    /// between the two snapshots, the "earlier" snapshot can exceed the
+    /// later one, and a wrapped difference would be nonsense.
     pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
-        let sub =
-            |a: &[u64], b: &[u64]| -> Vec<u64> { a.iter().zip(b).map(|(x, y)| x - y).collect() };
+        let sub = |a: &[u64], b: &[u64]| -> Vec<u64> {
+            a.iter().zip(b).map(|(x, y)| x.saturating_sub(*y)).collect()
+        };
         let mut link_bytes = self.link_bytes.clone();
         for (k, v) in &earlier.link_bytes {
             if let Some(slot) = link_bytes.get_mut(k) {
-                *slot -= v;
+                *slot = slot.saturating_sub(*v);
             }
         }
         TrafficSnapshot {
@@ -102,8 +107,8 @@ impl TrafficSnapshot {
                 &self.intra_bytes_per_machine,
                 &earlier.intra_bytes_per_machine,
             ),
-            inter_messages: self.inter_messages - earlier.inter_messages,
-            intra_messages: self.intra_messages - earlier.intra_messages,
+            inter_messages: self.inter_messages.saturating_sub(earlier.inter_messages),
+            intra_messages: self.intra_messages.saturating_sub(earlier.intra_messages),
         }
     }
 
@@ -345,6 +350,73 @@ mod tests {
             TrafficClass::Ps
         );
         assert_eq!(TrafficClass::from_tag(7), TrafficClass::Default);
+    }
+
+    #[test]
+    fn since_computes_window_delta() {
+        let stats = TrafficStats::new(2);
+        stats.record(0, 1, 100);
+        let before = stats.snapshot();
+        stats.record(0, 1, 40);
+        stats.record(1, 1, 8);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.out_bytes, vec![40, 0]);
+        assert_eq!(delta.link_bytes[&(0, 1)], 40);
+        assert_eq!(delta.intra_bytes(), 8);
+        assert_eq!(delta.inter_messages, 1);
+    }
+
+    #[test]
+    fn since_saturates_across_reset() {
+        let stats = TrafficStats::new(2);
+        stats.record(0, 1, 100);
+        stats.record(1, 1, 50);
+        let before = stats.snapshot();
+        stats.reset();
+        stats.record(0, 1, 30);
+        // The reset made counters go backwards; the delta must clamp to
+        // zero rather than wrap around.
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.out_bytes, vec![0, 0]);
+        assert_eq!(delta.in_bytes, vec![0, 0]);
+        assert_eq!(delta.link_bytes[&(0, 1)], 0);
+        assert_eq!(delta.intra_bytes(), 0);
+        assert_eq!(delta.inter_messages, 0);
+        assert_eq!(delta.intra_messages, 0);
+    }
+
+    #[test]
+    fn imbalance_single_machine_and_zero_loads() {
+        // One machine: max == mean, perfectly balanced by definition.
+        let stats = TrafficStats::new(1);
+        stats.record(0, 0, 123); // intra only — zero network load
+        assert_eq!(stats.snapshot().imbalance(), 1.0);
+        // All-zero loads (no traffic at all): defined as 1.0, not NaN.
+        let idle = TrafficStats::new(4);
+        assert_eq!(idle.snapshot().imbalance(), 1.0);
+        // Degenerate empty snapshot.
+        assert_eq!(TrafficSnapshot::default().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn class_snapshots_sum_to_unclassified_snapshot() {
+        let stats = TrafficStats::new(3);
+        stats.record_class(0, 1, 100, TrafficClass::Nccl);
+        stats.record_class(1, 2, 75, TrafficClass::Ps);
+        stats.record_class(2, 0, 33, TrafficClass::Mpi);
+        stats.record_class(0, 0, 12, TrafficClass::LocalAgg);
+        stats.record(1, 0, 9);
+        let mut summed = TrafficSnapshot {
+            out_bytes: vec![0; 3],
+            in_bytes: vec![0; 3],
+            intra_bytes_per_machine: vec![0; 3],
+            ..TrafficSnapshot::default()
+        };
+        for class in TrafficClass::all() {
+            summed.add_assign(&stats.class_snapshot(class));
+        }
+        assert_eq!(summed, stats.snapshot());
+        assert_eq!(summed.total_network_bytes(), 217);
     }
 
     #[test]

@@ -244,12 +244,14 @@ impl Endpoint {
         let sender = self.senders.get(to).ok_or(CommError::UnknownRank(to))?;
         let src = self.machine();
         let dst = self.topology.machine_of(to)?;
-        self.traffic.record_class(
-            src,
-            dst,
-            payload.byte_size(),
-            crate::traffic::TrafficClass::from_tag(tag),
-        );
+        let bytes = payload.byte_size();
+        self.traffic
+            .record_class(src, dst, bytes, crate::traffic::TrafficClass::from_tag(tag));
+        // Mirror the accountant's inter-machine branch into the tracer,
+        // so span byte totals cross-check against `total_network_bytes()`.
+        if src != dst {
+            parallax_trace::on_net_bytes(bytes);
+        }
         sender
             .send(Envelope {
                 from: self.rank,

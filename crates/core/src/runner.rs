@@ -63,6 +63,8 @@ pub struct TrafficReport {
     pub ps: TrafficSnapshot,
     /// Intra-machine local aggregation traffic.
     pub local_agg: TrafficSnapshot,
+    /// Untagged control traffic outside the four modelled classes.
+    pub other: TrafficSnapshot,
 }
 
 impl TrafficReport {
@@ -72,6 +74,7 @@ impl TrafficReport {
             + self.mpi.total_network_bytes()
             + self.ps.total_network_bytes()
             + self.local_agg.total_network_bytes()
+            + self.other.total_network_bytes()
     }
 }
 
@@ -124,6 +127,23 @@ impl RunReport {
         gpu_compute: f64,
         server_cpu: f64,
     ) -> f64 {
+        self.iteration_sim(cluster, machines, gpu_compute, server_cpu)
+            .iteration_time()
+    }
+
+    /// The calibrated [`IterationSim`] behind
+    /// [`RunReport::simulated_iteration_time`]: measured per-iteration
+    /// traffic phases plus the given compute and server-CPU estimates.
+    /// Exposing the sim itself lets callers render its modelled phase
+    /// timeline (e.g. `IterationSim::trace_records`) next to the
+    /// measured one.
+    pub fn iteration_sim(
+        &self,
+        cluster: &ClusterModel,
+        machines: usize,
+        gpu_compute: f64,
+        server_cpu: f64,
+    ) -> IterationSim {
         let per_iter = |snap: &TrafficSnapshot| -> TrafficSnapshot {
             let scale = |v: &[u64]| -> Vec<u64> {
                 v.iter()
@@ -153,7 +173,7 @@ impl RunReport {
                     .push(Phase::from_snapshot(transport, &per_iter(snap)));
             }
         }
-        sim.iteration_time()
+        sim
     }
 }
 
@@ -501,6 +521,7 @@ impl Runner {
                 mpi: traffic.class_snapshot(TrafficClass::Mpi),
                 ps: traffic.class_snapshot(TrafficClass::Ps),
                 local_agg: traffic.class_snapshot(TrafficClass::LocalAgg),
+                other: traffic.class_snapshot(TrafficClass::Default),
             },
             iterations,
             host_compute_per_iter,
@@ -528,6 +549,12 @@ impl Runner {
         let workers = self.topo.num_workers();
         let worker_ranks = self.topo.worker_ranks();
         let is_global_chief = rank == self.topo.chief();
+        let machine = self.topo.machine_of(rank).map_err(CoreError::Ps)?;
+        parallax_trace::set_thread_track(
+            machine as u32,
+            rank as u32,
+            &format!("worker{widx} (rank {rank})"),
+        );
         let client = PsClient::new(Arc::new(self.plan.plan.clone()), self.topo.clone());
         let local = VarStore::init(&self.graph, &mut DetRng::seed(self.config.seed));
         let mut ctx = PsWorkerContext::new(endpoint, client, local);
@@ -542,6 +569,10 @@ impl Runner {
         let mut acts = parallax_dataflow::Activations::new();
 
         for iter in 0..iterations {
+            parallax_trace::set_thread_iter(iter as u64);
+            // Name matches `parallax_trace::export::ITERATION_SPAN` so the
+            // straggler report can find per-machine iteration boundaries.
+            let _iter_span = parallax_trace::span(parallax_trace::SpanCat::Phase, "iteration");
             optimizer.set_learning_rate(
                 self.config
                     .lr_schedule
@@ -550,10 +581,19 @@ impl Runner {
             ctx.begin_iteration(iter as u64);
             let feed = feed_fn(widx, iter);
             let t0 = Instant::now();
-            session.forward_into(&feed, &mut ctx, &mut acts)?;
-            let grads = backward(&self.graph, &acts, self.loss)?;
+            {
+                let _fwd = parallax_trace::span(parallax_trace::SpanCat::Phase, "phase.forward");
+                session.forward_into(&feed, &mut ctx, &mut acts)?;
+            }
+            let grads = {
+                let _bwd = parallax_trace::span(parallax_trace::SpanCat::Phase, "phase.backward");
+                backward(&self.graph, &acts, self.loss)?
+            };
             compute_secs += t0.elapsed().as_secs_f64();
             losses.push(acts.scalar(self.loss)?);
+            // Everything from here to the end of the iteration is gradient
+            // exchange (collectives + PS) and parameter application.
+            let _exch_span = parallax_trace::span(parallax_trace::SpanCat::Phase, "phase.exchange");
 
             let PsWorkerContext {
                 endpoint,
@@ -594,7 +634,11 @@ impl Runner {
                         if self.config.trace_gradients {
                             sq_norm += agg.data().iter().map(|x| (x * x) as f64).sum::<f64>();
                         }
-                        optimizer.apply_dense(var.index() as u64, local.get_mut(var)?, &agg)?;
+                        {
+                            let _apply =
+                                parallax_trace::span(parallax_trace::SpanCat::Phase, "phase.apply");
+                            optimizer.apply_dense(var.index() as u64, local.get_mut(var)?, &agg)?;
+                        }
                     }
                     Grad::Sparse(s) => {
                         let gathered = collectives::allgatherv_slices(
@@ -615,7 +659,15 @@ impl Runner {
                                 .map(|x| (x * x) as f64)
                                 .sum::<f64>();
                         }
-                        optimizer.apply_sparse(var.index() as u64, local.get_mut(var)?, &agg)?;
+                        {
+                            let _apply =
+                                parallax_trace::span(parallax_trace::SpanCat::Phase, "phase.apply");
+                            optimizer.apply_sparse(
+                                var.index() as u64,
+                                local.get_mut(var)?,
+                                &agg,
+                            )?;
+                        }
                     }
                 }
             }

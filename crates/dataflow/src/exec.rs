@@ -47,6 +47,16 @@ impl Activations {
     }
 }
 
+/// Trace name for an op: like [`Op::name`], but the sparse accesses the
+/// paper centres on (embedding gathers) are tagged so sparse compute is
+/// separable from dense compute in a timeline.
+fn op_trace_name(op: &Op) -> &'static str {
+    match op {
+        Op::Gather { .. } => "Gather(sparse)",
+        other => other.name(),
+    }
+}
+
 /// Executes a graph against a [`VarProvider`].
 #[derive(Debug)]
 pub struct Session<'g> {
@@ -89,6 +99,7 @@ impl<'g> Session<'g> {
         values.clear();
         values.reserve(self.graph.num_nodes());
         for op in self.graph.ops() {
+            let _span = parallax_trace::span(parallax_trace::SpanCat::Compute, op_trace_name(op));
             let value = self.eval(op, values, feed, provider)?;
             values.push(value);
         }

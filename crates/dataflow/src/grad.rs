@@ -92,6 +92,7 @@ pub fn backward(graph: &Graph, acts: &Activations, loss: NodeId) -> Result<HashM
             continue;
         };
         let op = graph.op(NodeId(idx))?;
+        let _span = parallax_trace::span(parallax_trace::SpanCat::Compute, op.name());
         match op {
             Op::Placeholder(_) | Op::Constant(_) => {}
             Op::Variable(var) => {

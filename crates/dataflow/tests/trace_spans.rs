@@ -1,0 +1,114 @@
+//! Per-op compute spans: the executor records one span per graph node,
+//! sparse gathers are tagged, and the backward pass records spans too.
+//!
+//! The tracer is process-global, so this test lives in its own
+//! integration-test binary.
+
+use parallax_dataflow::exec::Session;
+use parallax_dataflow::grad::backward;
+use parallax_dataflow::graph::{Graph, Init, Op, PhKind, VariableDef};
+use parallax_dataflow::value::Feed;
+use parallax_dataflow::varstore::VarStore;
+use parallax_tensor::{DetRng, Tensor};
+use parallax_trace::{SpanCat, TraceConfig};
+
+/// The tracer is process-global and the test harness runs tests on
+/// concurrent threads; serialize them so drains don't interleave.
+fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn gather_loss_graph() -> (Graph, parallax_dataflow::graph::NodeId) {
+    let mut g = Graph::new();
+    let emb = g
+        .variable(VariableDef::new("emb", [4, 3], Init::Const(0.0)))
+        .unwrap();
+    let w = g
+        .variable(VariableDef::new("w", [3, 3], Init::Const(1.0)))
+        .unwrap();
+    let ids = g.placeholder("ids", PhKind::Ids).unwrap();
+    let labels = g.placeholder("labels", PhKind::Ids).unwrap();
+    let x = g.add(Op::Gather { table: emb, ids }).unwrap();
+    let wr = g.read(w).unwrap();
+    let h = g.add(Op::MatMul(x, wr)).unwrap();
+    let loss = g.add(Op::SoftmaxXent { logits: h, labels }).unwrap();
+    (g, loss)
+}
+
+#[test]
+fn forward_and_backward_record_per_op_spans() {
+    let _l = test_lock();
+    parallax_trace::configure(TraceConfig::on());
+    parallax_trace::reset();
+
+    let (g, loss) = gather_loss_graph();
+    let mut store = VarStore::init(&g, &mut DetRng::seed(1));
+    let feed = Feed::new()
+        .with("ids", vec![1usize, 3])
+        .with("labels", vec![0usize, 2]);
+    let acts = Session::new(&g).forward(&feed, &mut store).unwrap();
+    let grads = backward(&g, &acts, loss).unwrap();
+    assert!(!grads.is_empty());
+
+    let dump = parallax_trace::drain();
+    parallax_trace::disable();
+
+    assert!(dump.records.iter().all(|r| r.cat == SpanCat::Compute));
+    // Forward: one span per graph node, in execution order.
+    let names: Vec<&str> = dump.records.iter().map(|r| r.name).collect();
+    assert!(names.contains(&"Gather(sparse)"), "sparse ops are tagged");
+    assert!(names.contains(&"MatMul"));
+    assert!(names.contains(&"SoftmaxXent"));
+    let forward_spans = g.num_nodes();
+    assert!(
+        dump.records.len() > forward_spans,
+        "backward must add spans on top of the {} forward ones, got {}",
+        forward_spans,
+        dump.records.len()
+    );
+    // Compute spans carry no network bytes.
+    assert_eq!(dump.total_span_bytes(), 0);
+}
+
+#[test]
+fn disabled_tracer_records_nothing_for_forward() {
+    let _l = test_lock();
+    parallax_trace::disable();
+    let (g, _loss) = gather_loss_graph();
+    let mut store = VarStore::init(&g, &mut DetRng::seed(1));
+    let feed = Feed::new()
+        .with("ids", vec![1usize, 3])
+        .with("labels", vec![0usize, 2]);
+    let _ = Session::new(&g).forward(&feed, &mut store).unwrap();
+    parallax_trace::configure(TraceConfig::on());
+    let dump = parallax_trace::drain();
+    parallax_trace::disable();
+    assert!(dump.records.is_empty());
+}
+
+#[test]
+fn forward_values_identical_with_and_without_tracing() {
+    let _l = test_lock();
+    let (g, loss) = gather_loss_graph();
+    let feed = Feed::new()
+        .with("ids", vec![2usize, 0])
+        .with("labels", vec![1usize, 1]);
+
+    parallax_trace::disable();
+    let mut store = VarStore::init(&g, &mut DetRng::seed(7));
+    let base = Session::new(&g).forward(&feed, &mut store).unwrap();
+
+    parallax_trace::configure(TraceConfig::on());
+    let mut store2 = VarStore::init(&g, &mut DetRng::seed(7));
+    let traced = Session::new(&g).forward(&feed, &mut store2).unwrap();
+    parallax_trace::reset();
+    parallax_trace::disable();
+
+    assert_eq!(
+        base.scalar(loss).unwrap().to_bits(),
+        traced.scalar(loss).unwrap().to_bits(),
+        "tracing must not perturb computed values"
+    );
+    let _ = Tensor::zeros([1]); // keep tensor import exercised
+}

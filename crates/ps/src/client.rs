@@ -13,6 +13,7 @@ use std::sync::Arc;
 use parallax_comm::{Endpoint, Payload};
 use parallax_dataflow::{DataflowError, VarId, VarProvider, VarStore, VariableDef};
 use parallax_tensor::{sparse::Grad, IndexedSlices, Tensor};
+use parallax_trace::{span, SpanCat};
 
 use crate::plan::{RowPartition, ShardingPlan, VarPlacement};
 use crate::protocol::{self, ReqKind};
@@ -78,6 +79,7 @@ impl PsClient {
         if let Some(t) = self.dense_cache.get(&var.index()) {
             return Ok(t.clone());
         }
+        let _span = span(SpanCat::Ps, "ps.pull_dense");
         let machine = match self.plan.placement(var)? {
             VarPlacement::PsDense { server } => *server,
             other => {
@@ -110,6 +112,7 @@ impl PsClient {
     /// (transferring `alpha * w` bytes instead of `w`), and the client
     /// reassembles the result in request order.
     pub fn pull_sparse(&mut self, ep: &mut Endpoint, var: VarId, ids: &[usize]) -> Result<Tensor> {
+        let _span = span(SpanCat::Ps, "ps.pull_sparse");
         let (partition, servers) = self.sparse_plan(var)?;
         let parts = partition.parts();
         // Route each id to its partition, remembering output positions.
@@ -161,6 +164,7 @@ impl PsClient {
     /// whole to the owning server; sparse gradients are split per
     /// partition with indices rebased to partition-local rows.
     pub fn push(&mut self, ep: &mut Endpoint, var: VarId, grad: &Grad) -> Result<()> {
+        let _span = span(SpanCat::Ps, "ps.push");
         match (self.plan.placement(var)?.clone(), grad) {
             (VarPlacement::PsDense { server }, Grad::Dense(t)) => {
                 self.request(
@@ -199,6 +203,7 @@ impl PsClient {
     /// Chief-only: triggers the read-aggregated-gradients-and-update step
     /// for every shard of `var` (Section 5).
     pub fn chief_update(&mut self, ep: &mut Endpoint, var: VarId) -> Result<()> {
+        let _span = span(SpanCat::Ps, "ps.chief_update");
         for (machine, part) in self.shard_targets(var)? {
             self.request(
                 ep,
@@ -219,6 +224,7 @@ impl PsClient {
     /// aggregated gradients to trace their status during training or to
     /// compute a global norm of gradients for clipping" (Section 5).
     pub fn read_aggregates(&mut self, ep: &mut Endpoint, var: VarId) -> Result<Vec<Grad>> {
+        let _span = span(SpanCat::Ps, "ps.read_agg");
         let mut out = Vec::new();
         for (machine, part) in self.shard_targets(var)? {
             self.request(
@@ -237,8 +243,12 @@ impl PsClient {
             out.push(match payload {
                 // The server may still share the aggregate with other
                 // readers; clone only in that case.
-                Payload::Tensor(t) => Grad::Dense(Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone())),
-                Payload::Slices(s) => Grad::Sparse(Arc::try_unwrap(s).unwrap_or_else(|a| (*a).clone())),
+                Payload::Tensor(t) => {
+                    Grad::Dense(Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone()))
+                }
+                Payload::Slices(s) => {
+                    Grad::Sparse(Arc::try_unwrap(s).unwrap_or_else(|a| (*a).clone()))
+                }
                 _ => return Err(PsError::Protocol("unexpected ReadAgg payload".into())),
             });
         }
@@ -248,6 +258,9 @@ impl PsClient {
     /// Blocks until every shard of `var` reports its update applied (the
     /// shared-queue notification read).
     pub fn await_update_done(&mut self, ep: &mut Endpoint, var: VarId) -> Result<()> {
+        // Worker-side queueing: time spent blocked on the server's
+        // UpdateDone notifications.
+        let _span = span(SpanCat::Ps, "ps.await_update");
         for (machine, part) in self.shard_targets(var)? {
             let server = self.topo.server_rank(machine);
             ep.recv(
@@ -330,6 +343,7 @@ pub fn locally_aggregate(
     var: VarId,
     grad: &Grad,
 ) -> Result<Option<Grad>> {
+    let _span = span(SpanCat::Ps, "ps.local_agg");
     let machine = topo.machine_of(ep.rank())?;
     let peers = topo.workers_of(machine);
     let chief = topo.local_chief(machine);

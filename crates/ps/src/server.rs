@@ -16,6 +16,7 @@ use parallax_comm::{Endpoint, Payload};
 use parallax_dataflow::optimizer::LrSchedule;
 use parallax_dataflow::{Graph, Optimizer, VarId, VarStore};
 use parallax_tensor::{ops, sparse::Grad, DetRng, Tensor};
+use parallax_trace::{span, SpanCat};
 
 use crate::accumulator::{DenseAccumulator, SparseAccumulator};
 use crate::plan::ShardingPlan;
@@ -91,6 +92,19 @@ struct ShardState {
     pushes_seen: usize,
 }
 
+/// Trace span name for serving one request kind.
+fn serve_span_name(kind: ReqKind) -> &'static str {
+    match kind {
+        ReqKind::PullDense => "ps.serve.pull_dense",
+        ReqKind::PullSparse => "ps.serve.pull_sparse",
+        ReqKind::PushDense => "ps.serve.push_dense",
+        ReqKind::PushSparse => "ps.serve.push_sparse",
+        ReqKind::ChiefUpdate => "ps.serve.chief_update",
+        ReqKind::UpdateDone => "ps.serve.update_done",
+        ReqKind::ReadAgg => "ps.serve.read_agg",
+    }
+}
+
 /// A Parameter Server process.
 pub struct Server {
     endpoint: Endpoint,
@@ -101,6 +115,11 @@ pub struct Server {
     base_lr: f32,
     shards: Vec<ShardState>,
     index: HashMap<(usize, usize), usize>,
+    // Cached trace handles: looked up once here so the serve loop never
+    // touches the tracer's name registry lock.
+    wait_hist: parallax_trace::HistogramHandle,
+    service_hist: parallax_trace::HistogramHandle,
+    requests: parallax_trace::Counter,
 }
 
 impl Server {
@@ -173,6 +192,9 @@ impl Server {
             base_lr,
             shards,
             index,
+            wait_hist: parallax_trace::histogram("ps.wait_ns"),
+            service_hist: parallax_trace::histogram("ps.service_ns"),
+            requests: parallax_trace::counter("ps.requests"),
         })
     }
 
@@ -189,7 +211,13 @@ impl Server {
     /// Serves all configured iterations, then returns the final shard
     /// values as `((var, part), tensor)` pairs.
     pub fn run(mut self) -> Result<Vec<((VarId, usize), Tensor)>> {
+        parallax_trace::set_thread_track(
+            self.machine as u32,
+            self.endpoint.rank() as u32,
+            &format!("server(m{})", self.machine),
+        );
         for iter in 0..self.config.iterations as u64 {
+            parallax_trace::set_thread_iter(iter);
             self.run_iteration(iter)?;
         }
         Ok(self
@@ -231,7 +259,15 @@ impl Server {
             shard.pushes_seen = 0;
         }
         while outstanding > 0 {
-            let (from, payload) = self.endpoint.recv_any(protocol::request_tag(iter))?;
+            // Queueing time: how long the server sat waiting for the next
+            // request (its receive queue was empty that whole time).
+            let traced = parallax_trace::enabled();
+            let t0 = if traced { parallax_trace::now_ns() } else { 0 };
+            let (from, payload) = {
+                let _wait = span(SpanCat::Ps, "ps.wait");
+                self.endpoint.recv_any(protocol::request_tag(iter))?
+            };
+            let t1 = if traced { parallax_trace::now_ns() } else { 0 };
             let (header, body) = payload.into_packet()?;
             let (kind, var, part, hdr_iter) = protocol::unpack(header)?;
             if hdr_iter != (iter & ((1 << 30) - 1)) {
@@ -239,7 +275,18 @@ impl Server {
                     "iteration mismatch: header {hdr_iter}, serving {iter}"
                 )));
             }
-            self.dispatch(iter, from, kind, var, part, body)?;
+            {
+                // Service time: the span also absorbs the bytes of any
+                // response sends issued while handling the request.
+                let _serve = span(SpanCat::Ps, serve_span_name(kind));
+                self.dispatch(iter, from, kind, var, part, body)?;
+            }
+            if traced {
+                self.wait_hist.record(t1.saturating_sub(t0));
+                self.service_hist
+                    .record(parallax_trace::now_ns().saturating_sub(t1));
+                self.requests.add(1);
+            }
             outstanding -= 1;
         }
         // In synchronous mode every shard's update must have fired.

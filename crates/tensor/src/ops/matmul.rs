@@ -52,7 +52,14 @@ fn matmul_rows(ad: &[f32], bd: &[f32], chunk: &mut [f32], row0: usize, k: usize,
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn matmul_rows_avx2(ad: &[f32], bd: &[f32], chunk: &mut [f32], row0: usize, k: usize, n: usize) {
+unsafe fn matmul_rows_avx2(
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
     matmul_rows_inner(ad, bd, chunk, row0, k, n);
 }
 
@@ -261,8 +268,7 @@ fn matmul_at_b_rows_inner(
         let iw = MR.min(nrows - i);
         let blk = &mut apack[t * k * MR..(t + 1) * k * MR];
         for p in 0..k {
-            blk[p * MR..p * MR + iw]
-                .copy_from_slice(&ad[p * m + row0 + i..p * m + row0 + i + iw]);
+            blk[p * MR..p * MR + iw].copy_from_slice(&ad[p * m + row0 + i..p * m + row0 + i + iw]);
         }
     }
     let mut bpack = vec![0.0f32; k * NR];

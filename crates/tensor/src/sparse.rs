@@ -157,7 +157,8 @@ impl IndexedSlices {
                 data.extend_from_slice(row);
             }
         }
-        let values = Tensor::new([indices.len(), cols], data).expect("coalesce shape is consistent");
+        let values =
+            Tensor::new([indices.len(), cols], data).expect("coalesce shape is consistent");
         IndexedSlices {
             indices,
             values,
@@ -301,8 +302,10 @@ impl IndexedSlices {
         }
         let mut idx_parts: Vec<Vec<usize>> =
             counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-        let mut val_parts: Vec<Vec<f32>> =
-            counts.iter().map(|&c| Vec::with_capacity(c * cols)).collect();
+        let mut val_parts: Vec<Vec<f32>> = counts
+            .iter()
+            .map(|&c| Vec::with_capacity(c * cols))
+            .collect();
         for (slot, &(bucket, local)) in routed.iter().enumerate() {
             idx_parts[bucket].push(local);
             val_parts[bucket]
@@ -439,7 +442,11 @@ mod tests {
 
     #[test]
     fn coalesce_parts_matches_concat_then_coalesce() {
-        let a = slices(vec![4, 1, 4], vec![vec![1., 2.], vec![3., 4.], vec![5., 6.]], 6);
+        let a = slices(
+            vec![4, 1, 4],
+            vec![vec![1., 2.], vec![3., 4.], vec![5., 6.]],
+            6,
+        );
         let b = slices(vec![1, 0], vec![vec![7., 8.], vec![9., 10.]], 6);
         let fused = IndexedSlices::coalesce_parts([&a, &b]).unwrap();
         let via = IndexedSlices::concat(&[a, b]).unwrap().coalesce();

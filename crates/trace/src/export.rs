@@ -1,0 +1,749 @@
+//! Exporters for [`TraceDump`]: Chrome-trace JSON, per-iteration
+//! breakdown tables, straggler reports, and a machine-readable summary.
+//!
+//! All JSON is emitted by hand (the workspace carries no serde); the
+//! [`validate_json`] checker lets tests assert the output is
+//! well-formed JSON that `chrome://tracing` / Perfetto will load.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::tracer::{SpanCat, SpanRecord, TraceDump, SIM_LANE};
+
+/// Name of the per-iteration phase span the runner opens around each
+/// training iteration; the straggler report keys off it.
+pub const ITERATION_SPAN: &str = "iteration";
+
+// ----------------------------------------------------------------- helpers
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Exclusive (self) duration per record: duration minus the duration of
+/// direct children, reconstructed per `(machine, lane)` track from span
+/// intervals. Returned vector is indexed like `records`.
+pub fn self_durations(records: &[SpanRecord]) -> Vec<u64> {
+    let mut selfs: Vec<u64> = records.iter().map(|r| r.dur_ns).collect();
+    let mut tracks: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        tracks.entry((r.machine, r.lane)).or_default().push(i);
+    }
+    for idxs in tracks.values_mut() {
+        // Parents sort before children: earlier start first, and at
+        // equal start the longer (enclosing) span first.
+        idxs.sort_by(|&a, &b| {
+            records[a]
+                .start_ns
+                .cmp(&records[b].start_ns)
+                .then(records[b].dur_ns.cmp(&records[a].dur_ns))
+        });
+        let end = |i: usize| records[i].start_ns + records[i].dur_ns;
+        let mut stack: Vec<usize> = Vec::new();
+        for &i in idxs.iter() {
+            while let Some(&top) = stack.last() {
+                if end(top) <= records[i].start_ns {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&top) = stack.last() {
+                selfs[top] = selfs[top].saturating_sub(records[i].dur_ns);
+            }
+            stack.push(i);
+        }
+    }
+    selfs
+}
+
+// ------------------------------------------------------------ chrome trace
+
+/// Renders the dump in the Chrome trace event format (JSON object
+/// form), loadable in `chrome://tracing` and Perfetto. Each machine
+/// becomes a process (`pid`), each worker/server lane a thread (`tid`);
+/// modelled (simulated) spans sit on a dedicated `sim (modelled)` lane
+/// of the same process.
+pub fn chrome_trace(dump: &TraceDump) -> String {
+    let mut out = String::with_capacity(dump.records.len() * 128 + 1024);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&ev);
+    };
+
+    // Metadata: process names for every machine, thread names for every
+    // known lane (registered threads + any sim lanes present).
+    let mut machines: Vec<u32> = dump.records.iter().map(|r| r.machine).collect();
+    machines.sort_unstable();
+    machines.dedup();
+    for m in &machines {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{m},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"machine{m}\"}}}}"
+            ),
+        );
+    }
+    let mut named: Vec<(u32, u32, String)> = dump
+        .threads
+        .iter()
+        .map(|t| (t.machine, t.lane, t.label.clone()))
+        .collect();
+    let mut sim_lanes: Vec<u32> = dump
+        .records
+        .iter()
+        .filter(|r| r.lane == SIM_LANE)
+        .map(|r| r.machine)
+        .collect();
+    sim_lanes.sort_unstable();
+    sim_lanes.dedup();
+    for m in sim_lanes {
+        named.push((m, SIM_LANE, "sim (modelled)".to_string()));
+    }
+    named.sort();
+    named.dedup();
+    for (machine, lane, label) in &named {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{machine},\"tid\":{lane},\
+                 \"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                esc(label)
+            ),
+        );
+    }
+
+    // Complete ("X") events, sorted for stable output.
+    let mut order: Vec<usize> = (0..dump.records.len()).collect();
+    order.sort_by_key(|&i| {
+        let r = &dump.records[i];
+        (r.machine, r.lane, r.start_ns, std::cmp::Reverse(r.dur_ns))
+    });
+    for i in order {
+        let r = &dump.records[i];
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\
+                 \"name\":\"{}\",\"cat\":\"{}\",\
+                 \"args\":{{\"iter\":{},\"bytes\":{}}}}}",
+                r.machine,
+                r.lane,
+                us(r.start_ns),
+                us(r.dur_ns),
+                esc(r.name),
+                r.cat.as_str(),
+                r.iter,
+                r.bytes
+            ),
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+// -------------------------------------------------------- breakdown table
+
+/// Plain-text per-iteration breakdown: for each iteration, the *self*
+/// time of every phase span (exclusive of nested phases, so `exchange`
+/// excludes the `apply` time nested inside it), summed over all threads
+/// and maxed over machines; followed by per-category totals and the top
+/// compute ops by self time.
+pub fn breakdown_table(dump: &TraceDump) -> String {
+    let selfs = self_durations(&dump.records);
+    let ms = |ns: u64| ns as f64 / 1e6;
+
+    // (iter, phase name) -> (self total ns, per-machine self ns)
+    type PhaseAcc = BTreeMap<(u64, &'static str), (u64, BTreeMap<u32, u64>)>;
+    let mut phases: PhaseAcc = BTreeMap::new();
+    let mut cats: BTreeMap<&'static str, (u64, u64, u64)> = BTreeMap::new(); // count,self,bytes
+    let mut ops: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new(); // count,self
+    for (i, r) in dump.records.iter().enumerate() {
+        let c = cats.entry(r.cat.as_str()).or_default();
+        c.0 += 1;
+        c.1 += selfs[i];
+        c.2 += r.bytes;
+        match r.cat {
+            SpanCat::Phase => {
+                let e = phases.entry((r.iter, r.name)).or_default();
+                e.0 += selfs[i];
+                *e.1.entry(r.machine).or_default() += selfs[i];
+            }
+            SpanCat::Compute => {
+                let e = ops.entry(r.name).or_default();
+                e.0 += 1;
+                e.1 += selfs[i];
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "per-iteration phase breakdown (self time)");
+    let _ = writeln!(
+        out,
+        "{:>5}  {:<16} {:>14} {:>16}",
+        "iter", "phase", "self-total(ms)", "max-machine(ms)"
+    );
+    for ((iter, name), (total, per_machine)) in &phases {
+        let max_machine = per_machine.values().copied().max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:>5}  {:<16} {:>14.3} {:>16.3}",
+            iter,
+            name,
+            ms(*total),
+            ms(max_machine)
+        );
+    }
+
+    let _ = writeln!(out, "\nby category (self time)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>14} {:>14}",
+        "category", "spans", "self-total(ms)", "bytes"
+    );
+    for (cat, (count, self_ns, bytes)) in &cats {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>14.3} {:>14}",
+            cat,
+            count,
+            ms(*self_ns),
+            bytes
+        );
+    }
+
+    if !ops.is_empty() {
+        let mut top: Vec<(&'static str, (u64, u64))> = ops.into_iter().collect();
+        top.sort_by_key(|(_, (_, s))| std::cmp::Reverse(*s));
+        let _ = writeln!(out, "\ntop compute ops (self time)");
+        let _ = writeln!(out, "{:<20} {:>8} {:>14}", "op", "spans", "self-total(ms)");
+        for (name, (count, self_ns)) in top.into_iter().take(8) {
+            let _ = writeln!(out, "{:<20} {:>8} {:>14.3}", name, count, ms(self_ns));
+        }
+    }
+    out
+}
+
+// -------------------------------------------------------- straggler report
+
+/// Per-iteration straggler statistics derived from `iteration` phase
+/// spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterStat {
+    /// Iteration number.
+    pub iter: u64,
+    /// Slowest machine's iteration time (ns). The straggler bound.
+    pub max_ns: u64,
+    /// Median machine iteration time (ns).
+    pub median_ns: u64,
+    /// Machine id of the straggler.
+    pub slowest_machine: u32,
+}
+
+/// Computes per-iteration max/median machine times from the measured
+/// `iteration` phase spans (per machine, the longest worker lane's span
+/// counts as that machine's time).
+pub fn straggler_stats(dump: &TraceDump) -> Vec<IterStat> {
+    let mut per_iter: BTreeMap<u64, BTreeMap<u32, u64>> = BTreeMap::new();
+    for r in &dump.records {
+        if r.cat == SpanCat::Phase && r.name == ITERATION_SPAN && r.lane != SIM_LANE {
+            let m = per_iter.entry(r.iter).or_default();
+            let e = m.entry(r.machine).or_default();
+            *e = (*e).max(r.dur_ns);
+        }
+    }
+    per_iter
+        .into_iter()
+        .map(|(iter, machines)| {
+            let (&slowest_machine, &max_ns) = machines
+                .iter()
+                .max_by_key(|(_, &d)| d)
+                .expect("non-empty by construction");
+            let mut durs: Vec<u64> = machines.values().copied().collect();
+            durs.sort_unstable();
+            let median_ns = durs[durs.len() / 2];
+            IterStat {
+                iter,
+                max_ns,
+                median_ns,
+                slowest_machine,
+            }
+        })
+        .collect()
+}
+
+/// Plain-text straggler report: per-iteration max vs. median machine
+/// time plus an aggregate slowdown ratio.
+pub fn straggler_report(dump: &TraceDump) -> String {
+    let stats = straggler_stats(dump);
+    let mut out = String::new();
+    let _ = writeln!(out, "straggler report (per-iteration machine times)");
+    if stats.is_empty() {
+        let _ = writeln!(out, "  no `{ITERATION_SPAN}` phase spans recorded");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:>5} {:>12} {:>12} {:>8} {:>10}",
+        "iter", "max(ms)", "median(ms)", "ratio", "straggler"
+    );
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut sum_max = 0u64;
+    let mut sum_med = 0u64;
+    for s in &stats {
+        sum_max += s.max_ns;
+        sum_med += s.median_ns;
+        let ratio = s.max_ns as f64 / s.median_ns.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:>5} {:>12.3} {:>12.3} {:>8.3} {:>10}",
+            s.iter,
+            ms(s.max_ns),
+            ms(s.median_ns),
+            ratio,
+            format!("machine{}", s.slowest_machine)
+        );
+    }
+    let n = stats.len() as f64;
+    let _ = writeln!(
+        out,
+        "mean max {:.3} ms, mean median {:.3} ms, mean straggler ratio {:.3}",
+        ms(sum_max) / n,
+        ms(sum_med) / n,
+        sum_max as f64 / sum_med.max(1) as f64
+    );
+    out
+}
+
+// ------------------------------------------------------------ summary json
+
+/// Machine-readable summary of the dump (span totals per category,
+/// counters, histogram digests, straggler stats). Valid JSON.
+pub fn summary_json(dump: &TraceDump) -> String {
+    let selfs = self_durations(&dump.records);
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"parallax-trace-summary-v1\"");
+
+    out.push_str(",\"spans\":{");
+    let mut first = true;
+    for cat in SpanCat::all() {
+        let (mut count, mut total_ns, mut self_ns, mut bytes) = (0u64, 0u64, 0u64, 0u64);
+        for (i, r) in dump.records.iter().enumerate() {
+            if r.cat == cat {
+                count += 1;
+                total_ns += r.dur_ns;
+                self_ns += selfs[i];
+                bytes += r.bytes;
+            }
+        }
+        if count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{count},\"total_ns\":{total_ns},\
+             \"self_ns\":{self_ns},\"bytes\":{bytes}}}",
+            cat.as_str()
+        );
+    }
+    out.push('}');
+
+    let _ = write!(
+        out,
+        ",\"total_span_bytes\":{},\"unattributed_net_bytes\":{},\"dropped\":{}",
+        dump.total_span_bytes(),
+        dump.unattributed_net_bytes,
+        dump.dropped
+    );
+
+    out.push_str(",\"counters\":{");
+    for (i, (name, v)) in dump.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", esc(name));
+    }
+    out.push('}');
+
+    out.push_str(",\"histograms\":{");
+    for (i, (name, h)) in dump.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{:.3},\
+             \"p50_ub\":{},\"p99_ub\":{}}}",
+            esc(name),
+            h.count,
+            h.sum,
+            h.mean(),
+            h.quantile_upper_bound(0.5),
+            h.quantile_upper_bound(0.99)
+        );
+    }
+    out.push('}');
+
+    out.push_str(",\"stragglers\":[");
+    for (i, s) in straggler_stats(dump).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"iter\":{},\"max_ns\":{},\"median_ns\":{},\"slowest_machine\":{}}}",
+            s.iter, s.max_ns, s.median_ns, s.slowest_machine
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+// ------------------------------------------------------------ json checker
+
+/// Minimal recursive-descent JSON well-formedness check, so tests can
+/// assert exporter output parses without pulling in a JSON dependency.
+/// Accepts exactly the RFC 8259 grammar (objects, arrays, strings,
+/// numbers, literals); rejects trailing garbage.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl<'a> P<'a> {
+        fn err(&self, msg: &str) -> String {
+            format!("{msg} at byte {}", self.i)
+        }
+        fn ws(&mut self) {
+            while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            }
+        }
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected '{}'", c as char)))
+            }
+        }
+        fn value(&mut self, depth: usize) -> Result<(), String> {
+            if depth > 128 {
+                return Err(self.err("nesting too deep"));
+            }
+            self.ws();
+            match self.peek() {
+                Some(b'{') => self.object(depth),
+                Some(b'[') => self.array(depth),
+                Some(b'"') => self.string(),
+                Some(b't') => self.lit("true"),
+                Some(b'f') => self.lit("false"),
+                Some(b'n') => self.lit("null"),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(self.err("expected a JSON value")),
+            }
+        }
+        fn lit(&mut self, word: &str) -> Result<(), String> {
+            if self.b[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected '{word}'")))
+            }
+        }
+        fn object(&mut self, depth: usize) -> Result<(), String> {
+            self.eat(b'{')?;
+            self.ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.ws();
+                self.string()?;
+                self.ws();
+                self.eat(b':')?;
+                self.value(depth + 1)?;
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(self.err("expected ',' or '}'")),
+                }
+            }
+        }
+        fn array(&mut self, depth: usize) -> Result<(), String> {
+            self.eat(b'[')?;
+            self.ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.value(depth + 1)?;
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(self.err("expected ',' or ']'")),
+                }
+            }
+        }
+        fn string(&mut self) -> Result<(), String> {
+            self.eat(b'"')?;
+            while let Some(c) = self.peek() {
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(()),
+                    b'\\' => {
+                        let e = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                        self.i += 1;
+                        match e {
+                            b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                            b'u' => {
+                                for _ in 0..4 {
+                                    let h =
+                                        self.peek().ok_or_else(|| self.err("bad \\u escape"))?;
+                                    if !h.is_ascii_hexdigit() {
+                                        return Err(self.err("bad \\u escape"));
+                                    }
+                                    self.i += 1;
+                                }
+                            }
+                            _ => return Err(self.err("bad escape")),
+                        }
+                    }
+                    0x00..=0x1f => return Err(self.err("raw control char in string")),
+                    _ => {}
+                }
+            }
+            Err(self.err("unterminated string"))
+        }
+        fn number(&mut self) -> Result<(), String> {
+            if self.peek() == Some(b'-') {
+                self.i += 1;
+            }
+            let digits = |p: &mut Self| -> Result<(), String> {
+                let start = p.i;
+                while p.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    p.i += 1;
+                }
+                if p.i == start {
+                    Err(p.err("expected digits"))
+                } else {
+                    Ok(())
+                }
+            };
+            if self.peek() == Some(b'0') {
+                self.i += 1;
+            } else {
+                digits(self)?;
+            }
+            if self.peek() == Some(b'.') {
+                self.i += 1;
+                digits(self)?;
+            }
+            if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+                self.i += 1;
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.i += 1;
+                }
+                digits(self)?;
+            }
+            Ok(())
+        }
+    }
+    let mut p = P {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.value(0)?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{ThreadInfo, UNTRACKED_MACHINE};
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        cat: SpanCat,
+        name: &'static str,
+        machine: u32,
+        lane: u32,
+        start: u64,
+        dur: u64,
+        iter: u64,
+        bytes: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            cat,
+            name,
+            machine,
+            lane,
+            start_ns: start,
+            dur_ns: dur,
+            iter,
+            bytes,
+        }
+    }
+
+    fn sample_dump() -> TraceDump {
+        TraceDump {
+            records: vec![
+                rec(SpanCat::Phase, "iteration", 0, 1, 0, 1000, 0, 0),
+                rec(SpanCat::Phase, "phase.forward", 0, 1, 0, 300, 0, 0),
+                rec(SpanCat::Compute, "MatMul", 0, 1, 10, 200, 0, 0),
+                rec(SpanCat::Phase, "phase.exchange", 0, 1, 600, 400, 0, 0),
+                rec(SpanCat::Phase, "phase.apply", 0, 1, 800, 100, 0, 0),
+                rec(SpanCat::Collective, "allreduce", 0, 1, 610, 150, 0, 512),
+                rec(SpanCat::Phase, "iteration", 1, 1, 0, 1600, 0, 0),
+                rec(SpanCat::Sim, "sim.compute", 0, SIM_LANE, 0, 900, 0, 0),
+            ],
+            threads: vec![ThreadInfo {
+                machine: 0,
+                lane: 1,
+                label: "worker0".to_string(),
+            }],
+            counters: vec![("c\"x".to_string(), 3)],
+            histograms: vec![],
+            unattributed_net_bytes: 4,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn self_durations_subtract_direct_children() {
+        let d = sample_dump();
+        let selfs = self_durations(&d.records);
+        // iteration(1000) minus forward(300)+exchange(400) = 300.
+        assert_eq!(selfs[0], 300);
+        // forward(300) minus MatMul(200) = 100.
+        assert_eq!(selfs[1], 100);
+        // exchange(400) minus apply(100)+allreduce(150) = 150.
+        assert_eq!(selfs[3], 150);
+        // Leaves keep their full duration.
+        assert_eq!(selfs[2], 200);
+        assert_eq!(selfs[4], 100);
+        // Other tracks unaffected.
+        assert_eq!(selfs[6], 1600);
+        assert_eq!(selfs[7], 900);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_rows() {
+        let json = chrome_trace(&sample_dump());
+        validate_json(&json).expect("chrome trace must be valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"machine0\""));
+        assert!(json.contains("\"name\":\"machine1\""));
+        assert!(json.contains("\"name\":\"worker0\""));
+        assert!(json.contains("sim (modelled)"));
+        assert!(json.contains("\"cat\":\"collective\""));
+        assert!(json.contains("\"bytes\":512"));
+    }
+
+    #[test]
+    fn summary_json_is_valid_and_cross_checks_bytes() {
+        let d = sample_dump();
+        let json = summary_json(&d);
+        validate_json(&json).expect("summary must be valid JSON");
+        assert!(json.contains("\"total_span_bytes\":516"));
+        assert!(json.contains("\"c\\\"x\":3"));
+    }
+
+    #[test]
+    fn breakdown_table_lists_phases() {
+        let table = breakdown_table(&sample_dump());
+        assert!(table.contains("phase.forward"));
+        assert!(table.contains("phase.exchange"));
+        assert!(table.contains("MatMul"));
+    }
+
+    #[test]
+    fn straggler_stats_pick_slowest_machine() {
+        let stats = straggler_stats(&sample_dump());
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].max_ns, 1600);
+        assert_eq!(stats[0].slowest_machine, 1);
+        assert_eq!(stats[0].median_ns, 1600); // median of [1000, 1600] -> upper
+        let report = straggler_report(&sample_dump());
+        assert!(report.contains("machine1"));
+    }
+
+    #[test]
+    fn straggler_ignores_untracked_and_sim() {
+        let mut d = sample_dump();
+        d.records.push(rec(
+            SpanCat::Phase,
+            "iteration",
+            UNTRACKED_MACHINE,
+            SIM_LANE,
+            0,
+            9999,
+            0,
+            0,
+        ));
+        let stats = straggler_stats(&d);
+        assert_eq!(stats[0].max_ns, 1600);
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate_json("{\"a\":[1,2.5,-3e2,true,null,\"s\\n\"]}").unwrap();
+        validate_json(" 42 ").unwrap();
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("[1 2]").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("01").is_err());
+    }
+}

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, the whole test suite, and a
-# warning-free clippy pass over every target. Run from the repo root.
+# Full verification gate: release build, the whole test suite, a
+# warning-free clippy pass over every target, and a formatting check.
+# Run from the repo root. CI (.github/workflows/ci.yml) runs this same
+# script, so a local pass means a green build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
-cargo clippy --all-targets -- -D warnings
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all --check
 
 echo "verify: OK"

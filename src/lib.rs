@@ -14,6 +14,8 @@
 //!   partition search, graph transformation, the distributed runner.
 //! * [`models`] — LM / NMT / ResNet-like / Inception-like models and
 //!   synthetic datasets.
+//! * [`trace`] — the observability subsystem: spans, counters, and
+//!   Chrome-trace/breakdown exporters threaded through the whole stack.
 //!
 //! # Quickstart
 //!
@@ -54,3 +56,4 @@ pub use parallax_dataflow as dataflow;
 pub use parallax_models as models;
 pub use parallax_ps as ps;
 pub use parallax_tensor as tensor;
+pub use parallax_trace as trace;
