@@ -2,9 +2,16 @@
 //!
 //! ```text
 //! repro [table1|..|table6|fig7|fig8|fig9|ablations|traffic|kernels|all]
+//! repro check [--model lm|nmt]
 //! repro trace [--model lm|nmt] [--iters N]
 //! repro trace-overhead
 //! ```
+//!
+//! `check` runs the static plan verifier (graph passes, distributed-plan
+//! passes, traffic prediction) against a model preset, cross-validates
+//! the prediction on one executed iteration, and exits nonzero if any
+//! pass reports an error. It is excluded from `all` (it is a
+//! verification gate, not a paper figure).
 //!
 //! `kernels` measures the blocked/pooled compute kernels against the
 //! scalar reference kernels and writes `BENCH_kernels.json`.
@@ -19,8 +26,35 @@
 use parallax_bench::experiments::{self, Framework};
 use parallax_bench::report::{fmt_speedup, fmt_throughput, render_table};
 
+/// Subcommands `repro` accepts; anything else prints usage and exits 2.
+const KNOWN: &[&str] = &[
+    "all",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablations",
+    "traffic",
+    "kernels",
+    "check",
+    "trace",
+    "trace-overhead",
+];
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if !KNOWN.contains(&which.as_str()) {
+        eprintln!("repro: unknown subcommand `{which}`");
+        eprintln!("usage: repro [{}]", KNOWN.join("|"));
+        eprintln!("       repro check [--model lm|nmt]");
+        eprintln!("       repro trace [--model lm|nmt] [--iters N]");
+        std::process::exit(2);
+    }
     let all = which == "all";
     if all || which == "table1" {
         table1();
@@ -57,6 +91,14 @@ fn main() {
     }
     if all || which == "kernels" {
         parallax_bench::kernels::run("BENCH_kernels.json").expect("write BENCH_kernels.json");
+    }
+    if which == "check" {
+        let model = flag_value("--model").unwrap_or_else(|| "lm".to_string());
+        let (report, ok) = parallax_bench::check::run(&model);
+        print!("{report}");
+        if !ok {
+            std::process::exit(1);
+        }
     }
     if which == "trace" {
         let model = flag_value("--model").unwrap_or_else(|| "lm".to_string());

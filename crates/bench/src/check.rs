@@ -1,0 +1,254 @@
+//! `repro check`: run the full static verification pipeline against a
+//! model preset and cross-validate the traffic predictor on one real
+//! iteration.
+//!
+//! Three stages, all pure analysis until the final cross-check:
+//!
+//! 1. single-device graph passes (`G...`/`S...` codes) with a
+//!    representative feed;
+//! 2. distributed-plan passes (`P...` codes) against the plan the runner
+//!    will execute;
+//! 3. the static per-class traffic prediction (`B001` conservation
+//!    crosscheck), compared byte-for-byte against one measured training
+//!    iteration on the same feeds.
+//!
+//! Returns the rendered report and whether every stage passed, so the
+//! binary can exit nonzero and tests can assert without capturing
+//! stdout.
+
+use std::fmt::Write as _;
+
+use parallax_core::plancheck::predict_iteration_traffic;
+use parallax_core::runner::TrafficReport;
+use parallax_core::sparsity::{estimate_profile, SparsityProfile};
+use parallax_core::{check_plan, get_runner, CoreError, ParallaxConfig};
+use parallax_dataflow::verify::{verify_graph, VerifyReport};
+use parallax_dataflow::{Feed, Graph, NodeId};
+use parallax_models::data::ZipfCorpus;
+use parallax_models::lm::{LmConfig, LmModel};
+use parallax_models::nmt::{NmtConfig, NmtModel};
+use parallax_tensor::DetRng;
+
+/// Machines in the checked topology (1 GPU each, matching `repro
+/// trace`, so PS shards spread across real machine boundaries).
+const MACHINES: usize = 4;
+
+/// Runs every static pass plus the one-iteration traffic cross-check
+/// for `preset` (`"lm"` or `"nmt"`). Returns the printable report and
+/// whether everything passed.
+pub fn run(preset: &str) -> (String, bool) {
+    match preset {
+        "nmt" => {
+            let model = NmtModel::build(NmtConfig::tiny()).expect("model builds");
+            let src = ZipfCorpus::new(model.config.src_vocab, 1.0);
+            let tgt = ZipfCorpus::new(model.config.tgt_vocab, 1.0);
+            let profile = {
+                let feed = model.feed(&src, &tgt, &mut DetRng::seed(100));
+                estimate_profile(&model.built.graph, &[feed], 1).expect("profile")
+            };
+            let m = &model;
+            let (src_ref, tgt_ref) = (&src, &tgt);
+            check_model(
+                "NMT (tiny)",
+                &model.built.graph,
+                model.built.loss,
+                &profile,
+                |w, i| {
+                    m.sharded_feed(
+                        src_ref,
+                        tgt_ref,
+                        MACHINES,
+                        w,
+                        &mut DetRng::seed(6000 + i as u64),
+                    )
+                },
+            )
+        }
+        _ => {
+            let model = LmModel::build(LmConfig::tiny()).expect("model builds");
+            let corpus = ZipfCorpus::new(model.config.vocab, 1.0);
+            let profile = {
+                let feed = model.feed(&corpus, &mut DetRng::seed(100));
+                estimate_profile(&model.built.graph, &[feed], 1).expect("profile")
+            };
+            let m = &model;
+            let corpus_ref = &corpus;
+            check_model(
+                "LM (tiny)",
+                &model.built.graph,
+                model.built.loss,
+                &profile,
+                |w, i| m.sharded_feed(corpus_ref, MACHINES, w, &mut DetRng::seed(5000 + i as u64)),
+            )
+        }
+    }
+}
+
+/// One line summarizing a report, plus the rendered diagnostics when
+/// there are any.
+fn report_section(out: &mut String, label: &str, report: &VerifyReport) {
+    let errors = report.errors().count();
+    let warnings = report.warnings().count();
+    let _ = writeln!(out, "{label}: {errors} error(s), {warnings} warning(s)");
+    if !report.diagnostics.is_empty() {
+        out.push_str(&report.render());
+    }
+}
+
+fn check_model<F>(
+    label: &str,
+    graph: &Graph,
+    loss: NodeId,
+    profile: &SparsityProfile,
+    feed_fn: F,
+) -> (String, bool)
+where
+    F: Fn(usize, usize) -> Feed + Send + Sync,
+{
+    let config = ParallaxConfig::default();
+    let mut out = String::new();
+    let mut ok = true;
+    let _ = writeln!(
+        out,
+        "== Static verification: {label} on {MACHINES} machines x 1 GPU =="
+    );
+
+    // Stage 1: single-device graph passes, with worker 0's first feed as
+    // the representative input for the data-dependent checks (S002).
+    let graph_report = verify_graph(graph, Some(loss), Some(&feed_fn(0, 0)));
+    report_section(&mut out, "graph passes", &graph_report);
+    ok &= !graph_report.has_errors();
+
+    // Stage 2: the runner's own gate (it refuses to construct on a bad
+    // plan), then the full plan report including warnings.
+    let runner = match get_runner(
+        graph.clone(),
+        loss,
+        vec![1; MACHINES],
+        config.clone(),
+        profile.clone(),
+    ) {
+        Ok(r) => r,
+        Err(CoreError::Verify(rendered)) => {
+            let _ = writeln!(out, "runner refused the plan:\n{rendered}");
+            let _ = writeln!(out, "{label}: FAIL");
+            return (out, false);
+        }
+        Err(other) => {
+            let _ = writeln!(out, "runner construction failed: {other}");
+            let _ = writeln!(out, "{label}: FAIL");
+            return (out, false);
+        }
+    };
+    let plan_report = check_plan(
+        graph,
+        Some(loss),
+        profile,
+        &config,
+        runner.topology(),
+        runner.plan(),
+    );
+    report_section(&mut out, "plan passes", &plan_report);
+    ok &= !plan_report.has_errors();
+
+    // Stage 3: static traffic prediction + conservation crosscheck,
+    // validated against one executed iteration on the same feeds.
+    let workers = MACHINES;
+    let feeds: Vec<Feed> = (0..workers).map(|w| feed_fn(w, 0)).collect();
+    let (predicted, conservation) = match predict_iteration_traffic(
+        graph,
+        loss,
+        runner.plan(),
+        runner.topology(),
+        &config,
+        &feeds,
+    ) {
+        Ok(pair) => pair,
+        Err(e) => {
+            let _ = writeln!(out, "traffic prediction failed: {e}");
+            let _ = writeln!(out, "{label}: FAIL");
+            return (out, false);
+        }
+    };
+    report_section(&mut out, "byte conservation", &conservation);
+    ok &= !conservation.has_errors();
+
+    match runner.run(1, feed_fn) {
+        Ok(report) => {
+            let matched = traffic_table(&mut out, &predicted, &report.traffic);
+            ok &= matched;
+        }
+        Err(e) => {
+            let _ = writeln!(out, "measurement iteration failed: {e}");
+            ok = false;
+        }
+    }
+
+    let _ = writeln!(out, "{label}: {}", if ok { "PASS" } else { "FAIL" });
+    out.push('\n');
+    (out, ok)
+}
+
+/// Prints predicted vs measured per-class traffic; true when every class
+/// matches exactly (bytes, per-link routing and message counts).
+fn traffic_table(out: &mut String, predicted: &TrafficReport, measured: &TrafficReport) -> bool {
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>14} {:>8} {:>8}  match",
+        "class", "predicted B", "measured B", "pred #", "meas #"
+    );
+    let classes = [
+        ("nccl", &predicted.nccl, &measured.nccl),
+        ("mpi", &predicted.mpi, &measured.mpi),
+        ("ps", &predicted.ps, &measured.ps),
+        ("local_agg", &predicted.local_agg, &measured.local_agg),
+        ("other", &predicted.other, &measured.other),
+    ];
+    let mut all = true;
+    for (name, p, m) in classes {
+        let eq = p == m;
+        all &= eq;
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14} {:>14} {:>8} {:>8}  {}",
+            name,
+            p.total_network_bytes() + p.intra_bytes(),
+            m.total_network_bytes() + m.intra_bytes(),
+            p.inter_messages + p.intra_messages,
+            m.inter_messages + m.intra_messages,
+            if eq { "yes" } else { "NO" },
+        );
+    }
+    let _ = writeln!(
+        out,
+        "predicted one-iteration network total: {} B ({})",
+        predicted.total_network_bytes(),
+        if all {
+            "matches the executed iteration exactly"
+        } else {
+            "DISAGREES with the executed iteration"
+        },
+    );
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lm_preset_passes_every_stage() {
+        let (report, ok) = run("lm");
+        assert!(ok, "report:\n{report}");
+        assert!(report.contains("LM (tiny): PASS"), "report:\n{report}");
+        assert!(report.contains("graph passes: 0 error(s)"), "{report}");
+        assert!(report.contains("plan passes: 0 error(s)"), "{report}");
+    }
+
+    #[test]
+    fn nmt_preset_passes_every_stage() {
+        let (report, ok) = run("nmt");
+        assert!(ok, "report:\n{report}");
+        assert!(report.contains("NMT (tiny): PASS"), "report:\n{report}");
+    }
+}

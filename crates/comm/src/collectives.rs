@@ -30,8 +30,10 @@ fn position(ep: &Endpoint, ranks: &[usize]) -> Result<usize> {
 }
 
 /// The element range of chunk `i` when `len` elements are cut into `n`
-/// near-equal chunks.
-fn chunk_range(len: usize, n: usize, i: usize) -> std::ops::Range<usize> {
+/// near-equal chunks. Shared with the static traffic predictor
+/// (`crate::predict`) so the replayed ring schedule cannot drift from
+/// the executed one.
+pub(crate) fn chunk_range(len: usize, n: usize, i: usize) -> std::ops::Range<usize> {
     let base = len / n;
     let rem = len % n;
     let start = i * base + i.min(rem);

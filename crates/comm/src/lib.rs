@@ -16,11 +16,13 @@
 
 pub mod collectives;
 pub mod error;
+pub mod predict;
 pub mod topology;
 pub mod traffic;
 pub mod transport;
 
 pub use error::CommError;
+pub use predict::StaticLedger;
 pub use topology::{Topology, WorkerId};
 pub use traffic::{TrafficClass, TrafficSnapshot, TrafficStats};
 pub use transport::{Endpoint, Payload, Router};

@@ -22,6 +22,8 @@ pub enum CoreError {
     Config(String),
     /// A worker or server thread failed.
     Worker(String),
+    /// The static plan verifier found errors; the rendered report.
+    Verify(String),
 }
 
 impl fmt::Display for CoreError {
@@ -33,6 +35,7 @@ impl fmt::Display for CoreError {
             CoreError::Ps(e) => write!(f, "ps: {e}"),
             CoreError::Config(msg) => write!(f, "config: {msg}"),
             CoreError::Worker(msg) => write!(f, "worker: {msg}"),
+            CoreError::Verify(report) => write!(f, "plan verification failed:\n{report}"),
         }
     }
 }

@@ -19,6 +19,12 @@
 //!   `t = th0 + th1/P + th2*P`, pick the predicted optimum (Section 3.2).
 //! * [`transform`] — automatic graph transformation: a single-GPU graph
 //!   plus resources in, a distributed execution plan out (Section 4.3).
+//! * [`plancheck`] — the static plan verifier: cross-checks a
+//!   [`transform::DistributedPlan`] against a re-derivation of the
+//!   hybrid decision, the partition tiling invariants and the inserted
+//!   synchronization schedule, and statically predicts one iteration's
+//!   per-class traffic by replaying the exchange plan into a
+//!   [`parallax_comm::StaticLedger`] — all before any thread spawns.
 //! * [`runner`] — the `shard` / `get_runner` user API (Figure 3) and the
 //!   executed-mode distributed training loop over worker threads and
 //!   per-machine servers.
@@ -32,6 +38,7 @@ pub mod config;
 pub mod error;
 pub mod hybrid;
 pub mod partition;
+pub mod plancheck;
 pub mod runner;
 pub mod sparsity;
 pub mod transfer;
@@ -39,6 +46,7 @@ pub mod transform;
 
 pub use config::{ArchChoice, OptimizerKind, ParallaxConfig};
 pub use error::CoreError;
+pub use plancheck::{check_plan, predict_iteration_traffic};
 pub use runner::{get_runner, get_runner_from_spec, shard_range, RunReport, Runner};
 pub use transform::DistributedPlan;
 

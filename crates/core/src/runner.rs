@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 use crate::config::ParallaxConfig;
 use crate::partition::{self, SearchResult};
 use crate::sparsity::SparsityProfile;
-use crate::transform::{transform, DistributedPlan};
+use crate::transform::DistributedPlan;
 use crate::{CoreError, Result};
 
 /// # Examples
@@ -48,7 +48,7 @@ pub fn shard_range(total: usize, workers: usize, worker: usize) -> std::ops::Ran
 }
 
 /// Tag namespace for AllGatherv collectives (classified as MPI traffic).
-fn mpi_tag(var: usize, iter: u64) -> u64 {
+pub(crate) fn mpi_tag(var: usize, iter: u64) -> u64 {
     0x3000_0000_0000_0000 | protocol::pack(protocol::ReqKind::PushDense, var, 0, iter)
 }
 
@@ -210,7 +210,6 @@ pub fn get_runner(
             ));
         }
     }
-    graph.validate()?;
     if let Some(n) = config.compute_threads {
         parallax_tensor::pool::configure_threads(n);
     }
@@ -218,14 +217,8 @@ pub fn get_runner(
     let partitions = config
         .sparse_partitions
         .unwrap_or(topo.num_machines().max(1));
-    let plan = transform(
-        &graph,
-        &profile,
-        &config,
-        topo.num_machines(),
-        topo.num_workers(),
-        partitions,
-    )?;
+    let plan =
+        crate::plancheck::build_verified_plan(&graph, loss, &profile, &config, &topo, partitions)?;
     Ok(Runner {
         graph: Arc::new(graph),
         loss,
@@ -269,12 +262,12 @@ impl Runner {
     pub fn with_partitions(&self, partitions: usize) -> Result<Runner> {
         let mut config = self.config.clone();
         config.sparse_partitions = Some(partitions);
-        let plan = transform(
+        let plan = crate::plancheck::build_verified_plan(
             &self.graph,
+            self.loss,
             &self.profile,
             &config,
-            self.topo.num_machines(),
-            self.topo.num_workers(),
+            &self.topo,
             partitions,
         )?;
         Ok(Runner {

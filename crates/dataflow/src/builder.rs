@@ -30,27 +30,32 @@ pub fn linear(
     out_dim: usize,
     act: Act,
 ) -> Result<(NodeId, VarId, VarId)> {
-    let w = g.variable(VariableDef::new(
-        format!("{name}/w"),
-        [in_dim, out_dim],
-        Init::Glorot,
-    ))?;
-    let b = g.variable(VariableDef::new(
-        format!("{name}/b"),
-        [out_dim],
-        Init::Zeros,
-    ))?;
-    let wr = g.read(w)?;
-    let br = g.read(b)?;
-    let mm = g.add(Op::MatMul(x, wr))?;
-    let pre = g.add(Op::AddBias { x: mm, bias: br })?;
-    let out = match act {
-        Act::None => pre,
-        Act::Tanh => g.add(Op::Tanh(pre))?,
-        Act::Relu => g.add(Op::Relu(pre))?,
-        Act::Sigmoid => g.add(Op::Sigmoid(pre))?,
-    };
-    Ok((out, w, b))
+    g.push_scope(name);
+    let result = (|| {
+        let w = g.variable(VariableDef::new(
+            format!("{name}/w"),
+            [in_dim, out_dim],
+            Init::Glorot,
+        ))?;
+        let b = g.variable(VariableDef::new(
+            format!("{name}/b"),
+            [out_dim],
+            Init::Zeros,
+        ))?;
+        let wr = g.read(w)?;
+        let br = g.read(b)?;
+        let mm = g.add(Op::MatMul(x, wr))?;
+        let pre = g.add(Op::AddBias { x: mm, bias: br })?;
+        let out = match act {
+            Act::None => pre,
+            Act::Tanh => g.add(Op::Tanh(pre))?,
+            Act::Relu => g.add(Op::Relu(pre))?,
+            Act::Sigmoid => g.add(Op::Sigmoid(pre))?,
+        };
+        Ok((out, w, b))
+    })();
+    g.pop_scope();
+    result
 }
 
 /// Declares LSTM cell weights: a fused `[input+hidden, 4*hidden]` kernel
@@ -85,41 +90,52 @@ pub fn lstm_step(
     b: VarId,
     hidden: usize,
 ) -> Result<(NodeId, NodeId)> {
-    let xh = g.add(Op::ConcatCols(vec![x, h_prev]))?;
-    let wr = g.read(w)?;
-    let br = g.read(b)?;
-    let mm = g.add(Op::MatMul(xh, wr))?;
-    let pre = g.add(Op::AddBias { x: mm, bias: br })?;
-    let i_pre = g.add(Op::SliceCols {
-        input: pre,
-        start: 0,
-        width: hidden,
-    })?;
-    let f_pre = g.add(Op::SliceCols {
-        input: pre,
-        start: hidden,
-        width: hidden,
-    })?;
-    let g_pre = g.add(Op::SliceCols {
-        input: pre,
-        start: 2 * hidden,
-        width: hidden,
-    })?;
-    let o_pre = g.add(Op::SliceCols {
-        input: pre,
-        start: 3 * hidden,
-        width: hidden,
-    })?;
-    let i = g.add(Op::Sigmoid(i_pre))?;
-    let f = g.add(Op::Sigmoid(f_pre))?;
-    let g_gate = g.add(Op::Tanh(g_pre))?;
-    let o = g.add(Op::Sigmoid(o_pre))?;
-    let fc = g.add(Op::Hadamard(f, c_prev))?;
-    let ig = g.add(Op::Hadamard(i, g_gate))?;
-    let c = g.add(Op::Add(fc, ig))?;
-    let c_tanh = g.add(Op::Tanh(c))?;
-    let h = g.add(Op::Hadamard(o, c_tanh))?;
-    Ok((h, c))
+    // Scope the step's nodes by the cell's name (the kernel variable is
+    // `<cell>/kernel`), so verifier diagnostics point at the right cell.
+    let scope = g
+        .var_def(w)
+        .map(|d| d.name.trim_end_matches("/kernel").to_string())
+        .unwrap_or_else(|_| "lstm".to_string());
+    g.push_scope(scope);
+    let result = (|| {
+        let xh = g.add(Op::ConcatCols(vec![x, h_prev]))?;
+        let wr = g.read(w)?;
+        let br = g.read(b)?;
+        let mm = g.add(Op::MatMul(xh, wr))?;
+        let pre = g.add(Op::AddBias { x: mm, bias: br })?;
+        let i_pre = g.add(Op::SliceCols {
+            input: pre,
+            start: 0,
+            width: hidden,
+        })?;
+        let f_pre = g.add(Op::SliceCols {
+            input: pre,
+            start: hidden,
+            width: hidden,
+        })?;
+        let g_pre = g.add(Op::SliceCols {
+            input: pre,
+            start: 2 * hidden,
+            width: hidden,
+        })?;
+        let o_pre = g.add(Op::SliceCols {
+            input: pre,
+            start: 3 * hidden,
+            width: hidden,
+        })?;
+        let i = g.add(Op::Sigmoid(i_pre))?;
+        let f = g.add(Op::Sigmoid(f_pre))?;
+        let g_gate = g.add(Op::Tanh(g_pre))?;
+        let o = g.add(Op::Sigmoid(o_pre))?;
+        let fc = g.add(Op::Hadamard(f, c_prev))?;
+        let ig = g.add(Op::Hadamard(i, g_gate))?;
+        let c = g.add(Op::Add(fc, ig))?;
+        let c_tanh = g.add(Op::Tanh(c))?;
+        let h = g.add(Op::Hadamard(o, c_tanh))?;
+        Ok((h, c))
+    })();
+    g.pop_scope();
+    result
 }
 
 /// Declares an embedding table, optionally inside a partitioner group.
@@ -148,8 +164,13 @@ pub fn residual_block(
 ) -> Result<NodeId> {
     let (h, _, _) = linear(g, x, &format!("{name}/fc1"), dim, bottleneck, Act::Relu)?;
     let (f, _, _) = linear(g, h, &format!("{name}/fc2"), bottleneck, dim, Act::None)?;
-    let sum = g.add(Op::Add(x, f))?;
-    g.add(Op::Relu(sum))
+    g.push_scope(name);
+    let result = (|| {
+        let sum = g.add(Op::Add(x, f))?;
+        g.add(Op::Relu(sum))
+    })();
+    g.pop_scope();
+    result
 }
 
 #[cfg(test)]

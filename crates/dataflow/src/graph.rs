@@ -283,6 +283,11 @@ impl Op {
 #[derive(Debug, Clone, Default)]
 pub struct Graph {
     nodes: Vec<Op>,
+    /// Builder provenance per node: the scope path active when the node
+    /// was added (empty outside any scope). Parallel to `nodes`.
+    origins: Vec<String>,
+    /// The currently open provenance scopes (see [`Graph::push_scope`]).
+    scope_stack: Vec<String>,
     variables: Vec<VariableDef>,
     placeholders: Vec<PlaceholderDef>,
     partition_groups: usize,
@@ -316,8 +321,41 @@ impl Graph {
             }
             _ => {}
         }
+        Ok(self.add_unchecked(op))
+    }
+
+    /// Adds an operation node **without** any reference validation.
+    ///
+    /// Exists so tests (and the verifier's own negative paths) can
+    /// assemble structurally broken graphs — dangling inputs, forward
+    /// references — and watch `verify::check_structure` diagnose them
+    /// instead of panicking. Everything else should use [`Graph::add`].
+    #[doc(hidden)]
+    pub fn add_unchecked(&mut self, op: Op) -> NodeId {
+        self.origins.push(self.scope_stack.join("/"));
         self.nodes.push(op);
-        Ok(NodeId(self.nodes.len() - 1))
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Opens a provenance scope: nodes added until the matching
+    /// [`Graph::pop_scope`] record the scope path (`"outer/inner"`) as
+    /// their builder origin, which verifier diagnostics attach to the
+    /// offending node. The layer helpers in [`crate::builder`] scope
+    /// every node they create by the layer's name.
+    pub fn push_scope(&mut self, name: impl Into<String>) {
+        self.scope_stack.push(name.into());
+    }
+
+    /// Closes the innermost provenance scope (no-op when none is open).
+    pub fn pop_scope(&mut self) {
+        self.scope_stack.pop();
+    }
+
+    /// The builder provenance of a node: the scope path active when it
+    /// was added, or `""` for nodes created outside any scope (and for
+    /// ids not in this graph).
+    pub fn origin(&self, id: NodeId) -> &str {
+        self.origins.get(id.0).map(String::as_str).unwrap_or("")
     }
 
     /// Declares a placeholder and returns its node.
@@ -446,52 +484,23 @@ impl Graph {
         gathered
     }
 
-    /// Statically type-checks the graph's value kinds: every tensor
-    /// input must be produced by a tensor-valued node, and every id
-    /// input (gather indices, labels) by an `Ids` placeholder. Runs in
-    /// one pass; [`Graph::add`] already guarantees acyclicity and id
-    /// validity, so a validated graph cannot fail kind checks at
-    /// execution time.
+    /// Statically checks the graph's structure and value kinds by
+    /// delegating to the verifier's [`crate::verify::check_structure`]
+    /// and [`crate::verify::check_kinds`] passes — the old entry point
+    /// and the multi-pass verifier share one implementation and cannot
+    /// drift apart. The first diagnostic is mapped back to the legacy
+    /// error variants ([`DataflowError::ValueKindMismatch`] and
+    /// friends) so existing callers keep matching on them.
     pub fn validate(&self) -> Result<()> {
-        // Kind of each node's output: true = ids, false = tensor.
-        let mut is_ids = vec![false; self.nodes.len()];
-        for (idx, op) in self.nodes.iter().enumerate() {
-            let expect_tensor = |input: NodeId, op_name: &'static str| -> Result<()> {
-                if is_ids[input.0] {
-                    return Err(DataflowError::ValueKindMismatch {
-                        op: op_name,
-                        expected: "tensor",
-                    });
-                }
-                Ok(())
-            };
-            let expect_ids = |input: NodeId, op_name: &'static str| -> Result<()> {
-                if !is_ids[input.0] {
-                    return Err(DataflowError::ValueKindMismatch {
-                        op: op_name,
-                        expected: "ids",
-                    });
-                }
-                Ok(())
-            };
-            match op {
-                Op::Placeholder(ph) => {
-                    is_ids[idx] = self.placeholder_def(*ph)?.kind == PhKind::Ids;
-                }
-                Op::Variable(_) | Op::Constant(_) => {}
-                Op::Gather { ids, .. } => expect_ids(*ids, "Gather")?,
-                Op::SoftmaxXent { logits, labels } => {
-                    expect_tensor(*logits, "SoftmaxXent")?;
-                    expect_ids(*labels, "SoftmaxXent")?;
-                }
-                other => {
-                    for input in other.inputs() {
-                        expect_tensor(input, other.name())?;
-                    }
-                }
-            }
+        let mut report = crate::verify::VerifyReport::new();
+        crate::verify::check_structure(self, &mut report);
+        if !report.has_errors() {
+            crate::verify::check_kinds(self, &mut report);
         }
-        Ok(())
+        match report.diagnostics.into_iter().next() {
+            Some(d) => Err(d.into_error()),
+            None => Ok(()),
+        }
     }
 
     /// Nodes that `Gather` from `var`.

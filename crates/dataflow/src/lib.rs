@@ -22,6 +22,7 @@ pub mod meta;
 pub mod optimizer;
 pub mod value;
 pub mod varstore;
+pub mod verify;
 
 pub use error::DataflowError;
 pub use exec::{Activations, Session};
@@ -30,6 +31,7 @@ pub use meta::MetaGraph;
 pub use optimizer::{Optimizer, Sgd};
 pub use value::{Feed, Value};
 pub use varstore::{VarProvider, VarStore};
+pub use verify::{verify_graph, DiagCode, Diagnostic, Severity, VerifyReport};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, DataflowError>;

@@ -48,9 +48,27 @@ impl RowPartition {
         Ok(RowPartition { rows, bounds })
     }
 
+    /// Builds a partition from explicit bounds **without** validating
+    /// monotonicity or coverage. The static plan verifier
+    /// (`parallax-core::plancheck`) is the component that diagnoses bad
+    /// bounds, so its negative-path tests need a way to construct them;
+    /// everything else should use [`RowPartition::even`].
+    #[doc(hidden)]
+    pub fn from_bounds(rows: usize, bounds: Vec<usize>) -> Self {
+        RowPartition { rows, bounds }
+    }
+
+    /// The raw partition bounds: `bounds[p]..bounds[p+1]` is partition
+    /// `p`'s row range. A well-formed partition has `bounds[0] == 0`,
+    /// strictly increasing entries, and `bounds[parts] == rows` — the
+    /// tiling invariant the plan verifier checks.
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
     /// Number of partitions.
     pub fn parts(&self) -> usize {
-        self.bounds.len() - 1
+        self.bounds.len().saturating_sub(1)
     }
 
     /// Total rows.

@@ -11,4 +11,9 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 
+# Static plan verification gate: graph passes, plan passes, and the
+# traffic predictor cross-validated against one executed iteration.
+cargo run --release -q -p parallax-bench --bin repro -- check --model lm
+cargo run --release -q -p parallax-bench --bin repro -- check --model nmt
+
 echo "verify: OK"
