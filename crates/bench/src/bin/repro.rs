@@ -5,6 +5,7 @@
 //! repro check [--model lm|nmt]
 //! repro trace [--model lm|nmt] [--iters N]
 //! repro trace-overhead
+//! repro straggler [--model lm|nmt] [--iters N] [--factors 1,2,3]
 //! ```
 //!
 //! `check` runs the static plan verifier (graph passes, distributed-plan
@@ -22,6 +23,12 @@
 //! disabled tracer's cost on the kernel path and writes
 //! `BENCH_trace_overhead.json`. Both are excluded from `all` (they are
 //! observability artifacts, not paper figures).
+//!
+//! `straggler` runs the sim-vs-measured conformance suite: a calibrated
+//! `IterationSim` must predict the compute-skew ratio and mean PS wait
+//! of runs with real injected slowdowns within documented bands; exits
+//! nonzero on any band violation. Excluded from `all` (a gate, like
+//! `check`).
 
 use parallax_bench::experiments::{self, Framework};
 use parallax_bench::report::{fmt_speedup, fmt_throughput, render_table};
@@ -44,6 +51,7 @@ const KNOWN: &[&str] = &[
     "check",
     "trace",
     "trace-overhead",
+    "straggler",
 ];
 
 fn main() {
@@ -53,6 +61,7 @@ fn main() {
         eprintln!("usage: repro [{}]", KNOWN.join("|"));
         eprintln!("       repro check [--model lm|nmt]");
         eprintln!("       repro trace [--model lm|nmt] [--iters N]");
+        eprintln!("       repro straggler [--model lm|nmt] [--iters N] [--factors 1,2,3]");
         std::process::exit(2);
     }
     let all = which == "all";
@@ -111,6 +120,29 @@ fn main() {
     if which == "trace-overhead" {
         parallax_bench::trace::run_overhead("BENCH_trace_overhead.json")
             .expect("write BENCH_trace_overhead.json");
+    }
+    if which == "straggler" {
+        let model = flag_value("--model").unwrap_or_else(|| "lm".to_string());
+        let iters: usize = flag_value("--iters")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3);
+        let factors: Vec<f64> = flag_value("--factors")
+            .unwrap_or_else(|| "1,2,3".to_string())
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect();
+        match parallax_bench::straggler::run(&model, &factors, iters) {
+            Ok((report, ok)) => {
+                print!("{report}");
+                if !ok {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("repro straggler: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -14,6 +14,7 @@ pub mod check;
 pub mod experiments;
 pub mod kernels;
 pub mod report;
+pub mod straggler;
 pub mod trace;
 
 pub use experiments::Framework;

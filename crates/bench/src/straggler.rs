@@ -1,0 +1,329 @@
+//! `repro straggler`: sim-vs-measured conformance on heterogeneous
+//! clusters.
+//!
+//! The harness runs a short traced hybrid job twice per scenario: once
+//! homogeneous (the calibration baseline) and once with a real injected
+//! slowdown on machine 0 (`ParallaxConfig::machine_slowdown`, a busy-
+//! wait stretching the compute phase). It distills a
+//! [`CalibrationProfile`] from the baseline trace, applies the matching
+//! model-side slowdown to a [`ClusterModel`], and checks that the
+//! calibrated [`parallax_cluster::IterationSim`] predicts what the
+//! straggler run actually measured — the compute-skew ratio from the
+//! phase spans and the mean PS idle gap from the `ps.wait_ns`
+//! histogram — within the documented tolerance bands.
+
+use std::fmt::Write as _;
+
+use parallax_cluster::{CalibrationProfile, ClusterModel};
+use parallax_core::sparsity::estimate_profile;
+use parallax_core::{get_runner, ParallaxConfig, RunReport};
+use parallax_models::data::ZipfCorpus;
+use parallax_models::lm::{LmConfig, LmModel};
+use parallax_models::nmt::{NmtConfig, NmtModel};
+use parallax_tensor::DetRng;
+use parallax_trace::{export, TraceConfig, TraceDump};
+
+/// Default machine count (1 GPU each, so machine boundaries exist).
+pub const MACHINES: usize = 4;
+
+/// Relative tolerance on the compute-skew ratio: the prediction must
+/// land within `REL * measured + ABS` of the measured ratio. The
+/// relative term absorbs proportional model error; the absolute floor
+/// absorbs scheduler noise, which on a time-shared host moves the
+/// measured ratio by tenths even between identical runs.
+pub const RATIO_REL_TOL: f64 = 0.35;
+/// Absolute tolerance floor on the compute-skew ratio (see
+/// [`RATIO_REL_TOL`]).
+pub const RATIO_ABS_TOL: f64 = 0.75;
+/// The predicted mean PS wait must fall within this multiplicative band
+/// of the measured one. The measured wait mixes genuine queueing with
+/// OS wakeup latency the queue model deliberately omits, so only its
+/// order of magnitude and growth direction are modelled — sub-millisecond
+/// idle gaps on a shared vCPU cannot support a tighter band honestly.
+pub const WAIT_BAND: (f64, f64) = (0.2, 5.0);
+
+/// One traced execution: the run report plus its frozen trace.
+pub struct TracedRun {
+    /// The runner's report (losses, traffic, timings).
+    pub report: RunReport,
+    /// The collected trace dump.
+    pub dump: TraceDump,
+}
+
+/// Figures extracted from a measured trace.
+#[derive(Debug, Clone, Copy)]
+pub struct Measured {
+    /// Median over iterations of the per-iteration max/median un-gated
+    /// compute-phase busy time across machines (includes any injected
+    /// straggler delay; robust to single-iteration scheduler stalls).
+    pub skew_ratio: f64,
+    /// Mean server idle gap per request, seconds (`ps.wait_ns`).
+    pub mean_wait_s: f64,
+    /// Matched push->serve flow pairs in the trace.
+    pub flow_pairs: usize,
+}
+
+/// Runs `iters` traced iterations of `preset` (`"lm"` or `"nmt"`) on
+/// `machines` machines x 1 GPU, with `slowdown[m]` stretching machine
+/// `m`'s compute phase (missing entries run at nominal speed).
+pub fn traced_run(
+    preset: &str,
+    machines: usize,
+    iters: usize,
+    slowdown: &[f64],
+) -> Result<TracedRun, String> {
+    parallax_trace::configure(TraceConfig::on());
+    parallax_trace::reset();
+    let config = ParallaxConfig {
+        machine_slowdown: slowdown.to_vec(),
+        ..ParallaxConfig::default()
+    };
+    let gpus = vec![1usize; machines];
+    let report = match preset {
+        "nmt" => {
+            let model = NmtModel::build(NmtConfig::tiny()).map_err(|e| e.to_string())?;
+            let src = ZipfCorpus::new(model.config.src_vocab, 1.0);
+            let tgt = ZipfCorpus::new(model.config.tgt_vocab, 1.0);
+            let profile = {
+                let feed = model.feed(&src, &tgt, &mut DetRng::seed(100));
+                estimate_profile(&model.built.graph, &[feed], 1).map_err(|e| e.to_string())?
+            };
+            let runner = get_runner(
+                model.built.graph.clone(),
+                model.built.loss,
+                gpus,
+                config,
+                profile,
+            )
+            .map_err(|e| e.to_string())?;
+            runner
+                .run(iters, |w, i| {
+                    model.sharded_feed(&src, &tgt, machines, w, &mut DetRng::seed(6000 + i as u64))
+                })
+                .map_err(|e| e.to_string())?
+        }
+        "lm" => {
+            let model = LmModel::build(LmConfig::tiny()).map_err(|e| e.to_string())?;
+            let corpus = ZipfCorpus::new(model.config.vocab, 1.0);
+            let profile = {
+                let feed = model.feed(&corpus, &mut DetRng::seed(100));
+                estimate_profile(&model.built.graph, &[feed], 1).map_err(|e| e.to_string())?
+            };
+            let runner = get_runner(
+                model.built.graph.clone(),
+                model.built.loss,
+                gpus,
+                config,
+                profile,
+            )
+            .map_err(|e| e.to_string())?;
+            runner
+                .run(iters, |w, i| {
+                    model.sharded_feed(&corpus, machines, w, &mut DetRng::seed(5000 + i as u64))
+                })
+                .map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown preset '{other}' (expected lm or nmt)")),
+    };
+    parallax_trace::disable();
+    let dump = parallax_trace::drain();
+    Ok(TracedRun { report, dump })
+}
+
+/// Extracts the measured conformance figures from a traced run,
+/// validating the push->serve flow pairing along the way.
+pub fn measure(run: &TracedRun) -> Result<Measured, String> {
+    let flow_pairs = export::check_flows(&run.dump)?;
+    let stats = export::compute_skew_stats(&run.dump);
+    if stats.is_empty() {
+        return Err("trace contains no compute-phase spans".into());
+    }
+    let skew_ratio = export::median_ratio(&stats);
+    let mean_wait_s = run
+        .dump
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "ps.wait_ns")
+        .filter(|(_, h)| h.count > 0)
+        .map(|(_, h)| h.mean() / 1e9)
+        .ok_or("trace has no ps.wait_ns samples")?;
+    Ok(Measured {
+        skew_ratio,
+        mean_wait_s,
+        flow_pairs,
+    })
+}
+
+/// One predicted-vs-measured comparison at a slowdown factor.
+#[derive(Debug, Clone, Copy)]
+pub struct ConformanceCase {
+    /// Machine 0's injected (and modelled) compute slowdown.
+    pub factor: f64,
+    /// Calibrated sim's compute-skew ratio prediction.
+    pub predicted_ratio: f64,
+    /// Measured compute-skew ratio from the straggler run's trace.
+    pub measured_ratio: f64,
+    /// Calibrated sim's mean PS wait prediction, seconds.
+    pub predicted_wait_s: f64,
+    /// Measured mean PS wait, seconds.
+    pub measured_wait_s: f64,
+}
+
+impl ConformanceCase {
+    /// Whether the ratio prediction is inside the band
+    /// `|pred - meas| <= RATIO_REL_TOL * meas + RATIO_ABS_TOL`.
+    pub fn ratio_ok(&self) -> bool {
+        (self.predicted_ratio - self.measured_ratio).abs()
+            <= RATIO_REL_TOL * self.measured_ratio + RATIO_ABS_TOL
+    }
+
+    /// Whether the wait prediction is inside the multiplicative
+    /// [`WAIT_BAND`] of the measurement.
+    pub fn wait_ok(&self) -> bool {
+        if self.measured_wait_s <= 0.0 {
+            return true;
+        }
+        let q = self.predicted_wait_s / self.measured_wait_s;
+        q >= WAIT_BAND.0 && q <= WAIT_BAND.1
+    }
+
+    /// Both bands hold.
+    pub fn ok(&self) -> bool {
+        self.ratio_ok() && self.wait_ok()
+    }
+}
+
+/// Evaluates one slowdown factor: predicts the straggler run from the
+/// homogeneous baseline's calibration, then measures the real thing.
+///
+/// `baseline` must be a homogeneous run of the same preset/topology;
+/// `cal` its distilled profile. When `factor == 1.0` the baseline
+/// itself is the measured run (no second execution).
+pub fn conformance_case(
+    preset: &str,
+    machines: usize,
+    iters: usize,
+    factor: f64,
+    baseline: &TracedRun,
+    cal: &CalibrationProfile,
+) -> Result<(ConformanceCase, TracedRun), String> {
+    let cluster = ClusterModel::paper_testbed().with_straggler(0, factor);
+    let sim = baseline.report.calibrated_iteration_sim(&cluster, cal);
+    let predicted_ratio = sim.compute_skew_ratio();
+    let predicted_wait_s = sim
+        .predicted_mean_ps_wait()
+        .ok_or("calibrated sim has no queue model")?;
+    let straggler = if factor == 1.0 {
+        None
+    } else {
+        Some(traced_run(preset, machines, iters, &[factor])?)
+    };
+    let measured = measure(straggler.as_ref().unwrap_or(baseline))?;
+    let case = ConformanceCase {
+        factor,
+        predicted_ratio,
+        measured_ratio: measured.skew_ratio,
+        predicted_wait_s,
+        measured_wait_s: measured.mean_wait_s,
+    };
+    Ok((
+        case,
+        straggler.unwrap_or_else(|| TracedRun {
+            report: baseline.report.clone(),
+            dump: baseline.dump.clone(),
+        }),
+    ))
+}
+
+/// Runs the full conformance suite for one preset: a homogeneous
+/// baseline, then one straggler run per factor, printing the
+/// predicted-vs-measured table. Returns the report and whether every
+/// case stayed inside its bands.
+pub fn run(preset: &str, factors: &[f64], iters: usize) -> Result<(String, bool), String> {
+    let baseline = traced_run(preset, MACHINES, iters, &[])?;
+    // Level the baseline's per-machine compute: the run is nominally
+    // homogeneous, so machine differences are noise that a straggler
+    // scale must not amplify.
+    let cal = CalibrationProfile::from_dump(&baseline.dump, MACHINES, iters as u64).homogenized();
+    let base_measure = measure(&baseline)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Straggler conformance: {preset} on {MACHINES} machines x 1 GPU, {iters} iterations =="
+    );
+    let _ = writeln!(
+        out,
+        "baseline: skew ratio {:.3}, mean ps.wait {:.3} ms, {} push flows paired",
+        base_measure.skew_ratio,
+        base_measure.mean_wait_s * 1e3,
+        base_measure.flow_pairs,
+    );
+    let _ = writeln!(
+        out,
+        "bands: |ratio err| <= {RATIO_REL_TOL}*measured + {RATIO_ABS_TOL}; \
+         wait pred/meas in [{:.2}, {:.2}]",
+        WAIT_BAND.0, WAIT_BAND.1
+    );
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>10} {:>10} {:>5}  {:>12} {:>12} {:>5}",
+        "factor", "pred ratio", "meas ratio", "band", "pred wait ms", "meas wait ms", "band"
+    );
+    let mut all_ok = true;
+    for &factor in factors {
+        let (case, _) = conformance_case(preset, MACHINES, iters, factor, &baseline, &cal)?;
+        all_ok &= case.ok();
+        let _ = writeln!(
+            out,
+            "{:>6.2}  {:>10.3} {:>10.3} {:>5}  {:>12.3} {:>12.3} {:>5}",
+            case.factor,
+            case.predicted_ratio,
+            case.measured_ratio,
+            if case.ratio_ok() { "ok" } else { "FAIL" },
+            case.predicted_wait_s * 1e3,
+            case.measured_wait_s * 1e3,
+            if case.wait_ok() { "ok" } else { "FAIL" },
+        );
+    }
+    let _ = writeln!(out, "conformance: {}", if all_ok { "PASS" } else { "FAIL" });
+    Ok((out, all_ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_accept_close_and_reject_far() {
+        let good = ConformanceCase {
+            factor: 2.0,
+            predicted_ratio: 2.0,
+            measured_ratio: 1.8,
+            predicted_wait_s: 1e-3,
+            measured_wait_s: 2e-3,
+        };
+        assert!(good.ok());
+        let bad_ratio = ConformanceCase {
+            measured_ratio: 6.0,
+            ..good
+        };
+        assert!(!bad_ratio.ratio_ok());
+        let bad_wait = ConformanceCase {
+            predicted_wait_s: 2e-2,
+            ..good
+        };
+        assert!(!bad_wait.wait_ok());
+        // Unmeasurable wait never fails the band.
+        let no_wait = ConformanceCase {
+            measured_wait_s: 0.0,
+            ..good
+        };
+        assert!(no_wait.wait_ok());
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        assert!(traced_run("bogus", 2, 1, &[]).is_err());
+    }
+}

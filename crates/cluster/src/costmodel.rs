@@ -7,8 +7,21 @@
 //! stitching/bookkeeping overhead (the `th2*P` term). Parallax's
 //! partition search *fits* Eq. 1 to sampled iteration times; this module
 //! is the underlying physics those samples come from.
+//!
+//! [`CalibrationProfile`] closes the loop the other way: instead of
+//! static testbed constants, it distills a measured trace dump
+//! (per-machine compute phases, PS serve spans, `ps.wait_ns` /
+//! `ps.service_ns` histograms, per-op self times) into the inputs of a
+//! calibrated [`IterationSim`](crate::IterationSim) — the basis of the
+//! sim-vs-measured conformance suite.
+
+use std::collections::BTreeMap;
+
+use parallax_trace::export::{self_durations, COMPUTE_PHASE_SPANS};
+use parallax_trace::{HistogramSnapshot, SpanCat, TraceDump, SIM_LANE, UNTRACKED_MACHINE};
 
 use crate::hardware::CpuModel;
+use crate::sim::{IterationSim, PsQueueModel};
 
 /// Server-side cost of aggregating and applying sparse gradients for one
 /// variable, as a function of its partition count.
@@ -64,6 +77,191 @@ impl ComputeCost {
         ComputeCost {
             flops: 3.0 * forward,
         }
+    }
+}
+
+/// A measured calibration profile distilled from a trace dump: the
+/// per-machine and per-op timings a calibrated simulation starts from,
+/// replacing the static testbed constants.
+///
+/// All times are seconds *per iteration* unless noted. Per-machine
+/// vectors are indexed by machine id and sized to `machines`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CalibrationProfile {
+    /// Number of machines the profile covers.
+    pub machines: usize,
+    /// Iterations the source run executed (normalization divisor).
+    pub iterations: u64,
+    /// Per-machine compute time: busiest worker lane's forward +
+    /// backward (+ injected straggler delay) phase time per iteration.
+    pub compute_per_iter: Vec<f64>,
+    /// Per-machine server busy time (sum of `ps.serve.*` span durations)
+    /// per iteration.
+    pub server_busy_per_iter: Vec<f64>,
+    /// Per-machine *early* PS requests per iteration (pulls and control
+    /// traffic, issued while workers compute).
+    pub early_requests_per_iter: Vec<f64>,
+    /// Per-machine *late* PS requests per iteration (gradient pushes,
+    /// issued when a worker machine finishes compute).
+    pub late_requests_per_iter: Vec<f64>,
+    /// Per-machine mean service seconds per request.
+    pub service_mean_s: Vec<f64>,
+    /// Measured mean server idle gap per request (seconds), from the
+    /// `ps.wait_ns` histogram — the ground truth a calibrated sim's
+    /// `predicted_mean_ps_wait` is checked against.
+    pub wait_mean_s: f64,
+    /// Snapshot of the `ps.wait_ns` histogram, when present.
+    pub wait_hist: Option<HistogramSnapshot>,
+    /// Snapshot of the `ps.service_ns` histogram, when present.
+    pub service_hist: Option<HistogramSnapshot>,
+    /// Total self time (seconds, whole run) per compute op name — the
+    /// tracer-fed replacement for FLOP-based op costs.
+    pub op_self_s: BTreeMap<String, f64>,
+}
+
+impl CalibrationProfile {
+    /// Distills a profile from a measured dump. `machines` sizes the
+    /// per-machine vectors; `iterations` normalizes totals to
+    /// per-iteration figures (clamped to at least 1).
+    pub fn from_dump(dump: &TraceDump, machines: usize, iterations: u64) -> Self {
+        let iters = iterations.max(1) as f64;
+        let secs = |ns: f64| ns / 1e9;
+
+        // Busiest-lane compute phase time per machine.
+        let mut lane_busy: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut server_busy = vec![0.0f64; machines];
+        let mut early = vec![0.0f64; machines];
+        let mut late = vec![0.0f64; machines];
+        let mut serve_count = vec![0.0f64; machines];
+        let mut wait_sum_ns = 0.0f64;
+        let mut wait_count = 0.0f64;
+        let selfs = self_durations(&dump.records);
+        let mut op_self_ns: BTreeMap<String, f64> = BTreeMap::new();
+        for (i, r) in dump.records.iter().enumerate() {
+            if r.lane == SIM_LANE || r.machine == UNTRACKED_MACHINE {
+                continue;
+            }
+            let m = r.machine as usize;
+            match r.cat {
+                SpanCat::Phase if COMPUTE_PHASE_SPANS.contains(&r.name) => {
+                    *lane_busy.entry((r.machine, r.lane)).or_default() += r.dur_ns;
+                }
+                SpanCat::Ps if r.name.starts_with("ps.serve.") && m < machines => {
+                    server_busy[m] += secs(r.dur_ns as f64);
+                    serve_count[m] += 1.0;
+                    if r.name.starts_with("ps.serve.push") {
+                        late[m] += 1.0;
+                    } else {
+                        early[m] += 1.0;
+                    }
+                }
+                SpanCat::Ps if r.name == "ps.wait" => {
+                    wait_sum_ns += r.dur_ns as f64;
+                    wait_count += 1.0;
+                }
+                SpanCat::Compute => {
+                    *op_self_ns.entry(r.name.to_string()).or_default() += selfs[i] as f64;
+                }
+                _ => {}
+            }
+        }
+        let mut compute = vec![0.0f64; machines];
+        for ((m, _lane), busy) in lane_busy {
+            let m = m as usize;
+            if m < machines {
+                compute[m] = compute[m].max(secs(busy as f64) / iters);
+            }
+        }
+        for b in &mut server_busy {
+            *b /= iters;
+        }
+        let service_mean: Vec<f64> = server_busy
+            .iter()
+            .zip(&serve_count)
+            .map(|(&busy, &count)| {
+                if count > 0.0 {
+                    busy * iters / count
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        for v in [&mut early, &mut late] {
+            for e in v.iter_mut() {
+                *e /= iters;
+            }
+        }
+
+        // Histogram-derived figures: prefer the `ps.wait_ns` histogram
+        // (covers every recv gap, including spans lost to ring
+        // overflow); fall back to the `ps.wait` spans.
+        let find = |name: &str| {
+            dump.histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.clone())
+        };
+        let wait_hist = find("ps.wait_ns");
+        let service_hist = find("ps.service_ns");
+        let wait_mean_s = match &wait_hist {
+            Some(h) if h.count > 0 => secs(h.mean()),
+            _ if wait_count > 0.0 => secs(wait_sum_ns / wait_count),
+            _ => 0.0,
+        };
+
+        CalibrationProfile {
+            machines,
+            iterations: iterations.max(1),
+            compute_per_iter: compute,
+            server_busy_per_iter: server_busy,
+            early_requests_per_iter: early,
+            late_requests_per_iter: late,
+            service_mean_s: service_mean,
+            wait_mean_s,
+            wait_hist,
+            service_hist,
+            op_self_s: op_self_ns.into_iter().map(|(k, v)| (k, v / 1e9)).collect(),
+        }
+    }
+
+    /// A copy whose per-machine compute is levelled to the cross-machine
+    /// median. When the profiled run was *nominally* homogeneous, the
+    /// per-machine differences it measured are scheduler noise, not
+    /// hardware; a prediction that multiplies them by a straggler factor
+    /// amplifies that noise linearly in the factor. Levelling first makes
+    /// the heterogeneity in a derived scenario come entirely from the
+    /// model's machine scales.
+    pub fn homogenized(&self) -> CalibrationProfile {
+        let mut out = self.clone();
+        if !out.compute_per_iter.is_empty() {
+            let mut sorted = out.compute_per_iter.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let median = sorted[sorted.len() / 2];
+            out.compute_per_iter = vec![median; out.compute_per_iter.len()];
+        }
+        out
+    }
+
+    /// The FIFO queueing model this profile implies.
+    pub fn queue_model(&self) -> PsQueueModel {
+        PsQueueModel {
+            early_requests: self.early_requests_per_iter.clone(),
+            late_requests: self.late_requests_per_iter.clone(),
+            mean_service: self.service_mean_s.clone(),
+        }
+    }
+
+    /// Replaces a simulator's compute and server inputs with this
+    /// profile's measured figures: per-machine compute from the phase
+    /// spans, and the PS modelled as a FIFO queue (so `server_cpu` is
+    /// zeroed — service time lives in the queue replay). The
+    /// simulator's hardware model, phases, and slowdown scales are left
+    /// untouched, so a straggler scenario can be evaluated against a
+    /// homogeneous baseline profile.
+    pub fn apply(&self, sim: &mut IterationSim) {
+        sim.compute = self.compute_per_iter.clone();
+        sim.server_cpu = vec![0.0; self.machines];
+        sim.ps_queue = Some(self.queue_model());
     }
 }
 
@@ -139,5 +337,144 @@ mod tests {
     fn forward_flops_tripled() {
         let c = ComputeCost::from_forward_flops(1e9);
         assert!((c.flops - 3e9).abs() < 1.0);
+    }
+
+    fn span(
+        cat: SpanCat,
+        name: &'static str,
+        machine: u32,
+        lane: u32,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> parallax_trace::SpanRecord {
+        parallax_trace::SpanRecord {
+            cat,
+            name,
+            machine,
+            lane,
+            start_ns,
+            dur_ns,
+            iter: 0,
+            bytes: 0,
+            flow: parallax_trace::FlowPoint::None,
+        }
+    }
+
+    #[test]
+    fn calibration_profile_distills_dump() {
+        let mut dump = TraceDump::default();
+        // 2 iterations, 2 machines. Machine 1's lane 1 is the busiest.
+        // Spans within a track are laid out disjoint (self time needs
+        // real intervals); each iteration is offset by 1s.
+        for i in 0..2u64 {
+            let t = i * 1_000_000_000;
+            dump.records
+                .push(span(SpanCat::Phase, "phase.forward", 0, 0, t, 100_000_000));
+            dump.records.push(span(
+                SpanCat::Phase,
+                "phase.backward",
+                0,
+                0,
+                t + 100_000_000,
+                200_000_000,
+            ));
+            dump.records
+                .push(span(SpanCat::Phase, "phase.forward", 1, 1, t, 150_000_000));
+            dump.records.push(span(
+                SpanCat::Phase,
+                "phase.straggle",
+                1,
+                1,
+                t + 150_000_000,
+                450_000_000,
+            ));
+            dump.records
+                .push(span(SpanCat::Phase, "phase.forward", 1, 2, t, 10_000_000));
+            // Server on machine 0: 2 pulls + 2 pushes per iteration.
+            for k in 0..2u64 {
+                dump.records.push(span(
+                    SpanCat::Ps,
+                    "ps.serve.pull_sparse",
+                    0,
+                    9,
+                    t + k * 10_000_000,
+                    1_000_000,
+                ));
+                dump.records.push(span(
+                    SpanCat::Ps,
+                    "ps.serve.push_sparse",
+                    0,
+                    9,
+                    t + k * 10_000_000 + 5_000_000,
+                    3_000_000,
+                ));
+            }
+            dump.records.push(span(
+                SpanCat::Ps,
+                "ps.wait",
+                0,
+                9,
+                t + 100_000_000,
+                40_000_000,
+            ));
+            // MatMul nested inside the forward phase of machine 0.
+            dump.records.push(span(
+                SpanCat::Compute,
+                "MatMul",
+                0,
+                0,
+                t + 10_000_000,
+                50_000_000,
+            ));
+        }
+        // Sim-lane and untracked records are ignored.
+        dump.records
+            .push(span(SpanCat::Phase, "phase.forward", 0, SIM_LANE, 0, 999));
+        dump.records.push(span(
+            SpanCat::Ps,
+            "ps.serve.push_dense",
+            UNTRACKED_MACHINE,
+            0,
+            0,
+            999,
+        ));
+
+        let cal = CalibrationProfile::from_dump(&dump, 2, 2);
+        assert!((cal.compute_per_iter[0] - 0.3).abs() < 1e-9);
+        assert!((cal.compute_per_iter[1] - 0.6).abs() < 1e-9, "busiest lane");
+        assert!((cal.server_busy_per_iter[0] - 0.008).abs() < 1e-12);
+        assert_eq!(cal.server_busy_per_iter[1], 0.0);
+        assert!((cal.early_requests_per_iter[0] - 2.0).abs() < 1e-12);
+        assert!((cal.late_requests_per_iter[0] - 2.0).abs() < 1e-12);
+        assert!((cal.service_mean_s[0] - 0.002).abs() < 1e-12);
+        // No histogram in the dump: wait mean falls back to the spans.
+        assert!((cal.wait_mean_s - 0.04).abs() < 1e-12);
+        assert!((cal.op_self_s["MatMul"] - 0.1).abs() < 1e-12);
+
+        // Applying to a sim wires the queue model in.
+        let mut sim = IterationSim::new(crate::ClusterModel::paper_testbed(), 2);
+        cal.apply(&mut sim);
+        assert_eq!(sim.compute, cal.compute_per_iter);
+        assert_eq!(sim.server_cpu, vec![0.0; 2]);
+        assert!(sim.ps_queue.is_some());
+        assert!(sim.predicted_mean_ps_wait().is_some());
+    }
+
+    #[test]
+    fn calibration_prefers_wait_histogram() {
+        let mut dump = TraceDump::default();
+        dump.records
+            .push(span(SpanCat::Ps, "ps.wait", 0, 9, 0, 40_000_000));
+        dump.histograms.push((
+            "ps.wait_ns".to_string(),
+            HistogramSnapshot {
+                count: 4,
+                sum: 100_000_000,
+                buckets: vec![],
+            },
+        ));
+        let cal = CalibrationProfile::from_dump(&dump, 1, 1);
+        assert!((cal.wait_mean_s - 0.025).abs() < 1e-12);
+        assert!(cal.wait_hist.is_some());
     }
 }

@@ -82,16 +82,23 @@ pub fn simulate(
         if msg.src >= machines || msg.dst >= machines {
             continue;
         }
-        let latency = model.net.latency(msg.transport);
+        // A straggler link slows every transfer touching that machine:
+        // the slower endpoint's factor divides bandwidth and multiplies
+        // per-message latency.
+        let slow = model
+            .network_scale(msg.src)
+            .max(model.network_scale(msg.dst));
+        let latency = model.net.latency(msg.transport) * slow;
         if msg.src == msg.dst {
-            let rate = model.net.effective_intra_bandwidth(msg.transport);
+            let rate =
+                model.net.effective_intra_bandwidth(msg.transport) / model.network_scale(msg.src);
             let start = intra_free[msg.src];
             let end = start + msg.bytes / rate + latency;
             intra_free[msg.src] = end;
             machine_done[msg.src] = machine_done[msg.src].max(end);
             continue;
         }
-        let rate = model.net.effective_bandwidth(msg.transport);
+        let rate = model.net.effective_bandwidth(msg.transport) / slow;
         let duration = msg.bytes / rate + latency;
         // The transfer needs both directions simultaneously.
         let start = uplink_free[msg.src].max(downlink_free[msg.dst]);
@@ -111,6 +118,55 @@ pub fn simulate(
         uplink_busy,
         downlink_busy,
     }
+}
+
+/// Outcome of a single-server FIFO queue replay.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueueStats {
+    /// Total server idle time before requests (seconds) — the modelled
+    /// counterpart of the measured `ps.wait_ns` histogram, which records
+    /// how long the server's receive loop sat idle before each request.
+    pub total_wait: f64,
+    /// Total service time (seconds).
+    pub total_busy: f64,
+    /// Time the last request finished (seconds).
+    pub done: f64,
+    /// Number of requests replayed.
+    pub requests: usize,
+}
+
+impl QueueStats {
+    /// Mean idle gap per request (0 when no requests were replayed).
+    pub fn mean_wait(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_wait / self.requests as f64
+        }
+    }
+}
+
+/// Replays `(arrival_time, service_time)` requests through a single
+/// FIFO server. Requests are sorted by arrival; each is served as soon
+/// as both it and the server are available. `total_wait` accumulates
+/// the server's idle gaps — matching the semantics of the measured
+/// `ps.wait_ns` histogram (time `recv_any` blocked before each
+/// request), not per-request queueing delay.
+pub fn fifo_replay(requests: &mut [(f64, f64)]) -> QueueStats {
+    requests.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut clock = 0.0f64;
+    let mut stats = QueueStats::default();
+    for &(arrival, service) in requests.iter() {
+        if arrival > clock {
+            stats.total_wait += arrival - clock;
+            clock = arrival;
+        }
+        clock += service;
+        stats.total_busy += service;
+        stats.requests += 1;
+    }
+    stats.done = clock;
+    stats
 }
 
 /// Expands a PS dense-variable iteration into its message list: every
@@ -309,6 +365,58 @@ mod tests {
         let fast = simulate(&m, 2, &[0.0, 0.0], &msgs);
         let slow = simulate(&m, 2, &[0.0, 1.0], &msgs);
         assert!((slow.makespan - fast.makespan - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_straggler_slows_its_transfers() {
+        let msgs = vec![DesMessage {
+            src: 0,
+            dst: 1,
+            bytes: 1e9,
+            transport: Transport::Nccl,
+        }];
+        let nominal = simulate(&model(), 2, &[0.0; 2], &msgs);
+        let mut slow = model();
+        slow.scales = slow.scales.with_network_slowdown(1, 2.0);
+        let straggled = simulate(&slow, 2, &[0.0; 2], &msgs);
+        assert!(
+            (straggled.makespan / nominal.makespan - 2.0).abs() < 1e-9,
+            "{} vs {}",
+            straggled.makespan,
+            nominal.makespan
+        );
+        // A transfer between two nominal machines is unaffected.
+        let other = vec![DesMessage {
+            src: 0,
+            dst: 0,
+            bytes: 1e9,
+            transport: Transport::Grpc,
+        }];
+        let a = simulate(&model(), 2, &[0.0; 2], &other);
+        let b = simulate(&slow, 2, &[0.0; 2], &other);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn fifo_replay_accumulates_idle_gaps() {
+        // Server idle 1s before the first request, then back-to-back.
+        let mut reqs = vec![(1.0, 0.5), (1.2, 0.5), (1.4, 0.5)];
+        let stats = fifo_replay(&mut reqs);
+        assert_eq!(stats.requests, 3);
+        assert!((stats.total_busy - 1.5).abs() < 1e-12);
+        assert!((stats.total_wait - 1.0).abs() < 1e-12);
+        assert!((stats.done - 2.5).abs() < 1e-12);
+        assert!((stats.mean_wait() - 1.0 / 3.0).abs() < 1e-12);
+        // A gap larger than the backlog adds idle time.
+        let mut reqs = vec![(0.0, 0.1), (5.0, 0.1)];
+        let stats = fifo_replay(&mut reqs);
+        assert!((stats.total_wait - 4.9).abs() < 1e-12);
+        assert!((stats.done - 5.1).abs() < 1e-12);
+        // Unsorted input is sorted before replay.
+        let mut reqs = vec![(5.0, 0.1), (0.0, 0.1)];
+        assert!((fifo_replay(&mut reqs).total_wait - 4.9).abs() < 1e-12);
+        // Empty replay is all zeros.
+        assert_eq!(fifo_replay(&mut []), QueueStats::default());
     }
 
     #[test]

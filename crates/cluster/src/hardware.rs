@@ -166,6 +166,77 @@ impl NetworkModel {
     }
 }
 
+/// Per-machine heterogeneity knobs: slowdown factors relative to the
+/// nominal hardware models. An empty vector means every machine runs at
+/// nominal speed; entries beyond the vector's length default to 1.0, so
+/// `MachineScales::default()` is a homogeneous cluster.
+///
+/// Factors are *slowdowns*: 2.0 means the machine computes at half the
+/// nominal rate (compute time doubles) or its links carry half the
+/// nominal bandwidth (transfer time and latency double). Factors below
+/// 1.0 model a faster-than-nominal machine; non-positive or non-finite
+/// entries are treated as 1.0.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MachineScales {
+    /// Compute slowdown per machine (GPU and server CPU work).
+    pub compute: Vec<f64>,
+    /// Network slowdown per machine (divides link bandwidth, multiplies
+    /// per-message latency on that machine's links).
+    pub network: Vec<f64>,
+}
+
+impl MachineScales {
+    /// Homogeneous cluster (all factors 1.0).
+    pub fn homogeneous() -> Self {
+        MachineScales::default()
+    }
+
+    fn sanitize(raw: Option<f64>) -> f64 {
+        match raw {
+            Some(f) if f.is_finite() && f > 0.0 => f,
+            _ => 1.0,
+        }
+    }
+
+    /// Compute slowdown factor of machine `m` (1.0 when unset).
+    pub fn compute_scale(&self, m: usize) -> f64 {
+        Self::sanitize(self.compute.get(m).copied())
+    }
+
+    /// Network slowdown factor of machine `m` (1.0 when unset).
+    pub fn network_scale(&self, m: usize) -> f64 {
+        Self::sanitize(self.network.get(m).copied())
+    }
+
+    /// True when every factor is 1.0 (or the vectors are empty).
+    pub fn is_homogeneous(&self) -> bool {
+        self.compute
+            .iter()
+            .chain(self.network.iter())
+            .all(|&f| !(f.is_finite() && f > 0.0) || f == 1.0)
+    }
+
+    /// Sets machine `m`'s compute slowdown, growing the vector with 1.0
+    /// as needed. Builder-style.
+    pub fn with_compute_slowdown(mut self, m: usize, factor: f64) -> Self {
+        if self.compute.len() <= m {
+            self.compute.resize(m + 1, 1.0);
+        }
+        self.compute[m] = factor;
+        self
+    }
+
+    /// Sets machine `m`'s network slowdown, growing the vector with 1.0
+    /// as needed. Builder-style.
+    pub fn with_network_slowdown(mut self, m: usize, factor: f64) -> Self {
+        if self.network.len() <= m {
+            self.network.resize(m + 1, 1.0);
+        }
+        self.network[m] = factor;
+        self
+    }
+}
+
 /// The full cluster hardware model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterModel {
@@ -179,6 +250,8 @@ pub struct ClusterModel {
     /// (layer-wise overlap: pushes/pulls for different layers are
     /// "scattered along the timeline", Section 3.1).
     pub comm_overlap: f64,
+    /// Per-machine slowdown factors (straggler modelling).
+    pub scales: MachineScales,
 }
 
 impl ClusterModel {
@@ -189,7 +262,25 @@ impl ClusterModel {
             cpu: CpuModel::xeon_e5_2695(),
             net: NetworkModel::infiniband_100g(),
             comm_overlap: 0.30,
+            scales: MachineScales::homogeneous(),
         }
+    }
+
+    /// Compute slowdown factor of machine `m`.
+    pub fn compute_scale(&self, m: usize) -> f64 {
+        self.scales.compute_scale(m)
+    }
+
+    /// Network slowdown factor of machine `m`.
+    pub fn network_scale(&self, m: usize) -> f64 {
+        self.scales.network_scale(m)
+    }
+
+    /// Returns the model with machine `m`'s compute slowed by `factor`.
+    /// Builder-style straggler injection for the simulator.
+    pub fn with_straggler(mut self, m: usize, factor: f64) -> Self {
+        self.scales = self.scales.with_compute_slowdown(m, factor);
+        self
     }
 }
 
@@ -238,5 +329,46 @@ mod tests {
     #[test]
     fn default_is_paper_testbed() {
         assert_eq!(ClusterModel::default(), ClusterModel::paper_testbed());
+    }
+
+    #[test]
+    fn scales_default_to_nominal() {
+        let s = MachineScales::homogeneous();
+        assert_eq!(s.compute_scale(0), 1.0);
+        assert_eq!(s.network_scale(7), 1.0);
+        assert!(s.is_homogeneous());
+        let model = ClusterModel::paper_testbed();
+        assert_eq!(model.compute_scale(3), 1.0);
+    }
+
+    #[test]
+    fn with_straggler_slows_one_machine() {
+        let model = ClusterModel::paper_testbed().with_straggler(2, 3.0);
+        assert_eq!(model.compute_scale(2), 3.0);
+        assert_eq!(model.compute_scale(0), 1.0);
+        assert_eq!(model.compute_scale(5), 1.0);
+        assert!(!model.scales.is_homogeneous());
+    }
+
+    #[test]
+    fn invalid_scales_are_nominal() {
+        let s = MachineScales {
+            compute: vec![0.0, -2.0, f64::NAN, f64::INFINITY],
+            network: vec![],
+        };
+        for m in 0..4 {
+            assert_eq!(s.compute_scale(m), 1.0);
+        }
+        assert!(s.is_homogeneous());
+    }
+
+    #[test]
+    fn network_slowdown_builder() {
+        let s = MachineScales::homogeneous()
+            .with_network_slowdown(1, 2.0)
+            .with_compute_slowdown(0, 1.5);
+        assert_eq!(s.network_scale(1), 2.0);
+        assert_eq!(s.network_scale(0), 1.0);
+        assert_eq!(s.compute_scale(0), 1.5);
     }
 }

@@ -18,10 +18,10 @@ pub mod hardware;
 pub mod sim;
 pub mod spec;
 
-pub use costmodel::{ComputeCost, SparseOpCost};
-pub use des::{simulate, DesMessage, DesResult};
-pub use hardware::{ClusterModel, CpuModel, GpuModel, NetworkModel, Transport};
-pub use sim::{IterationSim, Phase};
+pub use costmodel::{CalibrationProfile, ComputeCost, SparseOpCost};
+pub use des::{fifo_replay, simulate, DesMessage, DesResult, QueueStats};
+pub use hardware::{ClusterModel, CpuModel, GpuModel, MachineScales, NetworkModel, Transport};
+pub use sim::{IterationSim, Phase, PsQueueModel};
 pub use spec::{MachineSpec, ResourceSpec};
 
 /// Crate-wide result type.

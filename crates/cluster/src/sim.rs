@@ -70,16 +70,68 @@ impl Phase {
 
     /// Seconds machine `m` spends communicating in this phase. Links are
     /// full duplex: send and receive streams progress concurrently, so the
-    /// slower direction gates.
+    /// slower direction gates. The machine's network slowdown factor
+    /// divides its bandwidth and multiplies its per-message latency.
     pub fn machine_time(&self, model: &ClusterModel, m: usize) -> f64 {
-        let bw = model.net.effective_bandwidth(self.transport);
+        let scale = model.network_scale(m);
+        let bw = model.net.effective_bandwidth(self.transport) / scale;
         let out = self.out_bytes.get(m).copied().unwrap_or(0.0);
         let inb = self.in_bytes.get(m).copied().unwrap_or(0.0);
         let intra = self.intra_bytes.get(m).copied().unwrap_or(0.0);
         let msgs = self.messages.get(m).copied().unwrap_or(0.0);
         out.max(inb) / bw
-            + intra / model.net.effective_intra_bandwidth(self.transport)
-            + msgs * model.net.latency(self.transport)
+            + intra * scale / model.net.effective_intra_bandwidth(self.transport)
+            + msgs * model.net.latency(self.transport) * scale
+    }
+}
+
+/// FIFO queueing model for the Parameter Server, replacing the flat
+/// `server_cpu` service-time-only term. Per server machine, requests
+/// arrive in two waves — *early* requests (pulls, issued while workers
+/// start their forward pass) at iteration start, and *late* requests
+/// (gradient pushes) when each worker machine finishes compute — and
+/// are served FIFO by a single server loop at the machine's measured
+/// mean service time. The replay ([`crate::des::fifo_replay`]) yields
+/// both when the server finishes (feeding the machine's iteration time)
+/// and its idle-gap total, which predicts the measured `ps.wait_ns`
+/// histogram mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsQueueModel {
+    /// Requests per iteration arriving at iteration start, per server
+    /// machine (pulls and control traffic).
+    pub early_requests: Vec<f64>,
+    /// Requests per iteration arriving when worker machines finish
+    /// compute, per server machine (gradient pushes).
+    pub late_requests: Vec<f64>,
+    /// Mean service seconds per request, per server machine.
+    pub mean_service: Vec<f64>,
+}
+
+impl PsQueueModel {
+    fn get(v: &[f64], m: usize) -> f64 {
+        v.get(m).copied().unwrap_or(0.0).max(0.0)
+    }
+
+    /// Builds the per-server request list for one iteration and replays
+    /// it. `compute_ready[w]` is when worker machine `w` finishes
+    /// compute (already scaled for stragglers); early requests arrive
+    /// at t=0, late requests at their sender's compute-ready time,
+    /// attributed round-robin across worker machines.
+    pub fn replay(&self, m: usize, compute_ready: &[f64]) -> crate::des::QueueStats {
+        let senders = compute_ready.len().max(1);
+        let early = Self::get(&self.early_requests, m).round() as usize;
+        let late = Self::get(&self.late_requests, m).round() as usize;
+        let service = Self::get(&self.mean_service, m);
+        let mut requests = Vec::with_capacity(early + late);
+        for _ in 0..early {
+            requests.push((0.0, service));
+        }
+        for i in 0..late {
+            let w = i % senders;
+            let ready = compute_ready.get(w).copied().unwrap_or(0.0);
+            requests.push((ready, service));
+        }
+        crate::des::fifo_replay(&mut requests)
     }
 }
 
@@ -88,12 +140,19 @@ impl Phase {
 pub struct IterationSim {
     /// Hardware model.
     pub model: ClusterModel,
-    /// GPU compute seconds per machine (max over that machine's workers).
+    /// GPU compute seconds per machine (max over that machine's workers),
+    /// at *nominal* machine speed; per-machine compute slowdown factors
+    /// from [`ClusterModel::scales`] are applied at evaluation time.
     pub compute: Vec<f64>,
     /// Server CPU seconds per machine (sparse aggregation/update work).
     pub server_cpu: Vec<f64>,
     /// Communication phases of the iteration.
     pub phases: Vec<Phase>,
+    /// Optional FIFO queueing model for the Parameter Server. When set,
+    /// each machine's time is also gated by when its server drains its
+    /// request queue; calibrated profiles use this *instead of*
+    /// `server_cpu` (service time lives in the queue model).
+    pub ps_queue: Option<PsQueueModel>,
 }
 
 impl IterationSim {
@@ -104,23 +163,98 @@ impl IterationSim {
             compute: vec![0.0; machines],
             server_cpu: vec![0.0; machines],
             phases: Vec::new(),
+            ps_queue: None,
         }
+    }
+
+    /// Per-machine compute time with the machine's slowdown applied —
+    /// when each worker machine is ready to push gradients.
+    pub fn scaled_compute(&self) -> Vec<f64> {
+        self.compute
+            .iter()
+            .enumerate()
+            .map(|(m, &c)| c * self.model.compute_scale(m))
+            .collect()
+    }
+
+    /// Per-server queue replay outcomes (empty when no queue model is
+    /// attached).
+    pub fn queue_stats(&self) -> Vec<crate::des::QueueStats> {
+        let Some(queue) = &self.ps_queue else {
+            return Vec::new();
+        };
+        let ready = self.scaled_compute();
+        (0..self.compute.len())
+            .map(|m| queue.replay(m, &ready))
+            .collect()
+    }
+
+    /// Predicted mean PS wait (server idle gap per request, seconds)
+    /// across all servers; `None` without a queue model or requests.
+    /// Comparable to the measured `ps.wait_ns` histogram mean.
+    pub fn predicted_mean_ps_wait(&self) -> Option<f64> {
+        let stats = self.queue_stats();
+        let requests: usize = stats.iter().map(|s| s.requests).sum();
+        if requests == 0 {
+            return None;
+        }
+        let wait: f64 = stats.iter().map(|s| s.total_wait).sum();
+        Some(wait / requests as f64)
     }
 
     /// Per-machine iteration time.
     pub fn machine_times(&self) -> Vec<f64> {
         let machines = self.compute.len();
+        let queue_stats = self.queue_stats();
         (0..machines)
             .map(|m| {
+                let cs = self.model.compute_scale(m);
                 let comm: f64 = self
                     .phases
                     .iter()
                     .map(|p| p.machine_time(&self.model, m))
                     .sum();
                 let exposed_comm = comm * (1.0 - self.model.comm_overlap);
-                self.compute[m] + self.server_cpu.get(m).copied().unwrap_or(0.0) + exposed_comm
+                let worker = (self.compute[m] + self.server_cpu.get(m).copied().unwrap_or(0.0))
+                    * cs
+                    + exposed_comm;
+                // With a queue model, the machine is also busy until its
+                // server drains the iteration's request queue.
+                let server_done = queue_stats.get(m).map(|s| s.done).unwrap_or(0.0);
+                worker.max(server_done)
             })
             .collect()
+    }
+
+    /// Max/median ratio of per-machine iteration times: the modelled
+    /// straggler penalty (1.0 for a homogeneous, symmetric cluster).
+    /// Median is the upper median, matching the straggler report.
+    pub fn straggler_ratio(&self) -> f64 {
+        Self::max_over_median(&self.machine_times())
+    }
+
+    /// Max/median ratio of per-machine *compute* times (slowdowns
+    /// applied, communication excluded) — the modelled counterpart of
+    /// the trace exporter's compute-skew statistic, which measures
+    /// un-gated busy time because synchronous barriers equalize the
+    /// full iteration spans.
+    pub fn compute_skew_ratio(&self) -> f64 {
+        Self::max_over_median(&self.scaled_compute())
+    }
+
+    fn max_over_median(times: &[f64]) -> f64 {
+        if times.is_empty() {
+            return 1.0;
+        }
+        let max = times.iter().copied().fold(0.0, f64::max);
+        let mut sorted = times.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = sorted[sorted.len() / 2];
+        if median <= 0.0 {
+            1.0
+        } else {
+            max / median
+        }
     }
 
     /// Wall-clock seconds for one synchronous iteration: the slowest
@@ -147,11 +281,13 @@ impl IterationSim {
     /// simulated and measured timelines diff directly in one Chrome
     /// trace.
     pub fn trace_records(&self, iter: u64, start_ns: u64) -> Vec<parallax_trace::SpanRecord> {
-        use parallax_trace::{SpanCat, SpanRecord, SIM_LANE};
+        use parallax_trace::{FlowPoint, SpanCat, SpanRecord, SIM_LANE};
         let ns = |secs: f64| (secs.max(0.0) * 1e9) as u64;
         let exposed = 1.0 - self.model.comm_overlap;
+        let queue_stats = self.queue_stats();
         let mut records = Vec::new();
         for m in 0..self.compute.len() {
+            let cs = self.model.compute_scale(m);
             let mut cursor = start_ns;
             let mut emit = |name: &'static str, dur_ns: u64, bytes: u64| {
                 if dur_ns == 0 {
@@ -166,13 +302,14 @@ impl IterationSim {
                     dur_ns,
                     iter,
                     bytes,
+                    flow: FlowPoint::None,
                 });
                 cursor += dur_ns;
             };
-            emit("sim.compute", ns(self.compute[m]), 0);
+            emit("sim.compute", ns(self.compute[m] * cs), 0);
             emit(
                 "sim.server_cpu",
-                ns(self.server_cpu.get(m).copied().unwrap_or(0.0)),
+                ns(self.server_cpu.get(m).copied().unwrap_or(0.0) * cs),
                 0,
             );
             for phase in &self.phases {
@@ -188,6 +325,10 @@ impl IterationSim {
                     ns(phase.machine_time(&self.model, m) * exposed),
                     bytes,
                 );
+            }
+            if let Some(stats) = queue_stats.get(m) {
+                emit("sim.ps.wait", ns(stats.total_wait), 0);
+                emit("sim.ps.serve", ns(stats.total_busy), 0);
             }
         }
         records
@@ -322,6 +463,106 @@ mod tests {
                 .sum();
             assert!((total as f64 / 1e9 - time).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn compute_straggler_scales_machine_time() {
+        let mut sim = IterationSim::new(model().with_straggler(1, 3.0), 3);
+        sim.compute = vec![0.1; 3];
+        let times = sim.machine_times();
+        assert!((times[1] - 0.3).abs() < 1e-12);
+        assert!((times[0] - 0.1).abs() < 1e-12);
+        assert!((sim.straggler_ratio() - 3.0).abs() < 1e-12);
+        assert!((sim.compute_skew_ratio() - 3.0).abs() < 1e-12);
+        // Homogeneous cluster: exactly 1.0 (identical floats).
+        let mut hom = IterationSim::new(model(), 3);
+        hom.compute = vec![0.1; 3];
+        assert_eq!(hom.straggler_ratio(), 1.0);
+    }
+
+    #[test]
+    fn network_straggler_scales_phase_time() {
+        let m = model();
+        let base = {
+            let mut sim = IterationSim::new(m.clone(), 2);
+            sim.phases
+                .push(Phase::uniform(Transport::Grpc, 2, 1e9, 1e9, 10.0));
+            sim.machine_times()
+        };
+        let mut slow_model = m;
+        slow_model.scales = slow_model.scales.with_network_slowdown(0, 2.0);
+        let mut sim = IterationSim::new(slow_model, 2);
+        sim.phases
+            .push(Phase::uniform(Transport::Grpc, 2, 1e9, 1e9, 10.0));
+        let times = sim.machine_times();
+        assert!((times[0] / base[0] - 2.0).abs() < 1e-9);
+        assert!((times[1] - base[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_model_gates_on_server_drain() {
+        // 2 machines, no pulls, 4 pushes to server 0 arriving when the
+        // workers finish compute at t=0.1; service 0.05 each.
+        let mut sim = IterationSim::new(model(), 2);
+        sim.compute = vec![0.1, 0.1];
+        sim.ps_queue = Some(PsQueueModel {
+            early_requests: vec![0.0, 0.0],
+            late_requests: vec![4.0, 0.0],
+            mean_service: vec![0.05, 0.0],
+        });
+        let times = sim.machine_times();
+        // Server 0 drains at 0.1 + 4*0.05 = 0.3; machine 1 is pure worker.
+        assert!((times[0] - 0.3).abs() < 1e-9, "{times:?}");
+        assert!((times[1] - 0.1).abs() < 1e-12);
+        // Idle gap before the first push: 0.1s over 4 requests.
+        let wait = sim.predicted_mean_ps_wait().unwrap();
+        assert!((wait - 0.1 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_wait_grows_with_straggler() {
+        // One slow worker machine delays its pushes, stretching the
+        // server's idle window.
+        let make = |factor: f64| {
+            let mut sim = IterationSim::new(model().with_straggler(1, factor), 2);
+            sim.compute = vec![0.1, 0.1];
+            sim.ps_queue = Some(PsQueueModel {
+                early_requests: vec![2.0, 0.0],
+                late_requests: vec![4.0, 0.0],
+                mean_service: vec![0.001, 0.0],
+            });
+            sim.predicted_mean_ps_wait().unwrap()
+        };
+        let base = make(1.0);
+        let slow = make(3.0);
+        assert!(
+            slow > base,
+            "wait must grow with the straggler: {base} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn queue_replay_counts_and_spans() {
+        let mut sim = IterationSim::new(model(), 2);
+        sim.compute = vec![0.01, 0.01];
+        sim.ps_queue = Some(PsQueueModel {
+            early_requests: vec![3.0, 1.0],
+            late_requests: vec![2.0, 0.0],
+            mean_service: vec![0.002, 0.001],
+        });
+        let stats = sim.queue_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].requests, 5);
+        assert_eq!(stats[1].requests, 1);
+        // The modelled timeline carries queue spans.
+        let records = sim.trace_records(0, 0);
+        assert!(records.iter().any(|r| r.name == "sim.ps.wait"));
+        assert!(records.iter().any(|r| r.name == "sim.ps.serve"));
+        // Without a queue model there are no such spans.
+        sim.ps_queue = None;
+        assert!(sim.predicted_mean_ps_wait().is_none());
+        let records = sim.trace_records(0, 0);
+        assert!(!records.iter().any(|r| r.name == "sim.ps.wait"));
     }
 
     #[test]

@@ -1,29 +1,60 @@
 //! Resource specification: which machines exist and which GPUs they host.
 //!
 //! Parallax takes a `resource_info_file` naming machines and GPU ids
-//! (Figure 3, `get_runner`). The same format is parsed here:
+//! (Figure 3, `get_runner`). The same format is parsed here, extended
+//! with optional per-machine slowdown annotations for heterogeneous
+//! clusters:
 //!
 //! ```text
-//! # hostname: comma-separated GPU ids
+//! # hostname: comma-separated GPU ids [@ compute=F] [net=F]
 //! worker-0: 0,1,2,3,4,5
-//! worker-1: 0,1,2,3,4,5
+//! worker-1: 0,1,2,3,4,5 @ compute=2.0 net=1.5
 //! ```
+//!
+//! A `compute=2.0` annotation marks the machine as computing at half
+//! the nominal rate; `net=1.5` marks its links at two-thirds nominal
+//! bandwidth. Both default to 1.0 (nominal).
 
 use parallax_comm::Topology;
 
+use crate::hardware::MachineScales;
 use crate::{Result, SpecError};
 
 /// One machine and its GPUs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
     /// Hostname or IP.
     pub hostname: String,
     /// GPU ids on this machine.
     pub gpu_ids: Vec<u32>,
+    /// Compute slowdown factor relative to nominal hardware (1.0 =
+    /// nominal, 2.0 = half speed).
+    pub compute_scale: f64,
+    /// Network slowdown factor relative to nominal hardware.
+    pub network_scale: f64,
+}
+
+impl MachineSpec {
+    /// A machine at nominal speed.
+    pub fn new(hostname: impl Into<String>, gpu_ids: Vec<u32>) -> Self {
+        MachineSpec {
+            hostname: hostname.into(),
+            gpu_ids,
+            compute_scale: 1.0,
+            network_scale: 1.0,
+        }
+    }
+
+    /// Sets the slowdown factors. Builder-style.
+    pub fn with_scales(mut self, compute: f64, network: f64) -> Self {
+        self.compute_scale = compute;
+        self.network_scale = network;
+        self
+    }
 }
 
 /// The full cluster resource specification.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceSpec {
     machines: Vec<MachineSpec>,
 }
@@ -41,6 +72,14 @@ impl ResourceSpec {
                     m.hostname
                 )));
             }
+            for (what, f) in [("compute", m.compute_scale), ("net", m.network_scale)] {
+                if !(f.is_finite() && f > 0.0) {
+                    return Err(SpecError::Invalid(format!(
+                        "machine '{}': {what} scale must be finite and positive, got {f}",
+                        m.hostname
+                    )));
+                }
+            }
         }
         let mut names: Vec<&str> = machines.iter().map(|m| m.hostname.as_str()).collect();
         names.sort_unstable();
@@ -55,12 +94,26 @@ impl ResourceSpec {
     pub fn uniform(machines: usize, gpus: usize) -> Result<Self> {
         ResourceSpec::new(
             (0..machines)
-                .map(|m| MachineSpec {
-                    hostname: format!("worker-{m}"),
-                    gpu_ids: (0..gpus as u32).collect(),
-                })
+                .map(|m| MachineSpec::new(format!("worker-{m}"), (0..gpus as u32).collect()))
                 .collect(),
         )
+    }
+
+    /// A uniform cluster with one machine's compute slowed by `factor`
+    /// (straggler-injection helper for tests and benchmarks).
+    pub fn uniform_with_straggler(
+        machines: usize,
+        gpus: usize,
+        slow_machine: usize,
+        factor: f64,
+    ) -> Result<Self> {
+        let mut specs: Vec<MachineSpec> = (0..machines)
+            .map(|m| MachineSpec::new(format!("worker-{m}"), (0..gpus as u32).collect()))
+            .collect();
+        if let Some(m) = specs.get_mut(slow_machine) {
+            m.compute_scale = factor;
+        }
+        ResourceSpec::new(specs)
     }
 
     /// # Examples
@@ -71,7 +124,8 @@ impl ResourceSpec {
     /// assert_eq!(spec.num_machines(), 2);
     /// assert_eq!(spec.num_gpus(), 5);
     /// ```
-    /// Parses the `hostname: id,id,...` file format. Blank lines and
+    /// Parses the `hostname: id,id,...` file format, with an optional
+    /// `@ compute=F net=F` slowdown suffix per line. Blank lines and
     /// `#` comments are ignored.
     pub fn parse(text: &str) -> Result<Self> {
         let mut machines = Vec::new();
@@ -80,10 +134,14 @@ impl ResourceSpec {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (host, ids) = line.split_once(':').ok_or_else(|| SpecError::Parse {
+            let (host, rest) = line.split_once(':').ok_or_else(|| SpecError::Parse {
                 line: i + 1,
                 reason: "expected 'hostname: gpu,gpu,...'".into(),
             })?;
+            let (ids, scales) = match rest.split_once('@') {
+                Some((ids, scales)) => (ids, Some(scales)),
+                None => (rest, None),
+            };
             let gpu_ids = ids
                 .split(',')
                 .map(|s| {
@@ -93,10 +151,32 @@ impl ResourceSpec {
                     })
                 })
                 .collect::<Result<Vec<u32>>>()?;
-            machines.push(MachineSpec {
-                hostname: host.trim().to_string(),
-                gpu_ids,
-            });
+            let mut spec = MachineSpec::new(host.trim(), gpu_ids);
+            if let Some(scales) = scales {
+                for part in scales.split_whitespace() {
+                    let (key, value) = part.split_once('=').ok_or_else(|| SpecError::Parse {
+                        line: i + 1,
+                        reason: format!("bad scale annotation '{part}': expected key=value"),
+                    })?;
+                    let f = value.parse::<f64>().map_err(|e| SpecError::Parse {
+                        line: i + 1,
+                        reason: format!("bad scale value '{value}': {e}"),
+                    })?;
+                    match key {
+                        "compute" => spec.compute_scale = f,
+                        "net" => spec.network_scale = f,
+                        _ => {
+                            return Err(SpecError::Parse {
+                                line: i + 1,
+                                reason: format!(
+                                    "unknown scale key '{key}' (expected 'compute' or 'net')"
+                                ),
+                            })
+                        }
+                    }
+                }
+            }
+            machines.push(spec);
         }
         ResourceSpec::new(machines)
     }
@@ -114,14 +194,34 @@ impl ResourceSpec {
             .map_err(|e| SpecError::Invalid(format!("writing {}: {e}", path.display())))
     }
 
-    /// Renders back to the file format.
+    /// Renders back to the file format (scale annotations only where
+    /// they differ from nominal).
     pub fn render(&self) -> String {
         let mut out = String::new();
         for m in &self.machines {
             let ids: Vec<String> = m.gpu_ids.iter().map(|g| g.to_string()).collect();
-            out.push_str(&format!("{}: {}\n", m.hostname, ids.join(",")));
+            out.push_str(&format!("{}: {}", m.hostname, ids.join(",")));
+            if m.compute_scale != 1.0 || m.network_scale != 1.0 {
+                out.push_str(" @");
+                if m.compute_scale != 1.0 {
+                    out.push_str(&format!(" compute={}", m.compute_scale));
+                }
+                if m.network_scale != 1.0 {
+                    out.push_str(&format!(" net={}", m.network_scale));
+                }
+            }
+            out.push('\n');
         }
         out
+    }
+
+    /// The per-machine slowdown factors as a [`MachineScales`], ready to
+    /// drop into a [`ClusterModel`](crate::ClusterModel).
+    pub fn scales(&self) -> MachineScales {
+        MachineScales {
+            compute: self.machines.iter().map(|m| m.compute_scale).collect(),
+            network: self.machines.iter().map(|m| m.network_scale).collect(),
+        }
     }
 
     /// The machines.
@@ -171,22 +271,58 @@ mod tests {
     #[test]
     fn structural_validation() {
         assert!(ResourceSpec::parse("").is_err());
-        assert!(ResourceSpec::new(vec![MachineSpec {
-            hostname: "a".into(),
-            gpu_ids: vec![]
-        }])
-        .is_err());
+        assert!(ResourceSpec::new(vec![MachineSpec::new("a", vec![])]).is_err());
         assert!(ResourceSpec::new(vec![
-            MachineSpec {
-                hostname: "a".into(),
-                gpu_ids: vec![0]
-            },
-            MachineSpec {
-                hostname: "a".into(),
-                gpu_ids: vec![0]
-            },
+            MachineSpec::new("a", vec![0]),
+            MachineSpec::new("a", vec![0]),
         ])
         .is_err());
+        // Scale factors must be finite and positive.
+        assert!(
+            ResourceSpec::new(vec![MachineSpec::new("a", vec![0]).with_scales(0.0, 1.0)]).is_err()
+        );
+        assert!(ResourceSpec::new(vec![
+            MachineSpec::new("a", vec![0]).with_scales(1.0, f64::NAN)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn parse_scale_annotations() {
+        let text = "a: 0,1 @ compute=2.5 net=1.5\nb: 0\n";
+        let spec = ResourceSpec::parse(text).unwrap();
+        assert_eq!(spec.machines()[0].compute_scale, 2.5);
+        assert_eq!(spec.machines()[0].network_scale, 1.5);
+        assert_eq!(spec.machines()[1].compute_scale, 1.0);
+        // Round-trips through render.
+        let reparsed = ResourceSpec::parse(&spec.render()).unwrap();
+        assert_eq!(spec, reparsed);
+        // Scales surface as MachineScales.
+        let scales = spec.scales();
+        assert_eq!(scales.compute_scale(0), 2.5);
+        assert_eq!(scales.network_scale(0), 1.5);
+        assert_eq!(scales.compute_scale(1), 1.0);
+        // Bad annotations are parse errors with line numbers.
+        assert!(matches!(
+            ResourceSpec::parse("a: 0 @ compute").unwrap_err(),
+            SpecError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            ResourceSpec::parse("a: 0 @ warp=9").unwrap_err(),
+            SpecError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            ResourceSpec::parse("a: 0 @ compute=fast").unwrap_err(),
+            SpecError::Parse { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn uniform_with_straggler_marks_one_machine() {
+        let spec = ResourceSpec::uniform_with_straggler(4, 1, 2, 3.0).unwrap();
+        assert_eq!(spec.machines()[2].compute_scale, 3.0);
+        assert_eq!(spec.machines()[0].compute_scale, 1.0);
+        assert!(!spec.scales().is_homogeneous());
     }
 
     #[test]

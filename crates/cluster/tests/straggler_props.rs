@@ -1,0 +1,96 @@
+//! Property tests for straggler modelling in `IterationSim`: slowing a
+//! single machine by factor `k` must raise the modelled max/median
+//! ratio monotonically in `k`, and a homogeneous cluster (`k = 1`) must
+//! report a ratio of exactly 1.0 — the regression guard for the
+//! heterogeneity knobs.
+
+use proptest::prelude::*;
+
+use parallax_cluster::{ClusterModel, IterationSim, Phase, PsQueueModel, Transport};
+
+fn sim(machines: usize, compute: f64, slow_machine: usize, factor: f64) -> IterationSim {
+    let mut sim = IterationSim::new(
+        ClusterModel::paper_testbed().with_straggler(slow_machine, factor),
+        machines,
+    );
+    sim.compute = vec![compute; machines];
+    sim
+}
+
+proptest! {
+    #[test]
+    fn ratio_is_one_at_k_equals_one(
+        machines in 2usize..9,
+        compute in 1e-4f64..1.0,
+        slow in 0usize..9,
+    ) {
+        let s = sim(machines, compute, slow % machines, 1.0);
+        prop_assert_eq!(s.straggler_ratio(), 1.0);
+        prop_assert_eq!(s.compute_skew_ratio(), 1.0);
+    }
+
+    #[test]
+    fn ratio_is_monotone_in_k(
+        machines in 2usize..9,
+        compute in 1e-4f64..1.0,
+        slow in 0usize..9,
+        k1 in 1.0f64..8.0,
+        dk in 0.0f64..4.0,
+    ) {
+        let slow = slow % machines;
+        let k2 = k1 + dk;
+        let a = sim(machines, compute, slow, k1);
+        let b = sim(machines, compute, slow, k2);
+        prop_assert!(b.straggler_ratio() >= a.straggler_ratio() - 1e-12,
+            "ratio({k2}) = {} < ratio({k1}) = {}", b.straggler_ratio(), a.straggler_ratio());
+        prop_assert!(a.straggler_ratio() >= 1.0 - 1e-12);
+        // With more than 2 machines the median stays at the nominal
+        // machines, so the ratio equals k exactly.
+        if machines > 2 {
+            prop_assert!((a.straggler_ratio() - k1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ratio_monotone_with_comm_and_queue(
+        machines in 2usize..6,
+        compute in 1e-3f64..0.1,
+        k1 in 1.0f64..6.0,
+        dk in 0.1f64..4.0,
+    ) {
+        // With communication phases and the PS queue model attached
+        // (the full evaluation configuration), the *iteration time* and
+        // the compute-skew ratio stay monotone in k. The machine-level
+        // max/median ratio need not: the straggler's late pushes stall
+        // every server's drain, raising the median along with the max.
+        let build = |k: f64| {
+            let mut s = sim(machines, compute, 0, k);
+            s.phases.push(Phase::uniform(Transport::Grpc, machines, 1e6, 1e6, 4.0));
+            s.ps_queue = Some(PsQueueModel {
+                early_requests: vec![2.0; machines],
+                late_requests: vec![4.0; machines],
+                mean_service: vec![compute / 100.0; machines],
+            });
+            s
+        };
+        let a = build(k1);
+        let b = build(k1 + dk);
+        prop_assert!(b.iteration_time() >= a.iteration_time() - 1e-12);
+        prop_assert!(b.compute_skew_ratio() >= a.compute_skew_ratio() - 1e-12);
+        // The predicted server idle gap also grows with the straggler.
+        let (wa, wb) = (a.predicted_mean_ps_wait().unwrap(), b.predicted_mean_ps_wait().unwrap());
+        prop_assert!(wb >= wa - 1e-12, "wait must grow: {wa} vs {wb}");
+    }
+
+    #[test]
+    fn network_slowdown_never_speeds_up(
+        machines in 2usize..6,
+        net_k in 1.0f64..8.0,
+    ) {
+        let mut nominal = IterationSim::new(ClusterModel::paper_testbed(), machines);
+        nominal.phases.push(Phase::uniform(Transport::Nccl, machines, 1e8, 1e8, 2.0));
+        let mut slowed = nominal.clone();
+        slowed.model.scales = slowed.model.scales.with_network_slowdown(0, net_k);
+        prop_assert!(slowed.iteration_time() >= nominal.iteration_time() - 1e-12);
+    }
+}

@@ -94,6 +94,15 @@ pub struct ParallaxConfig {
     /// available parallelism); `Some(1)` forces fully serial kernels.
     /// Results are bitwise identical for every setting.
     pub compute_threads: Option<usize>,
+    /// Per-machine straggler injection: machine `m`'s workers busy-wait
+    /// after each backward pass so their compute phase takes
+    /// `machine_slowdown[m]` times as long as it measured. Machines past
+    /// the end of the vector (and an empty vector, the default) run at
+    /// nominal speed; every entry must be finite and `>= 1.0`. Numerics
+    /// are untouched — only wall-clock timing changes — so heterogeneous
+    /// clusters can be emulated on homogeneous hardware and checked
+    /// against the `IterationSim` straggler model.
+    pub machine_slowdown: Vec<f64>,
 }
 
 impl Default for ParallaxConfig {
@@ -115,6 +124,7 @@ impl Default for ParallaxConfig {
             group_partitions: Vec::new(),
             alpha_dense_threshold: 0.95,
             compute_threads: None,
+            machine_slowdown: Vec::new(),
         }
     }
 }

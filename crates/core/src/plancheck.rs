@@ -897,7 +897,10 @@ pub fn predict_iteration_traffic(
                 for &r in &worker_ranks {
                     ledger.charge(srv, r, tag, 8)?;
                 }
-                cf[TrafficClass::Default as usize] += 8 * workers as u64;
+                // UpdateDone response tags land in the 0x9 nibble (kind
+                // bits carried past the 0x8 response marker), which the
+                // traffic accountant classifies as PS.
+                cf[TrafficClass::Ps as usize] += 8 * workers as u64;
             }
         }
     }

@@ -12,7 +12,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parallax_cluster::{ClusterModel, IterationSim, Phase, SparseOpCost, Transport};
+use parallax_cluster::{
+    CalibrationProfile, ClusterModel, IterationSim, Phase, SparseOpCost, Transport,
+};
 use parallax_comm::{collectives, Endpoint, Router, TrafficClass, TrafficSnapshot};
 use parallax_dataflow::grad::backward;
 use parallax_dataflow::{Feed, Graph, NodeId, Session, VarId, VarStore};
@@ -175,6 +177,22 @@ impl RunReport {
         }
         sim
     }
+
+    /// An [`IterationSim`] whose compute, server-CPU and PS-queue inputs
+    /// come from a measured [`CalibrationProfile`] instead of analytic
+    /// estimates: traffic phases from this report, everything else from
+    /// the profile's trace. Apply straggler scales to `cluster` first
+    /// (e.g. [`ClusterModel::with_straggler`]) to predict a heterogeneous
+    /// run from a homogeneous baseline.
+    pub fn calibrated_iteration_sim(
+        &self,
+        cluster: &ClusterModel,
+        cal: &CalibrationProfile,
+    ) -> IterationSim {
+        let mut sim = self.iteration_sim(cluster, cal.machines, 0.0, 0.0);
+        cal.apply(&mut sim);
+        sim
+    }
 }
 
 /// A configured distributed training job.
@@ -213,7 +231,21 @@ pub fn get_runner(
     if let Some(n) = config.compute_threads {
         parallax_tensor::pool::configure_threads(n);
     }
+    for (m, &s) in config.machine_slowdown.iter().enumerate() {
+        if !s.is_finite() || s < 1.0 {
+            return Err(CoreError::Config(format!(
+                "machine_slowdown[{m}] = {s}: slowdown factors must be finite and >= 1.0"
+            )));
+        }
+    }
     let topo = PsTopology::new(gpus_per_machine).map_err(CoreError::Ps)?;
+    if config.machine_slowdown.len() > topo.num_machines() {
+        return Err(CoreError::Config(format!(
+            "machine_slowdown names {} machines but the cluster has {}",
+            config.machine_slowdown.len(),
+            topo.num_machines()
+        )));
+    }
     let partitions = config
         .sparse_partitions
         .unwrap_or(topo.num_machines().max(1));
@@ -582,6 +614,32 @@ impl Runner {
                 let _bwd = parallax_trace::span(parallax_trace::SpanCat::Phase, "phase.backward");
                 backward(&self.graph, &acts, self.loss)?
             };
+            // Straggler injection: stretch this machine's compute phase to
+            // `slow` times its measured duration. The delay sleeps rather
+            // than spins: worker threads of *different* modelled machines
+            // time-share this host's cores, so a spin would steal cycles
+            // from the nominal machines and slow the whole cluster instead
+            // of just this one. Sleeping yields the core, which is exactly
+            // what a genuinely slow peer looks like from the others' point
+            // of view. Runs inside the compute timing window so
+            // `compute_secs` and the traced phase spans both reflect the
+            // injected heterogeneity.
+            let slow = self
+                .config
+                .machine_slowdown
+                .get(machine)
+                .copied()
+                .unwrap_or(1.0);
+            if slow > 1.0 {
+                let _straggle =
+                    parallax_trace::span(parallax_trace::SpanCat::Phase, "phase.straggle");
+                let deadline = Instant::now() + t0.elapsed().mul_f64(slow - 1.0);
+                let mut now = Instant::now();
+                while now < deadline {
+                    std::thread::sleep(deadline - now);
+                    now = Instant::now();
+                }
+            }
             compute_secs += t0.elapsed().as_secs_f64();
             losses.push(acts.scalar(self.loss)?);
             // Everything from here to the end of the iteration is gradient

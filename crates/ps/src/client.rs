@@ -13,7 +13,7 @@ use std::sync::Arc;
 use parallax_comm::{Endpoint, Payload};
 use parallax_dataflow::{DataflowError, VarId, VarProvider, VarStore, VariableDef};
 use parallax_tensor::{sparse::Grad, IndexedSlices, Tensor};
-use parallax_trace::{span, SpanCat};
+use parallax_trace::{span, span_with_flow, FlowPoint, SpanCat};
 
 use crate::plan::{RowPartition, ShardingPlan, VarPlacement};
 use crate::protocol::{self, ReqKind};
@@ -167,6 +167,18 @@ impl PsClient {
         let _span = span(SpanCat::Ps, "ps.push");
         match (self.plan.placement(var)?.clone(), grad) {
             (VarPlacement::PsDense { server }, Grad::Dense(t)) => {
+                // Flow start: pairs with the server's push_dense serve span.
+                let _req = span_with_flow(
+                    SpanCat::Ps,
+                    "ps.push_req",
+                    FlowPoint::Start(protocol::flow_id(
+                        ReqKind::PushDense,
+                        var.index(),
+                        0,
+                        ep.rank(),
+                        self.iter,
+                    )),
+                );
                 self.request(
                     ep,
                     server,
@@ -180,6 +192,17 @@ impl PsClient {
             (VarPlacement::PsSparse { partition, servers }, Grad::Sparse(slices)) => {
                 let parts = split_to_partitions(slices, &partition)?;
                 for (p, part_grad) in parts.into_iter().enumerate() {
+                    let _req = span_with_flow(
+                        SpanCat::Ps,
+                        "ps.push_req",
+                        FlowPoint::Start(protocol::flow_id(
+                            ReqKind::PushSparse,
+                            var.index(),
+                            p,
+                            ep.rank(),
+                            self.iter,
+                        )),
+                    );
                     self.request(
                         ep,
                         servers[p],

@@ -103,6 +103,26 @@ pub fn allreduce_tag(var: usize, iter: u64) -> u64 {
     0x1000_0000_0000_0000 | pack(ReqKind::PushDense, var, 0, iter)
 }
 
+const FLOW_RANK_BITS: u64 = 10;
+const FLOW_ITER_BITS: u64 = 20;
+
+/// Chrome-trace flow-correlation id linking a worker's push-request
+/// span to the server span that serves it. Both sides can compute it
+/// independently: the pusher knows its own rank, the server reads the
+/// sender from the transport envelope. Layout:
+/// `kind:6 | var:14 | part:14 | from:10 | iter:20` — unique while
+/// sender ranks stay below 1024 and iterations below 2^20 (traced runs
+/// are far smaller than either bound).
+pub fn flow_id(kind: ReqKind, var: usize, part: usize, from: usize, iter: u64) -> u64 {
+    let from = (from as u64) & ((1 << FLOW_RANK_BITS) - 1);
+    let iter = iter & ((1 << FLOW_ITER_BITS) - 1);
+    ((kind as u64) << (VAR_BITS + PART_BITS + FLOW_RANK_BITS + FLOW_ITER_BITS))
+        | ((var as u64) << (PART_BITS + FLOW_RANK_BITS + FLOW_ITER_BITS))
+        | ((part as u64) << (FLOW_RANK_BITS + FLOW_ITER_BITS))
+        | (from << FLOW_ITER_BITS)
+        | iter
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +158,23 @@ mod tests {
             for (j, b) in tags.iter().enumerate() {
                 if i != j {
                     assert_ne!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flow_ids_distinguish_sender_and_target() {
+        let a = flow_id(ReqKind::PushSparse, 1, 0, 0, 7);
+        let b = flow_id(ReqKind::PushSparse, 1, 0, 1, 7);
+        let c = flow_id(ReqKind::PushSparse, 1, 1, 0, 7);
+        let d = flow_id(ReqKind::PushSparse, 1, 0, 0, 8);
+        let e = flow_id(ReqKind::PushDense, 1, 0, 0, 7);
+        let ids = [a, b, c, d, e];
+        for (i, x) in ids.iter().enumerate() {
+            for (j, y) in ids.iter().enumerate() {
+                if i != j {
+                    assert_ne!(x, y, "ids {i} and {j} collide");
                 }
             }
         }

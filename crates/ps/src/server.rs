@@ -16,7 +16,7 @@ use parallax_comm::{Endpoint, Payload};
 use parallax_dataflow::optimizer::LrSchedule;
 use parallax_dataflow::{Graph, Optimizer, VarId, VarStore};
 use parallax_tensor::{ops, sparse::Grad, DetRng, Tensor};
-use parallax_trace::{span, SpanCat};
+use parallax_trace::{span, span_with_flow, FlowPoint, SpanCat};
 
 use crate::accumulator::{DenseAccumulator, SparseAccumulator};
 use crate::plan::ShardingPlan;
@@ -277,8 +277,16 @@ impl Server {
             }
             {
                 // Service time: the span also absorbs the bytes of any
-                // response sends issued while handling the request.
-                let _serve = span(SpanCat::Ps, serve_span_name(kind));
+                // response sends issued while handling the request. Push
+                // serves close the flow opened by the worker's push span
+                // (the sender rank comes from the transport envelope).
+                let flow = match kind {
+                    ReqKind::PushDense | ReqKind::PushSparse => {
+                        FlowPoint::Finish(protocol::flow_id(kind, var, part, from, iter))
+                    }
+                    _ => FlowPoint::None,
+                };
+                let _serve = span_with_flow(SpanCat::Ps, serve_span_name(kind), flow);
                 self.dispatch(iter, from, kind, var, part, body)?;
             }
             if traced {

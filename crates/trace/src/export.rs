@@ -8,11 +8,17 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::tracer::{SpanCat, SpanRecord, TraceDump, SIM_LANE};
+use crate::tracer::{FlowPoint, SpanCat, SpanRecord, TraceDump, SIM_LANE, UNTRACKED_MACHINE};
 
 /// Name of the per-iteration phase span the runner opens around each
 /// training iteration; the straggler report keys off it.
 pub const ITERATION_SPAN: &str = "iteration";
+
+/// Phase spans that make up a machine's *un-gated* busy time. In
+/// synchronous mode the `iteration` spans of all machines end together
+/// at the barrier, so straggler skew must be read off the compute
+/// phases (plus any injected straggler delay) instead.
+pub const COMPUTE_PHASE_SPANS: [&str; 3] = ["phase.forward", "phase.backward", "phase.straggle"];
 
 // ----------------------------------------------------------------- helpers
 
@@ -164,9 +170,58 @@ pub fn chrome_trace(dump: &TraceDump) -> String {
                 r.bytes
             ),
         );
+        // Flow events bind to the enclosing slice on their pid/tid at
+        // `ts`; emitting them at the slice midpoint keeps the binding
+        // unambiguous even with zero-length neighbours.
+        let mid = us(r.start_ns + r.dur_ns / 2);
+        match r.flow {
+            FlowPoint::None => {}
+            FlowPoint::Start(id) => push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"s\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\
+                     \"id\":{id},\"name\":\"ps.flow\",\"cat\":\"flow\"}}",
+                    r.machine, r.lane, mid
+                ),
+            ),
+            FlowPoint::Finish(id) => push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\
+                     \"id\":{id},\"name\":\"ps.flow\",\"cat\":\"flow\"}}",
+                    r.machine, r.lane, mid
+                ),
+            ),
+        }
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
+}
+
+// ------------------------------------------------------------- flow checker
+
+/// Validates flow pairing in a dump: every flow id must appear on
+/// exactly one [`FlowPoint::Start`] span and exactly one
+/// [`FlowPoint::Finish`] span. Returns the number of matched pairs.
+pub fn check_flows(dump: &TraceDump) -> Result<usize, String> {
+    let mut pairs: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for r in &dump.records {
+        match r.flow {
+            FlowPoint::None => {}
+            FlowPoint::Start(id) => pairs.entry(id).or_default().0 += 1,
+            FlowPoint::Finish(id) => pairs.entry(id).or_default().1 += 1,
+        }
+    }
+    for (id, (starts, finishes)) in &pairs {
+        if *starts != 1 || *finishes != 1 {
+            return Err(format!(
+                "flow {id:#x}: {starts} start(s), {finishes} finish(es); want exactly 1 of each"
+            ));
+        }
+    }
+    Ok(pairs.len())
 }
 
 // -------------------------------------------------------- breakdown table
@@ -301,16 +356,85 @@ pub fn straggler_stats(dump: &TraceDump) -> Vec<IterStat> {
         .collect()
 }
 
-/// Plain-text straggler report: per-iteration max vs. median machine
-/// time plus an aggregate slowdown ratio.
-pub fn straggler_report(dump: &TraceDump) -> String {
-    let stats = straggler_stats(dump);
-    let mut out = String::new();
-    let _ = writeln!(out, "straggler report (per-iteration machine times)");
-    if stats.is_empty() {
-        let _ = writeln!(out, "  no `{ITERATION_SPAN}` phase spans recorded");
-        return out;
+/// Computes per-iteration max/median machine *busy* (compute-phase)
+/// times from the spans in [`COMPUTE_PHASE_SPANS`]. Per machine, each
+/// worker lane's phase durations are summed and the busiest lane counts
+/// as that machine's time. Unlike [`straggler_stats`] this is not gated
+/// by the synchronization barrier, so an injected straggler shows up
+/// here even when every `iteration` span ends at the same barrier.
+pub fn compute_skew_stats(dump: &TraceDump) -> Vec<IterStat> {
+    let mut per_iter: BTreeMap<u64, BTreeMap<u32, BTreeMap<u32, u64>>> = BTreeMap::new();
+    for r in &dump.records {
+        if r.cat == SpanCat::Phase
+            && COMPUTE_PHASE_SPANS.contains(&r.name)
+            && r.lane != SIM_LANE
+            && r.machine != UNTRACKED_MACHINE
+        {
+            *per_iter
+                .entry(r.iter)
+                .or_default()
+                .entry(r.machine)
+                .or_default()
+                .entry(r.lane)
+                .or_default() += r.dur_ns;
+        }
     }
+    per_iter
+        .into_iter()
+        .map(|(iter, machines)| {
+            let busy: BTreeMap<u32, u64> = machines
+                .into_iter()
+                .map(|(m, lanes)| (m, lanes.values().copied().max().unwrap_or(0)))
+                .collect();
+            let (&slowest_machine, &max_ns) = busy
+                .iter()
+                .max_by_key(|(_, &d)| d)
+                .expect("non-empty by construction");
+            let mut durs: Vec<u64> = busy.values().copied().collect();
+            durs.sort_unstable();
+            let median_ns = durs[durs.len() / 2];
+            IterStat {
+                iter,
+                max_ns,
+                median_ns,
+                slowest_machine,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate max/median ratio over a stats vector (1.0 when empty):
+/// total max divided by total median, which is more stable than the
+/// mean of per-iteration ratios on noisy hosts.
+pub fn aggregate_ratio(stats: &[IterStat]) -> f64 {
+    let sum_max: u64 = stats.iter().map(|s| s.max_ns).sum();
+    let sum_med: u64 = stats.iter().map(|s| s.median_ns).sum();
+    if sum_med == 0 {
+        1.0
+    } else {
+        sum_max as f64 / sum_med as f64
+    }
+}
+
+/// Upper median of the per-iteration max/median ratios (1.0 when
+/// empty). Where [`aggregate_ratio`] lets one stalled iteration
+/// dominate the whole run, this discards such spikes — on time-shared
+/// hosts a multi-millisecond scheduler stall in a single iteration is
+/// the dominant measurement artifact, so conformance checks compare
+/// against this figure.
+pub fn median_ratio(stats: &[IterStat]) -> f64 {
+    if stats.is_empty() {
+        return 1.0;
+    }
+    let mut ratios: Vec<f64> = stats
+        .iter()
+        .map(|s| s.max_ns as f64 / s.median_ns.max(1) as f64)
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    ratios[ratios.len() / 2]
+}
+
+fn stat_table(out: &mut String, stats: &[IterStat]) {
     let _ = writeln!(
         out,
         "{:>5} {:>12} {:>12} {:>8} {:>10}",
@@ -319,7 +443,7 @@ pub fn straggler_report(dump: &TraceDump) -> String {
     let ms = |ns: u64| ns as f64 / 1e6;
     let mut sum_max = 0u64;
     let mut sum_med = 0u64;
-    for s in &stats {
+    for s in stats {
         sum_max += s.max_ns;
         sum_med += s.median_ns;
         let ratio = s.max_ns as f64 / s.median_ns.max(1) as f64;
@@ -341,6 +465,29 @@ pub fn straggler_report(dump: &TraceDump) -> String {
         ms(sum_med) / n,
         sum_max as f64 / sum_med.max(1) as f64
     );
+}
+
+/// Plain-text straggler report: per-iteration max vs. median machine
+/// time plus an aggregate slowdown ratio. Two sections: barrier-gated
+/// `iteration` spans (equalized by synchronous exchanges) and un-gated
+/// compute-phase busy time (where injected stragglers are visible).
+pub fn straggler_report(dump: &TraceDump) -> String {
+    let stats = straggler_stats(dump);
+    let mut out = String::new();
+    let _ = writeln!(out, "straggler report (per-iteration machine times)");
+    if stats.is_empty() {
+        let _ = writeln!(out, "  no `{ITERATION_SPAN}` phase spans recorded");
+        return out;
+    }
+    stat_table(&mut out, &stats);
+    let compute = compute_skew_stats(dump);
+    if !compute.is_empty() {
+        let _ = writeln!(
+            out,
+            "\ncompute-skew report (un-gated per-machine busy time)"
+        );
+        stat_table(&mut out, &compute);
+    }
     out
 }
 
@@ -632,6 +779,7 @@ mod tests {
             dur_ns: dur,
             iter,
             bytes,
+            flow: FlowPoint::None,
         }
     }
 
@@ -734,6 +882,82 @@ mod tests {
         ));
         let stats = straggler_stats(&d);
         assert_eq!(stats[0].max_ns, 1600);
+    }
+
+    #[test]
+    fn compute_skew_sees_straggler_behind_barrier() {
+        // Both machines' `iteration` spans end at the barrier (equal
+        // durations), but machine 1's backward phase is 3x longer.
+        let mut d = TraceDump::default();
+        for m in 0..2u32 {
+            d.records
+                .push(rec(SpanCat::Phase, "iteration", m, 0, 0, 1000, 0, 0));
+            d.records
+                .push(rec(SpanCat::Phase, "phase.forward", m, 0, 0, 100, 0, 0));
+            let bwd = if m == 1 { 600 } else { 200 };
+            d.records
+                .push(rec(SpanCat::Phase, "phase.backward", m, 0, 100, bwd, 0, 0));
+        }
+        let gated = straggler_stats(&d);
+        assert_eq!(gated[0].max_ns, 1000);
+        assert_eq!(gated[0].median_ns, 1000);
+        let skew = compute_skew_stats(&d);
+        assert_eq!(skew.len(), 1);
+        assert_eq!(skew[0].max_ns, 700);
+        assert_eq!(skew[0].median_ns, 700); // upper median of [300, 700]
+        assert_eq!(skew[0].slowest_machine, 1);
+        let report = straggler_report(&d);
+        assert!(report.contains("compute-skew report"));
+    }
+
+    #[test]
+    fn compute_skew_takes_busiest_lane_per_machine() {
+        let mut d = TraceDump::default();
+        // Machine 0: two parallel workers, lane 1 busier.
+        d.records
+            .push(rec(SpanCat::Phase, "phase.forward", 0, 0, 0, 100, 0, 0));
+        d.records
+            .push(rec(SpanCat::Phase, "phase.forward", 0, 1, 0, 250, 0, 0));
+        d.records
+            .push(rec(SpanCat::Phase, "phase.straggle", 0, 1, 250, 50, 0, 0));
+        d.records
+            .push(rec(SpanCat::Phase, "phase.forward", 1, 0, 0, 150, 0, 0));
+        let skew = compute_skew_stats(&d);
+        assert_eq!(skew[0].max_ns, 300);
+        assert_eq!(skew[0].slowest_machine, 0);
+    }
+
+    #[test]
+    fn flows_pair_and_export() {
+        let mut d = sample_dump();
+        let mut start = rec(SpanCat::Ps, "ps.push_req", 0, 1, 100, 50, 0, 0);
+        start.flow = FlowPoint::Start(0xabc);
+        let mut finish = rec(SpanCat::Ps, "ps.serve.push_dense", 1, 9, 140, 30, 0, 0);
+        finish.flow = FlowPoint::Finish(0xabc);
+        d.records.push(start);
+        d.records.push(finish);
+        assert_eq!(check_flows(&d), Ok(1));
+        let json = chrome_trace(&d);
+        validate_json(&json).expect("chrome trace with flows must be valid JSON");
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\""));
+        assert!(json.contains(&format!("\"id\":{}", 0xabc)));
+    }
+
+    #[test]
+    fn check_flows_rejects_unpaired() {
+        let mut d = TraceDump::default();
+        let mut orphan = rec(SpanCat::Ps, "ps.push_req", 0, 1, 0, 10, 0, 0);
+        orphan.flow = FlowPoint::Start(7);
+        d.records.push(orphan.clone());
+        assert!(check_flows(&d).is_err());
+        // A duplicate start is also rejected.
+        let mut finish = orphan.clone();
+        finish.flow = FlowPoint::Finish(7);
+        d.records.push(finish);
+        assert_eq!(check_flows(&d), Ok(1));
+        d.records.push(orphan);
+        assert!(check_flows(&d).is_err());
     }
 
     #[test]

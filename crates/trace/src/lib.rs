@@ -34,7 +34,7 @@ mod tracer;
 
 pub use tracer::{
     configure, counter, disable, drain, enabled, histogram, inject, now_ns, on_net_bytes, reset,
-    set_thread_iter, set_thread_track, span, span_with_bytes, Counter, HistogramHandle,
-    HistogramSnapshot, SpanCat, SpanGuard, SpanRecord, ThreadInfo, TraceConfig, TraceDump,
-    SIM_LANE, UNTRACKED_MACHINE,
+    set_thread_iter, set_thread_track, span, span_with_bytes, span_with_flow, Counter, FlowPoint,
+    HistogramHandle, HistogramSnapshot, SpanCat, SpanGuard, SpanRecord, ThreadInfo, TraceConfig,
+    TraceDump, SIM_LANE, UNTRACKED_MACHINE,
 };

@@ -57,6 +57,31 @@ impl SpanCat {
     }
 }
 
+/// Flow-event marker carried by a span: links a producer span to the
+/// consumer span that handles its payload on another thread. Exporters
+/// turn `Start` into a Chrome-trace `s` event and `Finish` into an `f`
+/// event with the same id, drawing an arrow between the two slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowPoint {
+    /// Span participates in no flow.
+    #[default]
+    None,
+    /// Span originates flow `id` (e.g. a worker pushing a gradient).
+    Start(u64),
+    /// Span terminates flow `id` (e.g. the server serving that push).
+    Finish(u64),
+}
+
+impl FlowPoint {
+    /// The flow id, if any.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            FlowPoint::None => None,
+            FlowPoint::Start(id) | FlowPoint::Finish(id) => Some(*id),
+        }
+    }
+}
+
 /// One completed span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -77,6 +102,8 @@ pub struct SpanRecord {
     pub iter: u64,
     /// Network bytes attributed to this span by [`on_net_bytes`].
     pub bytes: u64,
+    /// Flow-event marker (see [`FlowPoint`]); `None` for most spans.
+    pub flow: FlowPoint,
 }
 
 /// Tracer configuration.
@@ -328,6 +355,7 @@ struct Frame {
     name: &'static str,
     start_ns: u64,
     bytes: u64,
+    flow: FlowPoint,
 }
 
 struct Tls {
@@ -441,7 +469,7 @@ pub fn span(cat: SpanCat, name: &'static str) -> SpanGuard {
     if !enabled() {
         return SpanGuard { open: false };
     }
-    span_slow(cat, name, 0)
+    span_slow(cat, name, 0, FlowPoint::None)
 }
 
 /// Like [`span`], with `bytes` pre-attributed (for callers that know a
@@ -451,11 +479,21 @@ pub fn span_with_bytes(cat: SpanCat, name: &'static str, bytes: u64) -> SpanGuar
     if !enabled() {
         return SpanGuard { open: false };
     }
-    span_slow(cat, name, bytes)
+    span_slow(cat, name, bytes, FlowPoint::None)
+}
+
+/// Like [`span`], carrying a [`FlowPoint`] so the exported span links to
+/// its producer/consumer on another thread via Chrome-trace flow events.
+#[inline]
+pub fn span_with_flow(cat: SpanCat, name: &'static str, flow: FlowPoint) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { open: false };
+    }
+    span_slow(cat, name, 0, flow)
 }
 
 #[inline(never)]
-fn span_slow(cat: SpanCat, name: &'static str, bytes: u64) -> SpanGuard {
+fn span_slow(cat: SpanCat, name: &'static str, bytes: u64, flow: FlowPoint) -> SpanGuard {
     let start_ns = now_ns();
     with_tls(|tls| {
         tls.frames.push(Frame {
@@ -463,6 +501,7 @@ fn span_slow(cat: SpanCat, name: &'static str, bytes: u64) -> SpanGuard {
             name,
             start_ns,
             bytes,
+            flow,
         })
     });
     SpanGuard { open: true }
@@ -511,6 +550,7 @@ impl Drop for SpanGuard {
                 dur_ns: end_ns.saturating_sub(frame.start_ns),
                 iter: tls.iter,
                 bytes: frame.bytes,
+                flow: frame.flow,
             };
             let cap = registry().capacity.load(Ordering::Relaxed);
             let mut buf = tls.shared.buf.lock();
@@ -750,6 +790,7 @@ mod tests {
             dur_ns: 1000,
             iter: 0,
             bytes: 0,
+            flow: FlowPoint::None,
         }]);
         let dump = drain();
         disable();

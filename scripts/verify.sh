@@ -16,4 +16,10 @@ cargo fmt --all --check
 cargo run --release -q -p parallax-bench --bin repro -- check --model lm
 cargo run --release -q -p parallax-bench --bin repro -- check --model nmt
 
+# Sim-vs-measured conformance gate: the calibrated IterationSim must
+# predict real injected-straggler runs within the documented tolerance
+# bands (exits nonzero on any band violation; runs in well under a
+# minute).
+cargo run --release -q -p parallax-bench --bin repro -- straggler --model lm
+
 echo "verify: OK"

@@ -1,0 +1,107 @@
+//! Sim-vs-measured conformance: the calibrated `IterationSim` must
+//! predict what real straggler runs measure.
+//!
+//! Each case runs a homogeneous traced hybrid job (the calibration
+//! baseline), distills a `CalibrationProfile` from its trace, applies a
+//! matching straggler scale to the cluster model, and checks the
+//! simulator's compute-skew ratio and mean PS wait predictions against a
+//! second run with the *real* injected slowdown
+//! (`ParallaxConfig::machine_slowdown`). Tolerance bands are the ones
+//! DESIGN.md documents (`parallax_bench::straggler::{RATIO_REL_TOL,
+//! RATIO_ABS_TOL, WAIT_BAND}`).
+//!
+//! The tracer is process-global, so every test takes one lock.
+
+use std::sync::{Mutex, MutexGuard};
+
+use parallax_bench::straggler::{conformance_case, measure, traced_run, MACHINES};
+use parallax_repro::cluster::CalibrationProfile;
+
+static TRACER: Mutex<()> = Mutex::new(());
+
+fn tracer_lock() -> MutexGuard<'static, ()> {
+    TRACER.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Iterations per traced run: enough for the median-of-iterations skew
+/// measurement to discard a single stalled iteration.
+const ITERS: usize = 4;
+/// The slowdown matrix every preset is checked against.
+const FACTORS: [f64; 3] = [1.0, 2.0, 3.0];
+
+/// Runs the factor matrix for one preset against a shared baseline,
+/// asserting the conformance bands plus the run-health invariants
+/// (classified traffic, paired push flows).
+fn conformance_matrix(preset: &str) {
+    let baseline = traced_run(preset, MACHINES, ITERS, &[]).expect("baseline run");
+    let cal = CalibrationProfile::from_dump(&baseline.dump, MACHINES, ITERS as u64).homogenized();
+    for factor in FACTORS {
+        let (case, run) = conformance_case(preset, MACHINES, ITERS, factor, &baseline, &cal)
+            .expect("conformance case");
+        assert!(
+            case.ok(),
+            "{preset} factor {factor}: prediction outside bands \
+             (ratio {:.3} vs {:.3}, wait {:.6}s vs {:.6}s)",
+            case.predicted_ratio,
+            case.measured_ratio,
+            case.predicted_wait_s,
+            case.measured_wait_s,
+        );
+        // No bytes may escape transport classification when delays are
+        // injected: the straggler knob changes timing, never routing.
+        let other = &run.report.traffic.other;
+        assert_eq!(
+            other.total_network_bytes(),
+            0,
+            "{preset} factor {factor}: untagged network traffic"
+        );
+        assert_eq!(
+            other.intra_bytes(),
+            0,
+            "{preset} factor {factor}: untagged intra-machine traffic"
+        );
+        // Every worker push span must pair with exactly one serve span
+        // (measure() runs the flow validator internally).
+        let measured = measure(&run).expect("measured run stays valid");
+        assert!(
+            measured.flow_pairs > 0,
+            "{preset} factor {factor}: no push->serve flows recorded"
+        );
+    }
+}
+
+#[test]
+fn lm_conformance_across_slowdown_factors() {
+    let _g = tracer_lock();
+    conformance_matrix("lm");
+}
+
+#[test]
+fn nmt_conformance_across_slowdown_factors() {
+    let _g = tracer_lock();
+    conformance_matrix("nmt");
+}
+
+/// The model also has to hold off the default 4-machine topology: a
+/// 3-machine cluster keeps a distinct machine count, server set, and
+/// median position.
+#[test]
+fn three_machine_topology_conforms() {
+    let _g = tracer_lock();
+    let machines = 3;
+    let baseline = traced_run("lm", machines, ITERS, &[]).expect("baseline run");
+    let cal = CalibrationProfile::from_dump(&baseline.dump, machines, ITERS as u64).homogenized();
+    for factor in [1.0, 2.5] {
+        let (case, _run) = conformance_case("lm", machines, ITERS, factor, &baseline, &cal)
+            .expect("conformance case");
+        assert!(
+            case.ok(),
+            "3-machine factor {factor}: prediction outside bands \
+             (ratio {:.3} vs {:.3}, wait {:.6}s vs {:.6}s)",
+            case.predicted_ratio,
+            case.measured_ratio,
+            case.predicted_wait_s,
+            case.measured_wait_s,
+        );
+    }
+}
