@@ -6,6 +6,7 @@
 //! repro trace [--model lm|nmt] [--iters N]
 //! repro trace-overhead
 //! repro straggler [--model lm|nmt] [--iters N] [--factors 1,2,3]
+//! repro chaos [--scenarios name,name,...]
 //! ```
 //!
 //! `check` runs the static plan verifier (graph passes, distributed-plan
@@ -29,6 +30,12 @@
 //! of runs with real injected slowdowns within documented bands; exits
 //! nonzero on any band violation. Excluded from `all` (a gate, like
 //! `check`).
+//!
+//! `chaos` sweeps deterministic fault plans (kills, drops, delays,
+//! duplicates, stalls) over short checkpointed lm runs and exits nonzero
+//! if any scenario hangs, fails to recover, diverges from the unfaulted
+//! reference, or breaks the exact trace/traffic byte crosscheck.
+//! Excluded from `all` (a gate, like `check`).
 
 use parallax_bench::experiments::{self, Framework};
 use parallax_bench::report::{fmt_speedup, fmt_throughput, render_table};
@@ -52,6 +59,7 @@ const KNOWN: &[&str] = &[
     "trace",
     "trace-overhead",
     "straggler",
+    "chaos",
 ];
 
 fn main() {
@@ -62,6 +70,7 @@ fn main() {
         eprintln!("       repro check [--model lm|nmt]");
         eprintln!("       repro trace [--model lm|nmt] [--iters N]");
         eprintln!("       repro straggler [--model lm|nmt] [--iters N] [--factors 1,2,3]");
+        eprintln!("       repro chaos [--scenarios name,name,...]");
         std::process::exit(2);
     }
     let all = which == "all";
@@ -140,6 +149,27 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("repro straggler: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if which == "chaos" {
+        let only: Vec<String> = flag_value("--scenarios")
+            .unwrap_or_default()
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        match parallax_bench::chaos::run(&only) {
+            Ok((report, ok)) => {
+                print!("{report}");
+                if !ok {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("repro chaos: {e}");
                 std::process::exit(1);
             }
         }

@@ -10,6 +10,7 @@
 //! and traffic-verification experiments execute real training at reduced
 //! scale through the full distributed runtime.
 
+pub mod chaos;
 pub mod check;
 pub mod experiments;
 pub mod kernels;

@@ -26,6 +26,21 @@ pub enum CommError {
     },
     /// Invalid collective configuration (e.g. zero participants).
     InvalidConfig(String),
+    /// A receive deadline expired with no message from the peer (which
+    /// may still be alive but slow). `peer` is `usize::MAX` for
+    /// `recv_any`, which waits on all ranks at once.
+    PeerTimeout {
+        /// The rank being waited on (`usize::MAX` = any rank).
+        peer: usize,
+        /// How long the receiver waited before giving up.
+        waited_ms: u64,
+    },
+    /// A receive deadline expired and the peer is registered dead in the
+    /// router's health registry — a detected failure, not mere slowness.
+    PeerDead {
+        /// The dead rank.
+        peer: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -43,6 +58,14 @@ impl fmt::Display for CommError {
                 )
             }
             CommError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            CommError::PeerTimeout { peer, waited_ms } => {
+                if *peer == usize::MAX {
+                    write!(f, "timed out after {waited_ms}ms waiting on any peer")
+                } else {
+                    write!(f, "timed out after {waited_ms}ms waiting on peer {peer}")
+                }
+            }
+            CommError::PeerDead { peer } => write!(f, "peer {peer} is dead"),
         }
     }
 }

@@ -25,7 +25,7 @@ pub use error::CommError;
 pub use predict::StaticLedger;
 pub use topology::{Topology, WorkerId};
 pub use traffic::{TrafficClass, TrafficSnapshot, TrafficStats};
-pub use transport::{Endpoint, Payload, Router};
+pub use transport::{Endpoint, Payload, PeerHealth, Router, DEFAULT_RECV_DEADLINE};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, CommError>;

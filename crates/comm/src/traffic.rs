@@ -48,14 +48,15 @@ impl TrafficClass {
     /// PS response tags are `0x8000.. | packed header`, and the packed
     /// header keeps the request kind in bits 58+, so kinds >= 4
     /// (PushSparse, ChiefUpdate, UpdateDone, ReadAgg) carry into the
-    /// top nibble and surface as `0x9`. Both nibbles are PS traffic; no
-    /// other tag space reaches them.
+    /// top nibble and surface as `0x9`, and kind 8 (FetchShard, the
+    /// checkpoint shard fetch) surfaces as `0xA`. All three nibbles are
+    /// PS traffic; no other tag space reaches them.
     pub fn from_tag(tag: u64) -> Self {
         match tag >> 60 {
             0x1 => TrafficClass::Nccl,
             0x2 => TrafficClass::LocalAgg,
             0x3 => TrafficClass::Mpi,
-            0x4 | 0x8 | 0x9 => TrafficClass::Ps,
+            0x4 | 0x8 | 0x9 | 0xA => TrafficClass::Ps,
             _ => TrafficClass::Default,
         }
     }
@@ -359,6 +360,11 @@ mod tests {
         // the top nibble: 0x8... | (kind << 58) reads back as 0x9....
         assert_eq!(
             TrafficClass::from_tag(0x9800_0000_0000_0abc),
+            TrafficClass::Ps
+        );
+        // Kind 8 (FetchShard) responses: 0x8... | (8 << 58) == 0xA....
+        assert_eq!(
+            TrafficClass::from_tag(0xA000_0000_0000_0ABC),
             TrafficClass::Ps
         );
         assert_eq!(TrafficClass::from_tag(7), TrafficClass::Default);

@@ -6,16 +6,71 @@
 //! machine. Receives match on `(from, tag)` with internal buffering so
 //! concurrent protocols (collectives, PS pulls, chief notifications) can
 //! interleave safely on one channel.
+//!
+//! Failure semantics: receives are deadline-bounded
+//! ([`Endpoint::set_recv_deadline`]) and surface typed
+//! [`CommError::PeerTimeout`] / [`CommError::PeerDead`] errors instead of
+//! blocking forever. Peer death is tracked by a shared [`PeerHealth`]
+//! registry (every endpoint marks itself dead on drop, so a crashed
+//! worker thread is observable by everyone still waiting on it). A
+//! [`FaultInjector`] can be installed at build time
+//! ([`Router::build_with`]) to deterministically drop, delay, or
+//! duplicate messages; dropped and duplicated messages are charged to
+//! *both* byte ledgers (traffic accountant and tracer) once per physical
+//! transmission, so the span-vs-network crosscheck stays exact under
+//! fault injection.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parallax_fault::{FaultInjector, Verdict};
 use parallax_tensor::{IndexedSlices, Tensor};
 
 use crate::topology::Topology;
 use crate::traffic::TrafficStats;
 use crate::{CommError, Result};
+
+/// Default receive deadline: generous enough that no healthy protocol
+/// exchange (including injected straggler sleeps) comes near it, small
+/// enough that a dead peer is detected rather than hanging CI.
+pub const DEFAULT_RECV_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Shared liveness registry: which ranks are known dead. Endpoints mark
+/// themselves dead when dropped (normal exit or thread panic/unwind both
+/// run `Drop`), and the runner marks ranks whose threads failed. Receive
+/// timeouts consult the registry to distinguish a slow peer
+/// ([`CommError::PeerTimeout`]) from a detected failure
+/// ([`CommError::PeerDead`]).
+#[derive(Debug, Default)]
+pub struct PeerHealth {
+    dead: parking_lot::Mutex<HashSet<usize>>,
+}
+
+impl PeerHealth {
+    /// Marks `rank` as dead.
+    pub fn mark_dead(&self, rank: usize) {
+        self.dead.lock().insert(rank);
+    }
+
+    /// True when `rank` has been marked dead.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.dead.lock().contains(&rank)
+    }
+
+    /// The lowest dead rank, if any.
+    pub fn first_dead(&self) -> Option<usize> {
+        self.dead.lock().iter().min().copied()
+    }
+
+    /// All dead ranks, sorted.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.dead.lock().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
 
 /// A typed message payload.
 ///
@@ -163,8 +218,18 @@ impl Router {
     /// Returns one endpoint per worker rank (move each into its worker
     /// thread) and the shared traffic accumulator.
     pub fn build(topology: Topology) -> (Vec<Endpoint>, Arc<TrafficStats>) {
+        Self::build_with(topology, None)
+    }
+
+    /// Like [`Router::build`], with an optional fault injector installed
+    /// on every endpoint's send path.
+    pub fn build_with(
+        topology: Topology,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> (Vec<Endpoint>, Arc<TrafficStats>) {
         let n = topology.num_workers();
         let traffic = TrafficStats::new(topology.num_machines());
+        let health = Arc::new(PeerHealth::default());
         let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -182,6 +247,9 @@ impl Router {
                 rx,
                 pending: HashMap::new(),
                 traffic: Arc::clone(&traffic),
+                health: Arc::clone(&health),
+                faults: faults.clone(),
+                deadline: DEFAULT_RECV_DEADLINE,
             })
             .collect();
         (endpoints, traffic)
@@ -206,6 +274,17 @@ pub struct Endpoint {
     rx: Receiver<Envelope>,
     pending: HashMap<(usize, u64), VecDeque<Payload>>,
     traffic: Arc<TrafficStats>,
+    health: Arc<PeerHealth>,
+    faults: Option<Arc<FaultInjector>>,
+    deadline: Duration,
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        // Drop runs on normal exit *and* on panic unwind, so a crashed
+        // worker thread is always observable in the health registry.
+        self.health.mark_dead(self.rank);
+    }
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -222,11 +301,11 @@ impl Endpoint {
         self.rank
     }
 
-    /// The machine hosting this endpoint.
-    pub fn machine(&self) -> usize {
-        self.topology
-            .machine_of(self.rank)
-            .expect("own rank is valid")
+    /// The machine hosting this endpoint, or a typed error if the
+    /// topology does not know this rank (a mis-built mesh — previously a
+    /// panic site).
+    pub fn machine(&self) -> Result<usize> {
+        self.topology.machine_of(self.rank)
     }
 
     /// The topology this endpoint belongs to.
@@ -239,12 +318,62 @@ impl Endpoint {
         &self.traffic
     }
 
+    /// The shared liveness registry.
+    pub fn health(&self) -> &Arc<PeerHealth> {
+        &self.health
+    }
+
+    /// Bounds how long [`Endpoint::recv`] / [`Endpoint::recv_any`] block
+    /// before returning [`CommError::PeerTimeout`] /
+    /// [`CommError::PeerDead`]. This is the failure-detection deadline.
+    pub fn set_recv_deadline(&mut self, deadline: Duration) {
+        self.deadline = deadline;
+    }
+
     /// Sends `payload` to worker `to` under `tag`, charging traffic.
+    ///
+    /// When a fault injector is installed, the message may be dropped,
+    /// delayed, or duplicated. Both byte ledgers (traffic accountant and
+    /// tracer) are charged once per *physical transmission*: a dropped
+    /// message is charged once (it went onto the wire, the receiver
+    /// never saw it), a duplicated message twice.
     pub fn send(&self, to: usize, tag: u64, payload: Payload) -> Result<()> {
-        let sender = self.senders.get(to).ok_or(CommError::UnknownRank(to))?;
-        let src = self.machine();
+        if self.senders.get(to).is_none() {
+            return Err(CommError::UnknownRank(to));
+        }
+        let src = self.machine()?;
         let dst = self.topology.machine_of(to)?;
-        let bytes = payload.byte_size();
+        let verdict = match &self.faults {
+            Some(inj) => inj.on_message(self.rank, to),
+            None => Verdict::Deliver,
+        };
+        match verdict {
+            Verdict::Deliver => {
+                self.charge(src, dst, tag, payload.byte_size());
+                self.enqueue(to, tag, payload)
+            }
+            Verdict::Drop => {
+                // Transmitted but lost: charged, never enqueued.
+                self.charge(src, dst, tag, payload.byte_size());
+                Ok(())
+            }
+            Verdict::Delay(d) => {
+                self.charge(src, dst, tag, payload.byte_size());
+                std::thread::sleep(d);
+                self.enqueue(to, tag, payload)
+            }
+            Verdict::Duplicate => {
+                let bytes = payload.byte_size();
+                self.charge(src, dst, tag, bytes);
+                self.enqueue(to, tag, payload.clone())?;
+                self.charge(src, dst, tag, bytes);
+                self.enqueue(to, tag, payload)
+            }
+        }
+    }
+
+    /// Charges one physical transmission to both byte ledgers.
+    fn charge(&self, src: usize, dst: usize, tag: u64, bytes: u64) {
         self.traffic
             .record_class(src, dst, bytes, crate::traffic::TrafficClass::from_tag(tag));
         // Mirror the accountant's inter-machine branch into the tracer,
@@ -252,30 +381,61 @@ impl Endpoint {
         if src != dst {
             parallax_trace::on_net_bytes(bytes);
         }
-        sender
+    }
+
+    fn enqueue(&self, to: usize, tag: u64, payload: Payload) -> Result<()> {
+        self.senders[to]
             .send(Envelope {
                 from: self.rank,
                 tag,
                 payload,
             })
-            .map_err(|_| CommError::Disconnected { peer: to })
+            .map_err(|_| {
+                self.health.mark_dead(to);
+                CommError::Disconnected { peer: to }
+            })
     }
 
-    /// Receives the next payload from `from` with `tag`, blocking.
+    /// Classifies an expired receive deadline: a peer registered dead is
+    /// a detected failure, otherwise it is (so far) just slowness.
+    fn timeout_error(&self, peer: usize) -> CommError {
+        let dead = if peer == usize::MAX {
+            self.health.first_dead().filter(|&d| d != self.rank)
+        } else {
+            self.health.is_dead(peer).then_some(peer)
+        };
+        match dead {
+            Some(peer) => CommError::PeerDead { peer },
+            None => CommError::PeerTimeout {
+                peer,
+                waited_ms: self.deadline.as_millis() as u64,
+            },
+        }
+    }
+
+    /// Receives the next payload from `from` with `tag`, blocking at
+    /// most the configured receive deadline.
     ///
     /// Messages for other `(from, tag)` pairs that arrive first are
-    /// buffered for later receives.
+    /// buffered for later receives. An expired deadline yields
+    /// [`CommError::PeerDead`] when `from` is registered dead,
+    /// [`CommError::PeerTimeout`] otherwise.
     pub fn recv(&mut self, from: usize, tag: u64) -> Result<Payload> {
         if let Some(queue) = self.pending.get_mut(&(from, tag)) {
             if let Some(p) = queue.pop_front() {
                 return Ok(p);
             }
         }
+        let deadline = Instant::now() + self.deadline;
         loop {
-            let env = self
-                .rx
-                .recv()
-                .map_err(|_| CommError::Disconnected { peer: from })?;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let env = match self.rx.recv_timeout(remaining) {
+                Ok(env) => env,
+                Err(RecvTimeoutError::Timeout) => return Err(self.timeout_error(from)),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { peer: from })
+                }
+            };
             if env.from == from && env.tag == tag {
                 return Ok(env.payload);
             }
@@ -287,7 +447,10 @@ impl Endpoint {
     }
 
     /// Receives the next payload with `tag` from *any* rank, returning
-    /// `(from, payload)`. Used by server loops.
+    /// `(from, payload)`. Used by server loops. Blocks at most the
+    /// configured receive deadline; on expiry yields
+    /// [`CommError::PeerDead`] when any rank is registered dead,
+    /// [`CommError::PeerTimeout`] (with `peer == usize::MAX`) otherwise.
     pub fn recv_any(&mut self, tag: u64) -> Result<(usize, Payload)> {
         // Check buffered messages first, lowest rank first for determinism.
         let mut keys: Vec<usize> = self
@@ -298,18 +461,27 @@ impl Endpoint {
             .collect();
         keys.sort_unstable();
         if let Some(&from) = keys.first() {
-            let p = self
+            // The filter above guarantees a payload; if the map was
+            // mutated out from under us, fall through to the channel
+            // loop instead of panicking.
+            if let Some(p) = self
                 .pending
                 .get_mut(&(from, tag))
                 .and_then(|q| q.pop_front())
-                .expect("non-empty queue");
-            return Ok((from, p));
+            {
+                return Ok((from, p));
+            }
         }
+        let deadline = Instant::now() + self.deadline;
         loop {
-            let env = self
-                .rx
-                .recv()
-                .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let env = match self.rx.recv_timeout(remaining) {
+                Ok(env) => env,
+                Err(RecvTimeoutError::Timeout) => return Err(self.timeout_error(usize::MAX)),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { peer: usize::MAX })
+                }
+            };
             if env.tag == tag {
                 return Ok((env.from, env.payload));
             }
@@ -386,6 +558,117 @@ mod tests {
         assert_eq!((from, p.into_control().unwrap()), (0, 10));
         let (from, p) = e2.recv_any(5).unwrap();
         assert_eq!((from, p.into_control().unwrap()), (1, 11));
+    }
+
+    #[test]
+    fn recv_times_out_with_typed_error() {
+        let topo = Topology::uniform(2, 1).unwrap();
+        let (mut eps, _traffic) = Router::build(topo);
+        let mut e1 = eps.pop().unwrap();
+        e1.set_recv_deadline(Duration::from_millis(30));
+        let start = Instant::now();
+        match e1.recv(0, 7) {
+            Err(CommError::PeerTimeout { peer: 0, .. }) => {}
+            other => panic!("expected PeerTimeout, got {other:?}"),
+        }
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        match e1.recv_any(7) {
+            Err(CommError::PeerTimeout { peer, .. }) => assert_eq!(peer, usize::MAX),
+            other => panic!("expected PeerTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_from_dropped_peer_errors_instead_of_hanging() {
+        let topo = Topology::uniform(2, 1).unwrap();
+        let (mut eps, _traffic) = Router::build(topo);
+        let mut e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        e1.set_recv_deadline(Duration::from_millis(30));
+        // Endpoint 0's thread "crashes": its Drop marks it dead.
+        drop(e0);
+        assert!(matches!(
+            e1.recv(0, 7),
+            Err(CommError::PeerDead { peer: 0 })
+        ));
+        assert!(matches!(
+            e1.recv_any(7),
+            Err(CommError::PeerDead { peer: 0 })
+        ));
+    }
+
+    #[test]
+    fn dead_mark_does_not_preempt_delivered_messages() {
+        let topo = Topology::uniform(2, 1).unwrap();
+        let (mut eps, _traffic) = Router::build(topo);
+        let mut e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        e1.set_recv_deadline(Duration::from_millis(30));
+        e0.send(1, 3, Payload::Control(5)).unwrap();
+        drop(e0);
+        // The message sent before death is still delivered; only the
+        // *next* (never-arriving) one reports death.
+        assert_eq!(e1.recv(0, 3).unwrap().into_control().unwrap(), 5);
+        assert!(matches!(
+            e1.recv(0, 3),
+            Err(CommError::PeerDead { peer: 0 })
+        ));
+    }
+
+    #[test]
+    fn drop_fault_charges_both_ledgers_but_never_delivers() {
+        use parallax_fault::{FaultInjector, FaultPlan};
+        let topo = Topology::uniform(2, 1).unwrap();
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new().drop_message(0, 1, 0)));
+        let (mut eps, traffic) = Router::build_with(topo, Some(Arc::clone(&inj)));
+        let mut e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        e1.set_recv_deadline(Duration::from_millis(30));
+        e0.send(1, 7, Payload::Floats(Arc::new(vec![0.0; 4])))
+            .unwrap();
+        assert!(matches!(
+            e1.recv(0, 7),
+            Err(CommError::PeerTimeout { peer: 0, .. })
+        ));
+        // Charged exactly once despite never being delivered.
+        assert_eq!(traffic.snapshot().out_bytes[0], 16);
+        assert_eq!(inj.events().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_and_charges_twice() {
+        use parallax_fault::{FaultInjector, FaultPlan};
+        let topo = Topology::uniform(2, 1).unwrap();
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::new().duplicate_message(0, 1, 0),
+        ));
+        let (mut eps, traffic) = Router::build_with(topo, Some(inj));
+        let mut e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        e0.send(1, 7, Payload::Control(9)).unwrap();
+        assert_eq!(e1.recv(0, 7).unwrap().into_control().unwrap(), 9);
+        assert_eq!(e1.recv(0, 7).unwrap().into_control().unwrap(), 9);
+        assert_eq!(traffic.snapshot().out_bytes[0], 16);
+        assert_eq!(traffic.snapshot().inter_messages, 2);
+    }
+
+    #[test]
+    fn delay_fault_still_delivers_in_order() {
+        use parallax_fault::{FaultInjector, FaultPlan};
+        let topo = Topology::uniform(2, 1).unwrap();
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::new().delay_message(0, 1, 0, 20),
+        ));
+        let (mut eps, traffic) = Router::build_with(topo, Some(inj));
+        let mut e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        let start = Instant::now();
+        e0.send(1, 7, Payload::Control(1)).unwrap();
+        e0.send(1, 7, Payload::Control(2)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(e1.recv(0, 7).unwrap().into_control().unwrap(), 1);
+        assert_eq!(e1.recv(0, 7).unwrap().into_control().unwrap(), 2);
+        assert_eq!(traffic.snapshot().out_bytes[0], 16);
     }
 
     #[test]

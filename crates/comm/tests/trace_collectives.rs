@@ -26,7 +26,7 @@ fn collective_spans_cross_check_traffic_bytes() {
             let ranks = &ranks;
             s.spawn(move || {
                 parallax_trace::set_thread_track(
-                    ep.machine() as u32,
+                    ep.machine().unwrap() as u32,
                     ep.rank() as u32,
                     &format!("worker{}", ep.rank()),
                 );

@@ -2,8 +2,17 @@
 //!
 //! The paper's `ParallaxConfig` includes "a file path to save trained
 //! variables". This module implements that: a dependency-free binary
-//! format (magic, version, variable count, then per variable its name,
-//! shape and little-endian `f32` data) with integrity checks on load.
+//! format with integrity checks on load, plus the training state
+//! (step counter, data-shard cursors) the runner needs to resume after a
+//! failure.
+//!
+//! Format v2 (`PLXCKPT2`): magic, CRC32 (IEEE, little-endian, over the
+//! entire payload that follows), then the payload — step `u64`, cursor
+//! count `u64`, cursors (`u64` each), variable count `u64`, and per
+//! variable its name, shape and little-endian `f32` data. Format v1
+//! (`PLXCKPT1`) lacked the CRC and training state; [`load`] /
+//! [`load_with_state`] still read it (with a default state). Saves are
+//! atomic: written to a temp file in the same directory, then renamed.
 
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
@@ -14,54 +23,141 @@ use parallax_tensor::{Shape, Tensor};
 
 use crate::{CoreError, Result};
 
-const MAGIC: &[u8; 8] = b"PLXCKPT1";
+const MAGIC_V1: &[u8; 8] = b"PLXCKPT1";
+const MAGIC_V2: &[u8; 8] = b"PLXCKPT2";
 
 fn io_err(e: std::io::Error) -> CoreError {
     CoreError::Config(format!("checkpoint I/O: {e}"))
 }
 
-/// Saves every variable of `store` (named per `graph`) to `path`.
-pub fn save(graph: &Graph, store: &VarStore, path: &Path) -> Result<()> {
-    let mut out = Vec::new();
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&(graph.variables().len() as u64).to_le_bytes());
+/// CRC32 (IEEE 802.3 polynomial, reflected). Bitwise and table-free:
+/// checkpoints are written once per interval, not per message.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Training progress saved alongside the variables, so a resumed run
+/// replays from exactly where the checkpoint was cut.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrainState {
+    /// Number of completed iterations (the resumed run starts here).
+    pub step: u64,
+    /// Per-worker data-shard cursors: how many batches each worker has
+    /// consumed. With deterministic feeds these are redundant with
+    /// `step`, but real input pipelines are stateful, so they are
+    /// first-class in the format.
+    pub cursors: Vec<u64>,
+}
+
+/// Saves every variable of `store` (named per `graph`) plus `state` to
+/// `path`, atomically (temp file + rename).
+pub fn save_with_state(
+    graph: &Graph,
+    store: &VarStore,
+    state: &TrainState,
+    path: &Path,
+) -> Result<()> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&state.step.to_le_bytes());
+    payload.extend_from_slice(&(state.cursors.len() as u64).to_le_bytes());
+    for &c in &state.cursors {
+        payload.extend_from_slice(&c.to_le_bytes());
+    }
+    payload.extend_from_slice(&(graph.variables().len() as u64).to_le_bytes());
     for var in graph.var_ids() {
         let def = graph.var_def(var)?;
         let value = store.get(var)?;
         let name = def.name.as_bytes();
-        out.extend_from_slice(&(name.len() as u64).to_le_bytes());
-        out.extend_from_slice(name);
+        payload.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        payload.extend_from_slice(name);
         let dims = value.shape().dims();
-        out.extend_from_slice(&(dims.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&(dims.len() as u64).to_le_bytes());
         for &d in dims {
-            out.extend_from_slice(&(d as u64).to_le_bytes());
+            payload.extend_from_slice(&(d as u64).to_le_bytes());
         }
         for &x in value.data() {
-            out.extend_from_slice(&x.to_le_bytes());
+            payload.extend_from_slice(&x.to_le_bytes());
         }
     }
-    let mut file = std::fs::File::create(path).map_err(io_err)?;
-    file.write_all(&out).map_err(io_err)?;
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(MAGIC_V2);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+
+    // Atomic save: a crash mid-write must not destroy the previous
+    // checkpoint, so write a sibling temp file and rename over.
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+        file.write_all(&out).map_err(io_err)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io_err)?;
     Ok(())
 }
 
-/// Loads a checkpoint into a [`VarStore`] laid out for `graph`.
+/// Saves every variable of `store` (named per `graph`) to `path` with a
+/// default (step 0) training state.
+pub fn save(graph: &Graph, store: &VarStore, path: &Path) -> Result<()> {
+    save_with_state(graph, store, &TrainState::default(), path)
+}
+
+/// Loads a checkpoint into a [`VarStore`] laid out for `graph`,
+/// discarding the training state.
+pub fn load(graph: &Graph, path: &Path) -> Result<VarStore> {
+    load_with_state(graph, path).map(|(store, _)| store)
+}
+
+/// Loads a checkpoint (v2 or legacy v1) into a [`VarStore`] laid out for
+/// `graph`, returning the saved [`TrainState`] (default for v1 files).
 ///
 /// Variables are matched *by name*, so the checkpoint survives graph
-/// edits that only reorder declarations; shape mismatches and missing
-/// variables are errors.
-pub fn load(graph: &Graph, path: &Path) -> Result<VarStore> {
+/// edits that only reorder declarations; CRC mismatches (v2), shape
+/// mismatches and missing variables are errors.
+pub fn load_with_state(graph: &Graph, path: &Path) -> Result<(VarStore, TrainState)> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)
         .map_err(io_err)?
         .read_to_end(&mut bytes)
         .map_err(io_err)?;
-    let mut cursor = 0usize;
-    let take = |cursor: &mut usize, n: usize| -> Result<&[u8]> {
-        if *cursor + n > bytes.len() {
+    if bytes.len() < 8 {
+        return Err(CoreError::Config("checkpoint truncated".into()));
+    }
+    let magic: &[u8] = &bytes[..8];
+    let (payload, versioned) = if magic == MAGIC_V2 {
+        if bytes.len() < 12 {
             return Err(CoreError::Config("checkpoint truncated".into()));
         }
-        let slice = &bytes[*cursor..*cursor + n];
+        let stored = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        let payload = &bytes[12..];
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(CoreError::Config(format!(
+                "checkpoint CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        (payload, true)
+    } else if magic == MAGIC_V1 {
+        (&bytes[8..], false)
+    } else {
+        return Err(CoreError::Config(
+            "not a parallax checkpoint (bad magic)".into(),
+        ));
+    };
+
+    let mut cursor = 0usize;
+    let take = |cursor: &mut usize, n: usize| -> Result<&[u8]> {
+        if *cursor + n > payload.len() {
+            return Err(CoreError::Config("checkpoint truncated".into()));
+        }
+        let slice = &payload[*cursor..*cursor + n];
         *cursor += n;
         Ok(slice)
     };
@@ -71,11 +167,18 @@ pub fn load(graph: &Graph, path: &Path) -> Result<VarStore> {
         Ok(u64::from_le_bytes(buf))
     };
 
-    if take(&mut cursor, MAGIC.len())? != MAGIC {
-        return Err(CoreError::Config(
-            "not a parallax checkpoint (bad magic)".into(),
-        ));
-    }
+    let state = if versioned {
+        let step = read_u64(&mut cursor)?;
+        let n = read_u64(&mut cursor)? as usize;
+        let mut cursors = Vec::with_capacity(n);
+        for _ in 0..n {
+            cursors.push(read_u64(&mut cursor)?);
+        }
+        TrainState { step, cursors }
+    } else {
+        TrainState::default()
+    };
+
     let count = read_u64(&mut cursor)? as usize;
     let mut by_name: HashMap<String, Tensor> = HashMap::with_capacity(count);
     for _ in 0..count {
@@ -96,7 +199,7 @@ pub fn load(graph: &Graph, path: &Path) -> Result<VarStore> {
             .collect();
         by_name.insert(name, Tensor::new(shape, data)?);
     }
-    if cursor != bytes.len() {
+    if cursor != payload.len() {
         return Err(CoreError::Config("trailing bytes after checkpoint".into()));
     }
 
@@ -116,7 +219,7 @@ pub fn load(graph: &Graph, path: &Path) -> Result<VarStore> {
         }
         values.push(tensor);
     }
-    Ok(VarStore::from_values(values))
+    Ok((VarStore::from_values(values), state))
 }
 
 #[cfg(test)]
@@ -142,6 +245,30 @@ mod tests {
         p
     }
 
+    /// Writes the legacy v1 layout (no CRC, no train state) for the
+    /// compatibility test.
+    fn save_v1(graph: &Graph, store: &VarStore, path: &std::path::Path) {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC_V1);
+        out.extend_from_slice(&(graph.variables().len() as u64).to_le_bytes());
+        for var in graph.var_ids() {
+            let def = graph.var_def(var).unwrap();
+            let value = store.get(var).unwrap();
+            let name = def.name.as_bytes();
+            out.extend_from_slice(&(name.len() as u64).to_le_bytes());
+            out.extend_from_slice(name);
+            let dims = value.shape().dims();
+            out.extend_from_slice(&(dims.len() as u64).to_le_bytes());
+            for &d in dims {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            for &x in value.data() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        std::fs::write(path, out).unwrap();
+    }
+
     #[test]
     fn save_load_roundtrip_is_exact() {
         let g = graph();
@@ -150,6 +277,34 @@ mod tests {
         save(&g, &store, &path).unwrap();
         let loaded = load(&g, &path).unwrap();
         assert_eq!(store.max_divergence(&loaded), 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn train_state_roundtrips() {
+        let g = graph();
+        let store = VarStore::init(&g, &mut DetRng::seed(3));
+        let state = TrainState {
+            step: 17,
+            cursors: vec![4, 5, 4, 4],
+        };
+        let path = temp_path("state");
+        save_with_state(&g, &store, &state, &path).unwrap();
+        let (loaded, got) = load_with_state(&g, &path).unwrap();
+        assert_eq!(got, state);
+        assert_eq!(store.max_divergence(&loaded), 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let g = graph();
+        let store = VarStore::init(&g, &mut DetRng::seed(9));
+        let path = temp_path("v1compat");
+        save_v1(&g, &store, &path);
+        let (loaded, state) = load_with_state(&g, &path).unwrap();
+        assert_eq!(store.max_divergence(&loaded), 0.0);
+        assert_eq!(state, TrainState::default());
         std::fs::remove_file(&path).ok();
     }
 
@@ -194,6 +349,17 @@ mod tests {
         bad[0] = b'X';
         std::fs::write(&path, &bad).unwrap();
         assert!(load(&g, &path).is_err());
+        // A single flipped payload bit: caught by the CRC.
+        let mut flipped = bytes.clone();
+        let mid = 12 + (flipped.len() - 12) / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        match load(&g, &path) {
+            Err(CoreError::Config(msg)) => {
+                assert!(msg.contains("CRC"), "expected CRC error, got: {msg}")
+            }
+            other => panic!("bit flip must fail the CRC, got {other:?}"),
+        }
         // Shape mismatch against a different graph.
         std::fs::write(&path, &bytes).unwrap();
         let mut g3 = Graph::new();
@@ -209,6 +375,54 @@ mod tests {
         g4.variable(VariableDef::new("extra", [2], Init::Zeros))
             .unwrap();
         assert!(load(&g4, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn partitioned_sparse_var_roundtrips_across_partition_counts() {
+        use parallax_ps::plan::RowPartition;
+        // Save a sparse (row-partitioned) variable's stitched value
+        // under P = 3 partitions, restore and re-shard under P' = 2:
+        // the stitch path must make partitioning invisible to the file.
+        let mut g = Graph::new();
+        g.variable(VariableDef::new("emb", [10, 4], Init::Normal(0.5)))
+            .unwrap();
+        let store = VarStore::init(&g, &mut DetRng::seed(11));
+        let var = g.find_variable("emb").unwrap();
+        let full = store.get(var).unwrap().clone();
+
+        // Shard under P = 3 (as PS servers would hold it), stitch, save.
+        let p3 = RowPartition::even(10, 3).unwrap();
+        let shards3: Vec<Tensor> = (0..3)
+            .map(|p| {
+                let r = p3.range(p);
+                full.slice_rows(r.start, r.end).unwrap()
+            })
+            .collect();
+        let stitched = p3.stitch(&shards3).unwrap();
+        assert_eq!(stitched, full);
+        let path = temp_path("repartition");
+        save(&g, &VarStore::from_values(vec![stitched]), &path).unwrap();
+
+        // Restore and re-shard under P' = 2.
+        let loaded = load(&g, &path).unwrap();
+        let restored = loaded.get(var).unwrap();
+        let p2 = RowPartition::even(10, 2).unwrap();
+        let shards2: Vec<Tensor> = (0..2)
+            .map(|p| {
+                let r = p2.range(p);
+                restored.slice_rows(r.start, r.end).unwrap()
+            })
+            .collect();
+        let rebuilt = p2.stitch(&shards2).unwrap();
+        assert_eq!(rebuilt, full, "P=3 save -> P'=2 restore must be exact");
         std::fs::remove_file(&path).ok();
     }
 }

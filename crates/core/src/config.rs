@@ -103,6 +103,26 @@ pub struct ParallaxConfig {
     /// clusters can be emulated on homogeneous hardware and checked
     /// against the `IterationSim` straggler model.
     pub machine_slowdown: Vec<f64>,
+    /// Checkpoint file path (the paper's "file path to save trained
+    /// variables"). `None` (the default) disables checkpointing and
+    /// recovery.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Iterations between checkpoints: the chief saves after every
+    /// iteration where `(iter + 1) % interval == 0`. Must be `>= 1` when
+    /// `checkpoint_path` is set.
+    pub checkpoint_interval: usize,
+    /// Deterministic fault-injection plan evaluated by the transport and
+    /// the runner's worker/server loops. Empty (the default) injects
+    /// nothing.
+    pub fault_plan: parallax_fault::FaultPlan,
+    /// Failure-detection deadline: how long any blocking receive may
+    /// wait before surfacing `PeerTimeout`/`PeerDead`. `None` keeps the
+    /// transport default (30 s).
+    pub recv_deadline: Option<std::time::Duration>,
+    /// How many detected failures the runner may recover from (restore
+    /// the last checkpoint and resume) before giving up and returning
+    /// the error. Recovery requires `checkpoint_path`.
+    pub max_recoveries: usize,
 }
 
 impl Default for ParallaxConfig {
@@ -125,6 +145,11 @@ impl Default for ParallaxConfig {
             alpha_dense_threshold: 0.95,
             compute_threads: None,
             machine_slowdown: Vec::new(),
+            checkpoint_path: None,
+            checkpoint_interval: 0,
+            fault_plan: parallax_fault::FaultPlan::new(),
+            recv_deadline: None,
+            max_recoveries: 1,
         }
     }
 }

@@ -18,6 +18,7 @@ use parallax_cluster::{
 use parallax_comm::{collectives, Endpoint, Router, TrafficClass, TrafficSnapshot};
 use parallax_dataflow::grad::backward;
 use parallax_dataflow::{Feed, Graph, NodeId, Session, VarId, VarStore};
+use parallax_fault::FaultInjector;
 use parallax_ps::{
     locally_aggregate, protocol, PsClient, PsTopology, PsWorkerContext, Server, ServerConfig,
     VarPlacement,
@@ -25,6 +26,7 @@ use parallax_ps::{
 use parallax_tensor::{sparse::Grad, DetRng, Tensor};
 use parking_lot::Mutex;
 
+use crate::checkpoint::{self, TrainState};
 use crate::config::ParallaxConfig;
 use crate::partition::{self, SearchResult};
 use crate::sparsity::SparsityProfile;
@@ -70,6 +72,25 @@ pub struct TrafficReport {
 }
 
 impl TrafficReport {
+    /// Accumulates another report's per-class traffic into this one.
+    /// Recovery re-creates the router (and therefore the ledger) per
+    /// attempt; merging keeps the whole-run totals cross-checkable
+    /// against the trace byte ledger.
+    pub fn merge_from(&mut self, other: &TrafficReport) {
+        let merge = |a: &mut TrafficSnapshot, b: &TrafficSnapshot| {
+            if a.out_bytes.is_empty() {
+                *a = b.clone();
+            } else {
+                a.add_assign(b);
+            }
+        };
+        merge(&mut self.nccl, &other.nccl);
+        merge(&mut self.mpi, &other.mpi);
+        merge(&mut self.ps, &other.ps);
+        merge(&mut self.local_agg, &other.local_agg);
+        merge(&mut self.other, &other.other);
+    }
+
     /// Total network bytes across classes.
     pub fn total_network_bytes(&self) -> u64 {
         self.nccl.total_network_bytes()
@@ -238,6 +259,31 @@ pub fn get_runner(
             )));
         }
     }
+    if config.checkpoint_path.is_some() {
+        if config.checkpoint_interval == 0 {
+            return Err(CoreError::Config(
+                "checkpoint_interval must be >= 1 when checkpoint_path is set".into(),
+            ));
+        }
+        if !config.synchronous {
+            return Err(CoreError::Config(
+                "checkpointing requires synchronous training (the chief \
+                 coordinates consistent shard fetches at iteration boundaries)"
+                    .into(),
+            ));
+        }
+    } else if config.checkpoint_interval != 0 {
+        return Err(CoreError::Config(
+            "checkpoint_interval is set but checkpoint_path is None".into(),
+        ));
+    }
+    if let Some(d) = config.recv_deadline {
+        if d.is_zero() {
+            return Err(CoreError::Config(
+                "recv_deadline must be a positive duration".into(),
+            ));
+        }
+    }
     let topo = PsTopology::new(gpus_per_machine).map_err(CoreError::Ps)?;
     if config.machine_slowdown.len() > topo.num_machines() {
         return Err(CoreError::Config(format!(
@@ -377,13 +423,113 @@ impl Runner {
     ///
     /// `feed_fn(worker, iter)` supplies each worker's mini-batch (use
     /// [`shard_range`] to cut a dataset into disjoint shards).
+    ///
+    /// When `checkpoint_path` is configured the chief saves a consistent
+    /// checkpoint (variables + step + data-shard cursors) every
+    /// `checkpoint_interval` iterations, and on a detected failure — a
+    /// fault-injected kill, or any worker/server error surfaced within
+    /// the receive deadline — the runner tears the attempt down,
+    /// restores the latest checkpoint, and resumes from its step, up to
+    /// `max_recoveries` times. Iterations replayed before the first
+    /// checkpoint restart from the initial seeded state. Traffic is
+    /// accumulated across attempts so the byte crosscheck against the
+    /// trace ledger holds under fault injection; `losses` entries for
+    /// iterations that only completed inside a failed attempt are zero.
     pub fn run<F>(&self, iterations: usize, feed_fn: F) -> Result<RunReport>
     where
         F: Fn(usize, usize) -> Feed + Send + Sync,
     {
         let started = Instant::now();
+        // One injector for the whole run: every fault fires at most
+        // once, so a recovery replay does not re-kill the same worker.
+        let injector = Arc::new(FaultInjector::new(self.config.fault_plan.clone()));
+        let mut traffic = TrafficReport::default();
+        let mut losses = vec![0.0f32; iterations];
+        let mut start_iter = 0usize;
+        let mut restore: Option<VarStore> = None;
+        let mut recoveries = 0usize;
+        loop {
+            match self.run_attempt(
+                iterations,
+                start_iter,
+                restore.as_ref(),
+                &feed_fn,
+                &injector,
+                &mut traffic,
+            ) {
+                Ok(mut report) => {
+                    for (slot, &l) in losses[start_iter..].iter_mut().zip(&report.losses) {
+                        *slot = l;
+                    }
+                    report.losses = losses;
+                    report.traffic = traffic;
+                    report.wall_seconds = started.elapsed().as_secs_f64();
+                    return Ok(report);
+                }
+                Err(err) => {
+                    {
+                        let _detect =
+                            parallax_trace::span(parallax_trace::SpanCat::Phase, "fault.detect");
+                        parallax_trace::counter("fault.detected").add(1);
+                    }
+                    if self.config.checkpoint_path.is_none()
+                        || recoveries >= self.config.max_recoveries
+                    {
+                        return Err(err);
+                    }
+                    recoveries += 1;
+                    let _recover =
+                        parallax_trace::span(parallax_trace::SpanCat::Phase, "fault.recover");
+                    parallax_trace::counter("fault.recovered").add(1);
+                    let path = self.config.checkpoint_path.as_ref().expect("checked above");
+                    if path.exists() {
+                        let (store, state) = checkpoint::load_with_state(&self.graph, path)?;
+                        eprintln!(
+                            "parallax: failure detected ({err}); recovering from \
+                             checkpoint at step {}",
+                            state.step
+                        );
+                        start_iter = state.step as usize;
+                        restore = Some(store);
+                    } else {
+                        eprintln!(
+                            "parallax: failure detected ({err}) before any checkpoint; \
+                             restarting from initial state"
+                        );
+                        start_iter = 0;
+                        restore = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One execution attempt: iterations `start_iter..iterations`, with
+    /// every worker replica and server shard seeded from `restore` when
+    /// resuming from a checkpoint. The attempt's measured traffic is
+    /// merged into `traffic_total` whether it succeeds or fails — bytes
+    /// a doomed attempt moved were still physically sent and traced.
+    fn run_attempt<F>(
+        &self,
+        iterations: usize,
+        start_iter: usize,
+        restore: Option<&VarStore>,
+        feed_fn: &F,
+        injector: &Arc<FaultInjector>,
+        traffic_total: &mut TrafficReport,
+    ) -> Result<RunReport>
+    where
+        F: Fn(usize, usize) -> Feed + Send + Sync,
+    {
+        let started = Instant::now();
         let needs_servers = self.plan.needs_servers();
-        let (mut endpoints, traffic) = Router::build(self.topo.comm().clone());
+        let (mut endpoints, traffic) =
+            Router::build_with(self.topo.comm().clone(), Some(Arc::clone(injector)));
+        if let Some(d) = self.config.recv_deadline {
+            for ep in endpoints.iter_mut() {
+                ep.set_recv_deadline(d);
+            }
+        }
         let mut by_rank: Vec<Option<Endpoint>> = endpoints.drain(..).map(Some).collect();
 
         let workers = self.topo.num_workers();
@@ -406,6 +552,8 @@ impl Runner {
                         .expect("server endpoint");
                     let server_config = ServerConfig {
                         iterations,
+                        start_iteration: start_iter,
+                        checkpoint_interval: self.ckpt_interval(),
                         average_gradients: self.config.average_sparse,
                         local_aggregation: self.config.local_aggregation && self.config.synchronous,
                         chief_triggers_update: self.config.chief_triggers_update
@@ -415,7 +563,7 @@ impl Runner {
                         seed: self.config.seed,
                         lr_schedule: self.config.lr_schedule,
                     };
-                    let server = match Server::new(
+                    let mut server = match Server::new(
                         &self.graph,
                         &self.plan.plan,
                         self.topo.clone(),
@@ -432,6 +580,13 @@ impl Runner {
                     if server.num_shards() == 0 {
                         continue;
                     }
+                    if let Some(store) = restore {
+                        if let Err(e) = server.restore_from(store) {
+                            failures.lock().push(format!("server {m} restore: {e}"));
+                            continue;
+                        }
+                    }
+                    server.set_faults(Arc::clone(injector));
                     let shard_values = &shard_values;
                     let failures = &failures;
                     scope.spawn(move || match server.run() {
@@ -459,12 +614,16 @@ impl Runner {
                 let ps_vars = &ps_vars;
                 let gatherv_vars = &gatherv_vars;
                 let runner = &*self;
+                let injector = &**injector;
                 scope.spawn(move || {
                     match runner.worker_loop(
                         endpoint,
                         rank,
                         widx,
                         iterations,
+                        start_iter,
+                        restore,
+                        injector,
                         feed_fn,
                         ar_vars,
                         ps_vars,
@@ -487,14 +646,26 @@ impl Runner {
             }
         });
 
+        // Merge this attempt's ledger into the running total *before*
+        // checking for failures: even a doomed attempt's bytes were
+        // physically sent and mirrored into the trace ledger.
+        traffic_total.merge_from(&TrafficReport {
+            nccl: traffic.class_snapshot(TrafficClass::Nccl),
+            mpi: traffic.class_snapshot(TrafficClass::Mpi),
+            ps: traffic.class_snapshot(TrafficClass::Ps),
+            local_agg: traffic.class_snapshot(TrafficClass::LocalAgg),
+            other: traffic.class_snapshot(TrafficClass::Default),
+        });
+
         let failures = failures.into_inner();
         if let Some(first) = failures.into_iter().next() {
             return Err(CoreError::Worker(first));
         }
 
-        // Mean loss per iteration across workers.
+        // Mean loss per executed iteration across workers.
+        let attempt_iters = iterations - start_iter;
         let per_worker = losses.into_inner();
-        let mut mean_losses = vec![0.0f32; iterations];
+        let mut mean_losses = vec![0.0f32; attempt_iters];
         for series in &per_worker {
             for (slot, &l) in mean_losses.iter_mut().zip(series) {
                 *slot += l / workers as f32;
@@ -536,18 +707,13 @@ impl Runner {
 
         let compute = compute_secs.into_inner();
         let host_compute_per_iter =
-            compute.iter().copied().fold(0.0, f64::max) / iterations.max(1) as f64;
+            compute.iter().copied().fold(0.0, f64::max) / attempt_iters.max(1) as f64;
 
         Ok(RunReport {
             losses: mean_losses,
             grad_norms: chief_norms.into_inner(),
-            traffic: TrafficReport {
-                nccl: traffic.class_snapshot(TrafficClass::Nccl),
-                mpi: traffic.class_snapshot(TrafficClass::Mpi),
-                ps: traffic.class_snapshot(TrafficClass::Ps),
-                local_agg: traffic.class_snapshot(TrafficClass::LocalAgg),
-                other: traffic.class_snapshot(TrafficClass::Default),
-            },
+            // The caller (`run`) substitutes the cross-attempt total.
+            traffic: TrafficReport::default(),
             iterations,
             host_compute_per_iter,
             final_model,
@@ -555,7 +721,52 @@ impl Runner {
         })
     }
 
-    /// One worker's training loop.
+    /// The effective checkpoint interval: `checkpoint_interval` when a
+    /// checkpoint path is configured under synchronous training, else 0
+    /// (disabled). Workers and servers must agree on this value — the
+    /// chief sends one `FetchShard` per shard at every boundary
+    /// iteration and servers count those messages into their
+    /// synchronization barrier.
+    fn ckpt_interval(&self) -> usize {
+        if self.config.checkpoint_path.is_some() && self.config.synchronous {
+            self.config.checkpoint_interval
+        } else {
+            0
+        }
+    }
+
+    /// Saves a consistent checkpoint at the end of iteration `iter`
+    /// (chief only): PS variables are fetched post-update from their
+    /// server shards, AllReduce variables come from the chief's own
+    /// replica (identical on every worker), and the train state records
+    /// `iter + 1` completed steps with one data cursor per worker.
+    fn save_checkpoint(
+        &self,
+        endpoint: &mut Endpoint,
+        client: &mut PsClient,
+        local: &VarStore,
+        iter: usize,
+        path: &std::path::Path,
+    ) -> Result<()> {
+        let _span = parallax_trace::span(parallax_trace::SpanCat::Phase, "checkpoint.save");
+        let mut store = local.clone();
+        for var in self.graph.var_ids() {
+            if let Some(fetched) = client.fetch_var(endpoint, var).map_err(CoreError::Ps)? {
+                let shape = self.graph.var_def(var)?.shape.clone();
+                *store.get_mut(var)? = fetched.reshape(shape)?;
+            }
+        }
+        let step = (iter + 1) as u64;
+        let state = TrainState {
+            step,
+            cursors: vec![step; self.topo.num_workers()],
+        };
+        checkpoint::save_with_state(&self.graph, &store, &state, path)
+    }
+
+    /// One worker's training loop over iterations
+    /// `start_iter..iterations`, replica state seeded from `restore`
+    /// when resuming from a checkpoint.
     #[allow(clippy::too_many_arguments)]
     fn worker_loop<F>(
         &self,
@@ -563,6 +774,9 @@ impl Runner {
         rank: usize,
         widx: usize,
         iterations: usize,
+        start_iter: usize,
+        restore: Option<&VarStore>,
+        injector: &FaultInjector,
         feed_fn: &F,
         ar_vars: &[VarId],
         ps_vars: &[VarId],
@@ -581,23 +795,42 @@ impl Runner {
             &format!("worker{widx} (rank {rank})"),
         );
         let client = PsClient::new(Arc::new(self.plan.plan.clone()), self.topo.clone());
-        let local = VarStore::init(&self.graph, &mut DetRng::seed(self.config.seed));
+        // Resuming replicas start from the restored checkpoint instead of
+        // the seeded initializer — bitwise what the chief saved.
+        let local = match restore {
+            Some(store) => store.clone(),
+            None => VarStore::init(&self.graph, &mut DetRng::seed(self.config.seed)),
+        };
         let mut ctx = PsWorkerContext::new(endpoint, client, local);
         let mut optimizer = self.config.optimizer.build(self.config.learning_rate);
         let session = Session::new(&self.graph);
-        let mut losses = Vec::with_capacity(iterations);
+        let mut losses = Vec::with_capacity(iterations - start_iter);
         let mut norms = Vec::new();
         let mut compute_secs = 0.0f64;
         let sync = self.config.synchronous;
+        let ckpt_interval = self.ckpt_interval();
         // Reused across iterations so the per-node value buffer is
         // allocated once for the whole loop.
         let mut acts = parallax_dataflow::Activations::new();
 
-        for iter in 0..iterations {
+        for iter in start_iter..iterations {
             parallax_trace::set_thread_iter(iter as u64);
             // Name matches `parallax_trace::export::ITERATION_SPAN` so the
             // straggler report can find per-machine iteration boundaries.
             let _iter_span = parallax_trace::span(parallax_trace::SpanCat::Phase, "iteration");
+            // Fault hooks: a transient stall stretches this iteration; a
+            // kill tears the worker down before it sends anything for
+            // this step, exactly like a process crash at the boundary.
+            if let Some(d) = injector.stall_for(rank, iter as u64) {
+                let _stall =
+                    parallax_trace::span(parallax_trace::SpanCat::Phase, "phase.fault_stall");
+                std::thread::sleep(d);
+            }
+            if injector.kill_worker_at(rank, iter as u64) {
+                return Err(CoreError::Worker(format!(
+                    "fault injection: worker rank {rank} killed at step {iter}"
+                )));
+            }
             optimizer.set_learning_rate(
                 self.config
                     .lr_schedule
@@ -772,6 +1005,17 @@ impl Runner {
                     }
                 }
                 norms.push(sq_norm.sqrt() as f32);
+            }
+            // Checkpoint boundary: the chief fetches post-update shard
+            // values from the servers (they hold this iteration open
+            // until the fetches arrive) and writes one atomic file.
+            if is_global_chief && ckpt_interval > 0 && (iter + 1).is_multiple_of(ckpt_interval) {
+                let path = self
+                    .config
+                    .checkpoint_path
+                    .as_deref()
+                    .expect("ckpt_interval > 0 implies a checkpoint path");
+                self.save_checkpoint(endpoint, client, local, iter, path)?;
             }
         }
         Ok((losses, norms, compute_secs, ctx.local))

@@ -1,0 +1,453 @@
+#![warn(missing_docs)]
+
+//! Deterministic fault injection for the Parallax reproduction.
+//!
+//! Real clusters lose workers, drop packets, and stall; Parallax (like
+//! TensorFlow underneath it) answers with checkpoint/restore. To test
+//! that machinery reproducibly, this crate describes faults as *data*: a
+//! [`FaultPlan`] is a list of one-shot [`FaultAction`]s — kill a rank at
+//! step `k`, drop/delay/duplicate the `n`th message on a link, stall a
+//! rank — optionally generated from a seed, and a [`FaultInjector`]
+//! evaluates the plan at runtime. The injector is threaded into
+//! `comm::transport` (message faults) and the `core` runner/`ps` server
+//! loops (process faults), so the same plan replayed against the same
+//! config produces byte-identical fault timing in terms of protocol
+//! events.
+//!
+//! Every action fires at most once. That is what makes recovery testable:
+//! after the runner restores from a checkpoint and replays, the fault
+//! does not re-fire, so a recoverable plan always converges. The injector
+//! also keeps an event log ([`FaultInjector::events`]) so tests can
+//! assert exactly which faults actually fired.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One fault to inject. Message indices (`nth`) are 0-based and count
+/// logical sends on the `(from, to)` link in program order; a duplicated
+/// message's extra copy does not advance the counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Worker thread `rank` exits with an error at the start of step
+    /// `at_step` (before sending anything for that step).
+    KillWorker {
+        /// Global transport rank of the worker.
+        rank: usize,
+        /// 0-based training step at which the worker dies.
+        at_step: u64,
+    },
+    /// The PS server thread on `machine` exits with an error at the
+    /// start of step `at_step`.
+    KillServer {
+        /// Machine index hosting the server shard.
+        machine: usize,
+        /// 0-based training step at which the server dies.
+        at_step: u64,
+    },
+    /// The `nth` message from `from` to `to` is transmitted (and charged
+    /// to both byte ledgers) but never enqueued at the receiver.
+    DropMessage {
+        /// Source rank.
+        from: usize,
+        /// Destination rank.
+        to: usize,
+        /// 0-based message index on the link.
+        nth: u64,
+    },
+    /// The `nth` message from `from` to `to` is held for `millis`
+    /// before delivery (sender-side sleep; ordering on the link is
+    /// preserved).
+    DelayMessage {
+        /// Source rank.
+        from: usize,
+        /// Destination rank.
+        to: usize,
+        /// 0-based message index on the link.
+        nth: u64,
+        /// Delay in milliseconds.
+        millis: u64,
+    },
+    /// The `nth` message from `from` to `to` is delivered twice; both
+    /// copies are charged to both byte ledgers.
+    DuplicateMessage {
+        /// Source rank.
+        from: usize,
+        /// Destination rank.
+        to: usize,
+        /// 0-based message index on the link.
+        nth: u64,
+    },
+    /// Rank `rank` sleeps `millis` at the start of step `at_step`, then
+    /// continues normally (a transient straggler, not a failure).
+    Stall {
+        /// Global transport rank.
+        rank: usize,
+        /// 0-based training step at which the stall occurs.
+        at_step: u64,
+        /// Stall length in milliseconds.
+        millis: u64,
+    },
+}
+
+impl std::fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultAction::KillWorker { rank, at_step } => {
+                write!(f, "kill-worker rank {rank} at step {at_step}")
+            }
+            FaultAction::KillServer { machine, at_step } => {
+                write!(f, "kill-server machine {machine} at step {at_step}")
+            }
+            FaultAction::DropMessage { from, to, nth } => {
+                write!(f, "drop message #{nth} on link {from}->{to}")
+            }
+            FaultAction::DelayMessage {
+                from,
+                to,
+                nth,
+                millis,
+            } => write!(f, "delay message #{nth} on link {from}->{to} by {millis}ms"),
+            FaultAction::DuplicateMessage { from, to, nth } => {
+                write!(f, "duplicate message #{nth} on link {from}->{to}")
+            }
+            FaultAction::Stall {
+                rank,
+                at_step,
+                millis,
+            } => write!(f, "stall rank {rank} at step {at_step} for {millis}ms"),
+        }
+    }
+}
+
+/// A deterministic list of one-shot faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    actions: Vec<FaultAction>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The plan's actions, in insertion order.
+    pub fn actions(&self) -> &[FaultAction] {
+        &self.actions
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Adds an arbitrary action.
+    pub fn with(mut self, action: FaultAction) -> Self {
+        self.actions.push(action);
+        self
+    }
+
+    /// Kills worker `rank` at step `at_step`.
+    pub fn kill_worker(self, rank: usize, at_step: u64) -> Self {
+        self.with(FaultAction::KillWorker { rank, at_step })
+    }
+
+    /// Kills the PS server on `machine` at step `at_step`.
+    pub fn kill_server(self, machine: usize, at_step: u64) -> Self {
+        self.with(FaultAction::KillServer { machine, at_step })
+    }
+
+    /// Drops the `nth` message on the `from -> to` link.
+    pub fn drop_message(self, from: usize, to: usize, nth: u64) -> Self {
+        self.with(FaultAction::DropMessage { from, to, nth })
+    }
+
+    /// Delays the `nth` message on the `from -> to` link by `millis`.
+    pub fn delay_message(self, from: usize, to: usize, nth: u64, millis: u64) -> Self {
+        self.with(FaultAction::DelayMessage {
+            from,
+            to,
+            nth,
+            millis,
+        })
+    }
+
+    /// Duplicates the `nth` message on the `from -> to` link.
+    pub fn duplicate_message(self, from: usize, to: usize, nth: u64) -> Self {
+        self.with(FaultAction::DuplicateMessage { from, to, nth })
+    }
+
+    /// Stalls `rank` for `millis` at step `at_step`.
+    pub fn stall(self, rank: usize, at_step: u64, millis: u64) -> Self {
+        self.with(FaultAction::Stall {
+            rank,
+            at_step,
+            millis,
+        })
+    }
+
+    /// Generates a reproducible plan from a seed: `count` message-level
+    /// faults (drop/delay/duplicate) over `ranks` transport ranks and
+    /// message indices below `max_nth`. The same seed always yields the
+    /// same plan (splitmix64 stream), which is what makes a chaos sweep
+    /// replayable from its seed alone.
+    pub fn random(seed: u64, ranks: usize, max_nth: u64, count: usize) -> Self {
+        let mut state = seed;
+        let ranks = ranks.max(2) as u64;
+        let max_nth = max_nth.max(1);
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let from = (splitmix64(&mut state) % ranks) as usize;
+            let mut to = (splitmix64(&mut state) % ranks) as usize;
+            if to == from {
+                to = (to + 1) % ranks as usize;
+            }
+            let nth = splitmix64(&mut state) % max_nth;
+            plan = match splitmix64(&mut state) % 3 {
+                0 => plan.drop_message(from, to, nth),
+                1 => plan.delay_message(from, to, nth, 1 + splitmix64(&mut state) % 20),
+                _ => plan.duplicate_message(from, to, nth),
+            };
+        }
+        plan
+    }
+}
+
+/// What the transport should do with one outbound message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver normally.
+    Deliver,
+    /// Charge the ledgers but do not enqueue.
+    Drop,
+    /// Sleep this long, then deliver.
+    Delay(Duration),
+    /// Enqueue (and charge) the message twice.
+    Duplicate,
+}
+
+#[derive(Default)]
+struct InjectorState {
+    /// Pending one-shot actions; matched actions are removed.
+    pending: Vec<FaultAction>,
+    /// Logical-send counters per (from, to) link.
+    link_counts: HashMap<(usize, usize), u64>,
+    /// Actions that actually fired, in firing order.
+    fired: Vec<FaultAction>,
+}
+
+/// Runtime evaluator for a [`FaultPlan`]. Shared (behind an `Arc`)
+/// between the transport layer and the runner/server loops; all methods
+/// take `&self`.
+#[derive(Default)]
+pub struct FaultInjector {
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            state: Mutex::new(InjectorState {
+                pending: plan.actions,
+                ..InjectorState::default()
+            }),
+        }
+    }
+
+    /// Called by the transport once per logical send on `from -> to`.
+    /// Advances the link counter and consumes at most one matching
+    /// message fault.
+    pub fn on_message(&self, from: usize, to: usize) -> Verdict {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let count = state.link_counts.entry((from, to)).or_insert(0);
+        let nth_now = *count;
+        *count += 1;
+        let hit = state.pending.iter().position(|a| match *a {
+            FaultAction::DropMessage {
+                from: f,
+                to: t,
+                nth,
+            }
+            | FaultAction::DelayMessage {
+                from: f,
+                to: t,
+                nth,
+                ..
+            }
+            | FaultAction::DuplicateMessage {
+                from: f,
+                to: t,
+                nth,
+            } => f == from && t == to && nth == nth_now,
+            _ => false,
+        });
+        let Some(idx) = hit else {
+            return Verdict::Deliver;
+        };
+        let action = state.pending.remove(idx);
+        state.fired.push(action);
+        match action {
+            FaultAction::DropMessage { .. } => Verdict::Drop,
+            FaultAction::DelayMessage { millis, .. } => {
+                Verdict::Delay(Duration::from_millis(millis))
+            }
+            FaultAction::DuplicateMessage { .. } => Verdict::Duplicate,
+            _ => Verdict::Deliver,
+        }
+    }
+
+    /// True when worker `rank` must die at `step` (consumes the action).
+    pub fn kill_worker_at(&self, rank: usize, step: u64) -> bool {
+        self.consume(|a| {
+            matches!(a, FaultAction::KillWorker { rank: r, at_step } if r == rank && at_step == step)
+        })
+        .is_some()
+    }
+
+    /// True when the server on `machine` must die at `step` (consumes
+    /// the action).
+    pub fn kill_server_at(&self, machine: usize, step: u64) -> bool {
+        self.consume(|a| {
+            matches!(a, FaultAction::KillServer { machine: m, at_step }
+                     if m == machine && at_step == step)
+        })
+        .is_some()
+    }
+
+    /// Stall duration for `rank` at `step`, if any (consumes the
+    /// action).
+    pub fn stall_for(&self, rank: usize, step: u64) -> Option<Duration> {
+        match self.consume(|a| {
+            matches!(a, FaultAction::Stall { rank: r, at_step, .. } if r == rank && at_step == step)
+        }) {
+            Some(FaultAction::Stall { millis, .. }) => Some(Duration::from_millis(millis)),
+            _ => None,
+        }
+    }
+
+    fn consume(&self, matcher: impl Fn(FaultAction) -> bool) -> Option<FaultAction> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = state.pending.iter().position(|&a| matcher(a))?;
+        let action = state.pending.remove(idx);
+        state.fired.push(action);
+        Some(action)
+    }
+
+    /// Actions that actually fired, in firing order.
+    pub fn events(&self) -> Vec<FaultAction> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .fired
+            .clone()
+    }
+
+    /// Actions still waiting to fire.
+    pub fn remaining(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pending
+            .len()
+    }
+}
+
+/// splitmix64: tiny, high-quality, dependency-free PRNG used for
+/// seed-reproducible random plans.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_delivers() {
+        let inj = FaultInjector::new(FaultPlan::new());
+        for i in 0..10 {
+            assert_eq!(inj.on_message(0, 1), Verdict::Deliver, "message {i}");
+        }
+        assert!(!inj.kill_worker_at(0, 0));
+        assert!(inj.stall_for(0, 0).is_none());
+        assert!(inj.events().is_empty());
+    }
+
+    #[test]
+    fn message_faults_match_nth_on_exact_link_once() {
+        let plan = FaultPlan::new()
+            .drop_message(0, 1, 2)
+            .duplicate_message(1, 0, 0)
+            .delay_message(0, 1, 0, 5);
+        let inj = FaultInjector::new(plan);
+        // Link 0->1: message 0 delayed, 1 delivered, 2 dropped, 3 delivered.
+        assert_eq!(
+            inj.on_message(0, 1),
+            Verdict::Delay(Duration::from_millis(5))
+        );
+        assert_eq!(inj.on_message(0, 1), Verdict::Deliver);
+        assert_eq!(inj.on_message(0, 1), Verdict::Drop);
+        assert_eq!(inj.on_message(0, 1), Verdict::Deliver);
+        // Reverse link has its own counter.
+        assert_eq!(inj.on_message(1, 0), Verdict::Duplicate);
+        assert_eq!(inj.on_message(1, 0), Verdict::Deliver);
+        assert_eq!(inj.remaining(), 0);
+        assert_eq!(inj.events().len(), 3);
+    }
+
+    #[test]
+    fn process_faults_are_one_shot() {
+        let plan = FaultPlan::new()
+            .kill_worker(2, 3)
+            .kill_server(1, 4)
+            .stall(0, 1, 7);
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.kill_worker_at(2, 2));
+        assert!(inj.kill_worker_at(2, 3));
+        // One-shot: a recovered run replaying step 3 does not die again.
+        assert!(!inj.kill_worker_at(2, 3));
+        assert!(inj.kill_server_at(1, 4));
+        assert!(!inj.kill_server_at(1, 4));
+        assert_eq!(inj.stall_for(0, 1), Some(Duration::from_millis(7)));
+        assert_eq!(inj.stall_for(0, 1), None);
+        assert_eq!(inj.events().len(), 3);
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let a = FaultPlan::random(42, 8, 100, 5);
+        let b = FaultPlan::random(42, 8, 100, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.actions().len(), 5);
+        let c = FaultPlan::random(43, 8, 100, 5);
+        assert_ne!(a, c, "different seeds should differ");
+        for action in a.actions() {
+            match *action {
+                FaultAction::DropMessage { from, to, .. }
+                | FaultAction::DelayMessage { from, to, .. }
+                | FaultAction::DuplicateMessage { from, to, .. } => {
+                    assert!(from < 8 && to < 8 && from != to);
+                }
+                other => panic!("random plans are message-level only, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = FaultAction::DelayMessage {
+            from: 1,
+            to: 2,
+            nth: 3,
+            millis: 9,
+        }
+        .to_string();
+        assert_eq!(s, "delay message #3 on link 1->2 by 9ms");
+    }
+}

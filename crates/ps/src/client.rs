@@ -278,6 +278,48 @@ impl PsClient {
         Ok(out)
     }
 
+    /// Chief-only: fetches the current (post-update) value of a PS
+    /// variable for checkpointing, stitching partitioned sparse shards
+    /// back into one tensor. Returns `None` for AllReduce variables
+    /// (their authoritative copy is the chief's local replica). Call
+    /// after [`PsClient::await_update_done`] so every shard is applied.
+    ///
+    /// The result is row-major over the variable's *rows*; the caller
+    /// reshapes to the variable's full shape.
+    pub fn fetch_var(&mut self, ep: &mut Endpoint, var: VarId) -> Result<Option<Tensor>> {
+        let _span = span(SpanCat::Ps, "ps.fetch_shard");
+        let targets = self.shard_targets(var)?;
+        if targets.is_empty() {
+            return Ok(None);
+        }
+        for &(machine, part) in &targets {
+            self.request(
+                ep,
+                machine,
+                ReqKind::FetchShard,
+                var.index(),
+                part,
+                Payload::Control(0),
+            )?;
+        }
+        let mut tensors = Vec::with_capacity(targets.len());
+        for (machine, part) in targets {
+            let server = self.topo.server_rank(machine);
+            let t = ep
+                .recv(
+                    server,
+                    protocol::response_tag(ReqKind::FetchShard, var.index(), part, self.iter),
+                )?
+                .into_tensor()?;
+            tensors.push(t);
+        }
+        match self.plan.placement(var)? {
+            VarPlacement::PsDense { .. } => Ok(Some(tensors.swap_remove(0))),
+            VarPlacement::PsSparse { partition, .. } => Ok(Some(partition.stitch(&tensors)?)),
+            VarPlacement::AllReduce => unreachable!("empty targets handled above"),
+        }
+    }
+
     /// Blocks until every shard of `var` reports its update applied (the
     /// shared-queue notification read).
     pub fn await_update_done(&mut self, ep: &mut Endpoint, var: VarId) -> Result<()> {

@@ -32,6 +32,13 @@ pub enum ReqKind {
     /// update step) for tracing or global-norm clipping (Section 5).
     /// Body: `Control(0)`; response: `Slices` or `Tensor`.
     ReadAgg = 7,
+    /// The chief fetches a shard's current (post-update) value for
+    /// checkpointing. Body: `Control(0)`; response: `Tensor`.
+    ///
+    /// Note on traffic classing: `8 << 58` carries into the tag's top
+    /// nibble, so FetchShard response tags read back as `0xA...` —
+    /// `TrafficClass::from_tag` maps that nibble to PS traffic.
+    FetchShard = 8,
 }
 
 impl ReqKind {
@@ -44,6 +51,7 @@ impl ReqKind {
             5 => ReqKind::ChiefUpdate,
             6 => ReqKind::UpdateDone,
             7 => ReqKind::ReadAgg,
+            8 => ReqKind::FetchShard,
             other => return Err(PsError::Protocol(format!("bad request kind {other}"))),
         })
     }
@@ -134,6 +142,7 @@ mod tests {
             (ReqKind::PullSparse, 17, 255, 12345),
             (ReqKind::PushSparse, MAX_VARS, MAX_PARTS, (1 << 30) - 1),
             (ReqKind::UpdateDone, 1, 2, 3),
+            (ReqKind::FetchShard, 3, 1, 9),
         ] {
             let h = pack(kind, var, part, iter);
             let (k2, v2, p2, i2) = unpack(h).unwrap();

@@ -53,6 +53,15 @@ pub struct ServerConfig {
     /// Learning-rate schedule, applied per iteration in lockstep with
     /// the workers' replicas.
     pub lr_schedule: LrSchedule,
+    /// First iteration to serve (non-zero when resuming from a
+    /// checkpoint; absolute iteration numbers keep tags and the lr
+    /// schedule identical to an uninterrupted run).
+    pub start_iteration: usize,
+    /// Checkpoint cadence shared with the chief: on iterations where
+    /// `(iter + 1) % interval == 0` the chief fetches every shard's
+    /// value (`FetchShard`), and the server must count those messages in
+    /// its drain loop. `0` disables checkpointing.
+    pub checkpoint_interval: usize,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +75,8 @@ impl Default for ServerConfig {
             serve_aggregates: false,
             seed: 0,
             lr_schedule: LrSchedule::Constant,
+            start_iteration: 0,
+            checkpoint_interval: 0,
         }
     }
 }
@@ -74,7 +85,7 @@ struct ShardState {
     var: VarId,
     part: usize,
     /// Global row range for sparse shards (`0..MAX` marker for dense).
-    _rows: Range<usize>,
+    rows: Range<usize>,
     value: Tensor,
     sparse: bool,
     /// Pull requests expected per iteration.
@@ -102,6 +113,7 @@ fn serve_span_name(kind: ReqKind) -> &'static str {
         ReqKind::ChiefUpdate => "ps.serve.chief_update",
         ReqKind::UpdateDone => "ps.serve.update_done",
         ReqKind::ReadAgg => "ps.serve.read_agg",
+        ReqKind::FetchShard => "ps.serve.fetch_shard",
     }
 }
 
@@ -120,6 +132,9 @@ pub struct Server {
     wait_hist: parallax_trace::HistogramHandle,
     service_hist: parallax_trace::HistogramHandle,
     requests: parallax_trace::Counter,
+    /// Optional fault injector: consulted at every iteration boundary
+    /// for server-kill and stall faults (the runner installs this).
+    faults: Option<std::sync::Arc<parallax_fault::FaultInjector>>,
 }
 
 impl Server {
@@ -168,7 +183,7 @@ impl Server {
             shards.push(ShardState {
                 var,
                 part,
-                _rows: rows,
+                rows,
                 value,
                 sparse,
                 pulls_expected,
@@ -195,7 +210,14 @@ impl Server {
             wait_hist: parallax_trace::histogram("ps.wait_ns"),
             service_hist: parallax_trace::histogram("ps.service_ns"),
             requests: parallax_trace::counter("ps.requests"),
+            faults: None,
         })
+    }
+
+    /// Installs a fault injector; the server then honours `KillServer`
+    /// and `Stall` actions at iteration boundaries.
+    pub fn set_faults(&mut self, faults: std::sync::Arc<parallax_fault::FaultInjector>) {
+        self.faults = Some(faults);
     }
 
     /// Number of shards this server owns.
@@ -208,15 +230,31 @@ impl Server {
         self.machine
     }
 
-    /// Serves all configured iterations, then returns the final shard
-    /// values as `((var, part), tensor)` pairs.
+    /// Overwrites every shard's value from `store` (restored checkpoint
+    /// state), re-slicing sparse shards by their row ranges exactly as
+    /// [`Server::new`] does from the initializer.
+    pub fn restore_from(&mut self, store: &VarStore) -> Result<()> {
+        for shard in &mut self.shards {
+            let full = store.get(shard.var)?;
+            shard.value = if shard.sparse {
+                full.slice_rows(shard.rows.start, shard.rows.end)?
+            } else {
+                full.clone()
+            };
+        }
+        Ok(())
+    }
+
+    /// Serves all configured iterations (starting from
+    /// `config.start_iteration` when resuming), then returns the final
+    /// shard values as `((var, part), tensor)` pairs.
     pub fn run(mut self) -> Result<Vec<((VarId, usize), Tensor)>> {
         parallax_trace::set_thread_track(
             self.machine as u32,
             self.endpoint.rank() as u32,
             &format!("server(m{})", self.machine),
         );
-        for iter in 0..self.config.iterations as u64 {
+        for iter in self.config.start_iteration as u64..self.config.iterations as u64 {
             parallax_trace::set_thread_iter(iter);
             self.run_iteration(iter)?;
         }
@@ -228,6 +266,21 @@ impl Server {
     }
 
     fn run_iteration(&mut self, iter: u64) -> Result<()> {
+        // Fault hooks, mirroring the worker loop: a stall stretches this
+        // iteration, a kill tears the server down before it serves any
+        // request of step `iter` (its endpoint drop marks it dead so
+        // blocked peers get `PeerDead` instead of hanging).
+        if let Some(faults) = &self.faults {
+            if let Some(d) = faults.stall_for(self.endpoint.rank(), iter) {
+                std::thread::sleep(d);
+            }
+            if faults.kill_server_at(self.machine, iter) {
+                return Err(PsError::Protocol(format!(
+                    "fault injection: server on machine {} killed at step {iter}",
+                    self.machine
+                )));
+            }
+        }
         self.optimizer
             .set_learning_rate(self.config.lr_schedule.at(self.base_lr, iter));
         let sync = self.config.synchronous;
@@ -237,6 +290,10 @@ impl Server {
         } else {
             0
         };
+        // On checkpoint-boundary iterations the chief fetches every
+        // shard's post-update value (one FetchShard per shard).
+        let interval = self.config.checkpoint_interval as u64;
+        let fetch_msgs = usize::from(sync && interval > 0 && (iter + 1).is_multiple_of(interval));
         // Total messages this iteration must consume.
         let mut outstanding: usize = self
             .shards
@@ -248,7 +305,7 @@ impl Server {
                     // Async: every worker pushes individually.
                     self.topo.num_workers()
                 };
-                s.pulls_expected + pushes + chief_msgs + readagg_msgs
+                s.pulls_expected + pushes + chief_msgs + readagg_msgs + fetch_msgs
             })
             .sum();
         for shard in &mut self.shards {
@@ -258,6 +315,8 @@ impl Server {
             shard.applied = false;
             shard.pushes_seen = 0;
         }
+        let mut seen_once: std::collections::HashSet<(usize, u64)> =
+            std::collections::HashSet::new();
         while outstanding > 0 {
             // Queueing time: how long the server sat waiting for the next
             // request (its receive queue was empty that whole time).
@@ -274,6 +333,20 @@ impl Server {
                 return Err(PsError::Protocol(format!(
                     "iteration mismatch: header {hdr_iter}, serving {iter}"
                 )));
+            }
+            // At-most-once guard: every request kind except the pulls has
+            // a legitimate per-sender cardinality of exactly one per
+            // iteration, so a second copy of the same `(sender, header)`
+            // is a duplicated delivery (e.g. an injected `Duplicate`
+            // fault) and is dropped here — consuming it would double-
+            // count a push into the aggregate, silently corrupting the
+            // update. Pulls are exempt: a variable with several gather
+            // nodes legitimately pulls the same shard more than once,
+            // and pull responses are idempotent reads anyway. Spurious
+            // copies do not count against `outstanding`.
+            let once = !matches!(kind, ReqKind::PullDense | ReqKind::PullSparse);
+            if once && !seen_once.insert((from, header)) {
+                continue;
             }
             {
                 // Service time: the span also absorbs the bytes of any
@@ -396,6 +469,26 @@ impl Server {
                 return Err(PsError::Protocol(
                     "UpdateDone is server-to-worker only".into(),
                 ));
+            }
+            ReqKind::FetchShard => {
+                body.into_control()?;
+                if from != self.topo.chief() {
+                    return Err(PsError::Protocol(format!(
+                        "FetchShard from non-chief worker {from}"
+                    )));
+                }
+                let shard = &self.shards[idx];
+                if self.config.synchronous && !shard.applied {
+                    return Err(PsError::Protocol(
+                        "FetchShard before the shard's update applied".into(),
+                    ));
+                }
+                let value = shard.value.clone();
+                self.endpoint.send(
+                    from,
+                    protocol::response_tag(ReqKind::FetchShard, var, part, iter),
+                    Payload::Tensor(Arc::new(value)),
+                )?;
             }
             ReqKind::ReadAgg => {
                 body.into_control()?;

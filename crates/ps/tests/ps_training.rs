@@ -117,6 +117,7 @@ fn distributed_ps(
                 serve_aggregates: false,
                 seed: SEED,
                 lr_schedule: LrSchedule::Constant,
+                ..ServerConfig::default()
             };
             let server = Server::new(
                 graph,
@@ -291,6 +292,7 @@ fn local_aggregation_reduces_network_traffic() {
                     serve_aggregates: false,
                     seed: SEED,
                     lr_schedule: LrSchedule::Constant,
+                    ..ServerConfig::default()
                 };
                 let server = Server::new(
                     &graph,
@@ -399,6 +401,7 @@ fn sparse_ps_traffic_tracks_alpha() {
                     serve_aggregates: false,
                     seed: SEED,
                     lr_schedule: LrSchedule::Constant,
+                    ..ServerConfig::default()
                 },
                 Box::new(Sgd::new(0.1)),
             )

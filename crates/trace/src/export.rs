@@ -488,6 +488,26 @@ pub fn straggler_report(dump: &TraceDump) -> String {
         );
         stat_table(&mut out, &compute);
     }
+    if let Some((_, h)) = dump
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "ps.wait_ns")
+        .filter(|(_, h)| h.count > 0)
+    {
+        let ms = |ns: f64| ns / 1e6;
+        let _ = writeln!(
+            out,
+            "\nps wait (server idle gap per request, power-of-two buckets)"
+        );
+        let _ = writeln!(
+            out,
+            "  n={}, mean {:.3} ms, p50 <= {:.3} ms, p99 <= {:.3} ms",
+            h.count,
+            ms(h.mean()),
+            ms(h.quantile_upper_bound(0.5) as f64),
+            ms(h.quantile_upper_bound(0.99) as f64),
+        );
+    }
     out
 }
 
@@ -908,6 +928,28 @@ mod tests {
         assert_eq!(skew[0].slowest_machine, 1);
         let report = straggler_report(&d);
         assert!(report.contains("compute-skew report"));
+    }
+
+    #[test]
+    fn straggler_report_exports_ps_wait_p99() {
+        let mut d = sample_dump();
+        assert!(!straggler_report(&d).contains("ps wait"));
+        // 9 zero-gap serves and one ~1ms gap: the p99 bound lands at the
+        // top of the 2^20 ns bucket (1.049 ms).
+        let mut buckets = vec![0u64; 21];
+        buckets[0] = 9;
+        buckets[20] = 1;
+        d.histograms.push((
+            "ps.wait_ns".to_string(),
+            crate::HistogramSnapshot {
+                count: 10,
+                sum: 1_000_000,
+                buckets,
+            },
+        ));
+        let report = straggler_report(&d);
+        assert!(report.contains("ps wait"), "{report}");
+        assert!(report.contains("p99 <= 1.049 ms"), "{report}");
     }
 
     #[test]

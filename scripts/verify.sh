@@ -22,4 +22,12 @@ cargo run --release -q -p parallax-bench --bin repro -- check --model nmt
 # minute).
 cargo run --release -q -p parallax-bench --bin repro -- straggler --model lm
 
+# Fault-injection gate (smoke subset of the chaos matrix): one kill, one
+# dropped message, one duplicate, plus the unfaulted baseline — each must
+# recover to a bitwise-identical model without hanging and keep the
+# trace/traffic byte ledgers exactly equal. The full matrix runs via
+# `repro chaos` (no --scenarios).
+cargo run --release -q -p parallax-bench --bin repro -- chaos \
+  --scenarios baseline,worker-kill,drop,duplicate
+
 echo "verify: OK"

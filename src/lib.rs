@@ -16,6 +16,9 @@
 //!   synthetic datasets.
 //! * [`trace`] — the observability subsystem: spans, counters, and
 //!   Chrome-trace/breakdown exporters threaded through the whole stack.
+//! * [`fault`] — deterministic fault injection (kill / drop / delay /
+//!   duplicate / stall plans evaluated inside the transport and the
+//!   runner's worker and server loops).
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,7 @@ pub use parallax_cluster as cluster;
 pub use parallax_comm as comm;
 pub use parallax_core as core;
 pub use parallax_dataflow as dataflow;
+pub use parallax_fault as fault;
 pub use parallax_models as models;
 pub use parallax_ps as ps;
 pub use parallax_tensor as tensor;

@@ -6,9 +6,12 @@
 //! matching straggler scale to the cluster model, and checks the
 //! simulator's compute-skew ratio and mean PS wait predictions against a
 //! second run with the *real* injected slowdown
-//! (`ParallaxConfig::machine_slowdown`). Tolerance bands are the ones
-//! DESIGN.md documents (`parallax_bench::straggler::{RATIO_REL_TOL,
-//! RATIO_ABS_TOL, WAIT_BAND}`).
+//! (`ParallaxConfig::machine_slowdown`). Checked predictions: the
+//! compute-skew ratio, the mean PS wait, and (loosely) the p99 PS wait
+//! — the largest modelled idle gap against the power-of-two histogram's
+//! p99 bucket bound. Tolerance bands are the ones DESIGN.md documents
+//! (`parallax_bench::straggler::{RATIO_REL_TOL, RATIO_ABS_TOL,
+//! WAIT_BAND, P99_BAND}`).
 //!
 //! The tracer is process-global, so every test takes one lock.
 
@@ -41,11 +44,23 @@ fn conformance_matrix(preset: &str) {
         assert!(
             case.ok(),
             "{preset} factor {factor}: prediction outside bands \
-             (ratio {:.3} vs {:.3}, wait {:.6}s vs {:.6}s)",
+             (ratio {:.3} vs {:.3}, wait {:.6}s vs {:.6}s, \
+             p99 {:.6}s vs {:.6}s)",
             case.predicted_ratio,
             case.measured_ratio,
             case.predicted_wait_s,
             case.measured_wait_s,
+            case.predicted_p99_s,
+            case.measured_p99_s,
+        );
+        // The p99 band is checked inside `case.ok()`; assert it
+        // separately too so a tail-only regression names itself.
+        assert!(
+            case.p99_ok(),
+            "{preset} factor {factor}: p99 wait outside band \
+             ({:.6}s predicted vs {:.6}s measured bound)",
+            case.predicted_p99_s,
+            case.measured_p99_s,
         );
         // No bytes may escape transport classification when delays are
         // injected: the straggler knob changes timing, never routing.
@@ -97,11 +112,14 @@ fn three_machine_topology_conforms() {
         assert!(
             case.ok(),
             "3-machine factor {factor}: prediction outside bands \
-             (ratio {:.3} vs {:.3}, wait {:.6}s vs {:.6}s)",
+             (ratio {:.3} vs {:.3}, wait {:.6}s vs {:.6}s, \
+             p99 {:.6}s vs {:.6}s)",
             case.predicted_ratio,
             case.measured_ratio,
             case.predicted_wait_s,
             case.measured_wait_s,
+            case.predicted_p99_s,
+            case.measured_p99_s,
         );
     }
 }

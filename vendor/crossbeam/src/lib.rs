@@ -59,6 +59,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
     impl<T> Sender<T> {
         /// Enqueues a message, waking one waiting receiver.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
@@ -90,6 +99,35 @@ pub mod channel {
                     .ready
                     .wait(state)
                     .expect("channel poisoned");
+            }
+        }
+
+        /// Dequeues the next message, blocking at most `timeout` while
+        /// the channel is empty and at least one sender remains.
+        pub fn recv_timeout(
+            &self,
+            timeout: std::time::Duration,
+        ) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _result) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, remaining)
+                    .expect("channel poisoned");
+                state = guard;
             }
         }
     }
@@ -161,13 +199,26 @@ pub mod channel {
         }
     }
 
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
     impl<T> std::error::Error for SendError<T> {}
     impl std::error::Error for RecvError {}
+    impl std::error::Error for RecvTimeoutError {}
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::unbounded;
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
 
     #[test]
     fn roundtrip_fifo() {
@@ -190,6 +241,46 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_empty_channel() {
+        let (tx, rx) = unbounded::<u8>();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        drop(tx);
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_message_immediately() {
+        let (tx, rx) = unbounded();
+        tx.send(7u8).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(7));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(42u8).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
