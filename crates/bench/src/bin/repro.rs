@@ -7,6 +7,7 @@
 //! repro trace-overhead
 //! repro straggler [--model lm|nmt] [--iters N] [--factors 1,2,3]
 //! repro chaos [--scenarios name,name,...]
+//! repro compress
 //! ```
 //!
 //! `check` runs the static plan verifier (graph passes, distributed-plan
@@ -36,6 +37,12 @@
 //! if any scenario hangs, fails to recover, diverges from the unfaulted
 //! reference, or breaks the exact trace/traffic byte crosscheck.
 //! Excluded from `all` (a gate, like `check`).
+//!
+//! `compress` measures the wire codecs (f16/bf16 dense payloads,
+//! delta+varint sparse indices) on executed runs and the fused LSTM
+//! cell against its unfused composition, writes
+//! `BENCH_compression.json`, and exits nonzero if any compression or
+//! equality gate fails. Excluded from `all` (a gate, like `check`).
 
 use parallax_bench::experiments::{self, Framework};
 use parallax_bench::report::{fmt_speedup, fmt_throughput, render_table};
@@ -60,6 +67,7 @@ const KNOWN: &[&str] = &[
     "trace-overhead",
     "straggler",
     "chaos",
+    "compress",
 ];
 
 fn main() {
@@ -149,6 +157,20 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("repro straggler: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if which == "compress" {
+        match parallax_bench::compress::run("BENCH_compression.json") {
+            Ok((report, ok)) => {
+                print!("{report}");
+                if !ok {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("repro compress: {e}");
                 std::process::exit(1);
             }
         }

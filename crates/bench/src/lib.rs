@@ -12,6 +12,7 @@
 
 pub mod chaos;
 pub mod check;
+pub mod compress;
 pub mod experiments;
 pub mod kernels;
 pub mod report;

@@ -52,6 +52,21 @@ pub const WAIT_BAND: (f64, f64) = (0.2, 5.0);
 /// collapsing toward zero; the tighter high edge catches a model that
 /// invents queueing the server never saw.
 pub const P99_BAND: (f64, f64) = (0.02, 8.0);
+/// The predicted mean exchange-phase time (barrier skew from the
+/// calibrated compute model plus exposed communication) must fall within
+/// this multiplicative band of the measured mean `phase.exchange` span.
+/// Wide, because the measured span mixes genuine barrier wait with
+/// in-process channel hops the hardware model prices as paper-testbed
+/// network transfers; the band still catches a sim whose straggler
+/// barrier-wait prediction is off by an order of magnitude.
+pub const EXCHANGE_BAND: (f64, f64) = (0.1, 10.0);
+/// The predicted per-iteration optimizer-apply time (carried over from
+/// the homogeneous calibration — apply work depends on gradient sizes,
+/// not compute skew) must fall within this multiplicative band of the
+/// measured `ps.apply` span total. Catches both a straggler run whose
+/// apply cost silently balloons (e.g. a sharding regression) and a
+/// calibration that stops seeing apply spans.
+pub const APPLY_BAND: (f64, f64) = (0.2, 5.0);
 
 /// One traced execution: the run report plus its frozen trace.
 pub struct TracedRun {
@@ -73,6 +88,12 @@ pub struct Measured {
     /// p99 upper bound of the idle gap, seconds, from the power-of-two
     /// `ps.wait_ns` histogram buckets.
     pub p99_wait_s: f64,
+    /// Mean `phase.exchange` span duration, seconds (barrier wait plus
+    /// gradient exchange, per worker lane per iteration).
+    pub exchange_s: f64,
+    /// Total `ps.apply` span seconds per iteration, summed across
+    /// servers.
+    pub apply_s: f64,
     /// Matched push->serve flow pairs in the trace.
     pub flow_pairs: usize,
 }
@@ -161,10 +182,38 @@ pub fn measure(run: &TracedRun) -> Result<Measured, String> {
         .filter(|(_, h)| h.count > 0)
         .map(|(_, h)| (h.mean() / 1e9, h.quantile_upper_bound(0.99) as f64 / 1e9))
         .ok_or("trace has no ps.wait_ns samples")?;
+    // Per-phase figures: every worker lane emits one `phase.exchange`
+    // span per iteration, so the span count per lane recovers the
+    // iteration count for normalizing the `ps.apply` total.
+    let mut exchange_ns = 0.0f64;
+    let mut exchange_count = 0usize;
+    let mut lane_spans: std::collections::BTreeMap<(u32, u32), usize> =
+        std::collections::BTreeMap::new();
+    let mut apply_ns = 0.0f64;
+    for r in &run.dump.records {
+        match r.name {
+            "phase.exchange" => {
+                exchange_ns += r.dur_ns as f64;
+                exchange_count += 1;
+                *lane_spans.entry((r.machine, r.lane)).or_default() += 1;
+            }
+            "ps.apply" => apply_ns += r.dur_ns as f64,
+            _ => {}
+        }
+    }
+    let iters = lane_spans.values().copied().max().unwrap_or(1).max(1);
+    let exchange_s = if exchange_count > 0 {
+        exchange_ns / exchange_count as f64 / 1e9
+    } else {
+        0.0
+    };
+    let apply_s = apply_ns / iters as f64 / 1e9;
     Ok(Measured {
         skew_ratio,
         mean_wait_s,
         p99_wait_s,
+        exchange_s,
+        apply_s,
         flow_pairs,
     })
 }
@@ -187,6 +236,17 @@ pub struct ConformanceCase {
     pub predicted_p99_s: f64,
     /// Measured p99 PS wait bucket upper bound, seconds.
     pub measured_p99_s: f64,
+    /// Predicted mean exchange-phase time, seconds: barrier skew from
+    /// the calibrated compute model plus exposed communication.
+    pub predicted_exchange_s: f64,
+    /// Measured mean `phase.exchange` span duration, seconds.
+    pub measured_exchange_s: f64,
+    /// Predicted per-iteration optimizer-apply time, seconds (the
+    /// homogeneous calibration's `ps.apply` total, carried over
+    /// unchanged — apply work is independent of compute skew).
+    pub predicted_apply_s: f64,
+    /// Measured per-iteration `ps.apply` span total, seconds.
+    pub measured_apply_s: f64,
 }
 
 impl ConformanceCase {
@@ -217,9 +277,30 @@ impl ConformanceCase {
         q >= P99_BAND.0 && q <= P99_BAND.1
     }
 
-    /// All three bands hold.
+    /// Whether the exchange-phase prediction is inside the
+    /// multiplicative [`EXCHANGE_BAND`] of the measured mean
+    /// `phase.exchange` span.
+    pub fn exchange_ok(&self) -> bool {
+        if self.measured_exchange_s <= 0.0 {
+            return true;
+        }
+        let q = self.predicted_exchange_s / self.measured_exchange_s;
+        q >= EXCHANGE_BAND.0 && q <= EXCHANGE_BAND.1
+    }
+
+    /// Whether the apply prediction is inside the multiplicative
+    /// [`APPLY_BAND`] of the measured per-iteration `ps.apply` total.
+    pub fn apply_ok(&self) -> bool {
+        if self.measured_apply_s <= 0.0 {
+            return true;
+        }
+        let q = self.predicted_apply_s / self.measured_apply_s;
+        q >= APPLY_BAND.0 && q <= APPLY_BAND.1
+    }
+
+    /// All five bands hold.
     pub fn ok(&self) -> bool {
-        self.ratio_ok() && self.wait_ok() && self.p99_ok()
+        self.ratio_ok() && self.wait_ok() && self.p99_ok() && self.exchange_ok() && self.apply_ok()
     }
 }
 
@@ -246,6 +327,31 @@ pub fn conformance_case(
     let predicted_p99_s = sim
         .predicted_p99_ps_wait()
         .ok_or("calibrated sim has no queue model")?;
+    // Exchange phase = waiting at the synchronous barrier for the
+    // slowest machine's compute, plus the machine's own exposed
+    // communication time; average across machines to match the measured
+    // mean span.
+    let scaled = sim.scaled_compute();
+    let max_compute = scaled.iter().copied().fold(0.0, f64::max);
+    let exposed = 1.0 - sim.model.comm_overlap;
+    let predicted_exchange_s = if scaled.is_empty() {
+        0.0
+    } else {
+        scaled
+            .iter()
+            .enumerate()
+            .map(|(m, &c)| {
+                let comm: f64 = sim
+                    .phases
+                    .iter()
+                    .map(|p| p.machine_time(&sim.model, m))
+                    .sum();
+                (max_compute - c) + comm * exposed
+            })
+            .sum::<f64>()
+            / scaled.len() as f64
+    };
+    let predicted_apply_s = cal.apply_per_iter.iter().sum();
     let straggler = if factor == 1.0 {
         None
     } else {
@@ -260,6 +366,10 @@ pub fn conformance_case(
         measured_wait_s: measured.mean_wait_s,
         predicted_p99_s,
         measured_p99_s: measured.p99_wait_s,
+        predicted_exchange_s,
+        measured_exchange_s: measured.exchange_s,
+        predicted_apply_s,
+        measured_apply_s: measured.apply_s,
     };
     Ok((
         case,
@@ -299,8 +409,16 @@ pub fn run(preset: &str, factors: &[f64], iters: usize) -> Result<(String, bool)
     let _ = writeln!(
         out,
         "bands: |ratio err| <= {RATIO_REL_TOL}*measured + {RATIO_ABS_TOL}; \
-         wait pred/meas in [{:.2}, {:.2}]; p99 pred/meas in [{:.2}, {:.2}]",
-        WAIT_BAND.0, WAIT_BAND.1, P99_BAND.0, P99_BAND.1
+         wait pred/meas in [{:.2}, {:.2}]; p99 pred/meas in [{:.2}, {:.2}]; \
+         exchange pred/meas in [{:.2}, {:.2}]; apply pred/meas in [{:.2}, {:.2}]",
+        WAIT_BAND.0,
+        WAIT_BAND.1,
+        P99_BAND.0,
+        P99_BAND.1,
+        EXCHANGE_BAND.0,
+        EXCHANGE_BAND.1,
+        APPLY_BAND.0,
+        APPLY_BAND.1
     );
     let _ = writeln!(
         out,
@@ -334,6 +452,17 @@ pub fn run(preset: &str, factors: &[f64], iters: usize) -> Result<(String, bool)
             case.measured_p99_s * 1e3,
             if case.p99_ok() { "ok" } else { "FAIL" },
         );
+        let _ = writeln!(
+            out,
+            "        phases: exchange pred {:.3} ms meas {:.3} ms [{}] | \
+             apply pred {:.3} ms meas {:.3} ms [{}]",
+            case.predicted_exchange_s * 1e3,
+            case.measured_exchange_s * 1e3,
+            if case.exchange_ok() { "ok" } else { "FAIL" },
+            case.predicted_apply_s * 1e3,
+            case.measured_apply_s * 1e3,
+            if case.apply_ok() { "ok" } else { "FAIL" },
+        );
     }
     let _ = writeln!(out, "conformance: {}", if all_ok { "PASS" } else { "FAIL" });
     Ok((out, all_ok))
@@ -353,6 +482,10 @@ mod tests {
             measured_wait_s: 2e-3,
             predicted_p99_s: 5e-3,
             measured_p99_s: 4e-3,
+            predicted_exchange_s: 8e-3,
+            measured_exchange_s: 6e-3,
+            predicted_apply_s: 4e-4,
+            measured_apply_s: 5e-4,
         };
         assert!(good.ok());
         let bad_ratio = ConformanceCase {
@@ -371,6 +504,18 @@ mod tests {
         };
         assert!(!bad_p99.p99_ok());
         assert!(!bad_p99.ok());
+        let bad_exchange = ConformanceCase {
+            predicted_exchange_s: 1.0,
+            ..good
+        };
+        assert!(!bad_exchange.exchange_ok());
+        assert!(!bad_exchange.ok());
+        let bad_apply = ConformanceCase {
+            predicted_apply_s: 1e-1,
+            ..good
+        };
+        assert!(!bad_apply.apply_ok());
+        assert!(!bad_apply.ok());
         // Unmeasurable wait never fails the band.
         let no_wait = ConformanceCase {
             measured_wait_s: 0.0,
@@ -382,6 +527,16 @@ mod tests {
             ..good
         };
         assert!(no_p99.p99_ok());
+        let no_exchange = ConformanceCase {
+            measured_exchange_s: 0.0,
+            ..good
+        };
+        assert!(no_exchange.exchange_ok());
+        let no_apply = ConformanceCase {
+            measured_apply_s: 0.0,
+            ..good
+        };
+        assert!(no_apply.apply_ok());
     }
 
     #[test]

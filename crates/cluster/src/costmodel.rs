@@ -98,6 +98,11 @@ pub struct CalibrationProfile {
     /// Per-machine server busy time (sum of `ps.serve.*` span durations)
     /// per iteration.
     pub server_busy_per_iter: Vec<f64>,
+    /// Per-machine optimizer-apply time (sum of `ps.apply` span
+    /// durations, a subset of the serve busy time) per iteration. Apply
+    /// work depends only on gradient sizes, not on compute skew, so a
+    /// calibrated straggler prediction carries it over unchanged.
+    pub apply_per_iter: Vec<f64>,
     /// Per-machine *early* PS requests per iteration (pulls and control
     /// traffic, issued while workers compute).
     pub early_requests_per_iter: Vec<f64>,
@@ -130,6 +135,7 @@ impl CalibrationProfile {
         // Busiest-lane compute phase time per machine.
         let mut lane_busy: BTreeMap<(u32, u32), u64> = BTreeMap::new();
         let mut server_busy = vec![0.0f64; machines];
+        let mut apply_busy = vec![0.0f64; machines];
         let mut early = vec![0.0f64; machines];
         let mut late = vec![0.0f64; machines];
         let mut serve_count = vec![0.0f64; machines];
@@ -155,6 +161,9 @@ impl CalibrationProfile {
                         early[m] += 1.0;
                     }
                 }
+                SpanCat::Ps if r.name == "ps.apply" && m < machines => {
+                    apply_busy[m] += secs(r.dur_ns as f64);
+                }
                 SpanCat::Ps if r.name == "ps.wait" => {
                     wait_sum_ns += r.dur_ns as f64;
                     wait_count += 1.0;
@@ -173,6 +182,9 @@ impl CalibrationProfile {
             }
         }
         for b in &mut server_busy {
+            *b /= iters;
+        }
+        for b in &mut apply_busy {
             *b /= iters;
         }
         let service_mean: Vec<f64> = server_busy
@@ -214,6 +226,7 @@ impl CalibrationProfile {
             iterations: iterations.max(1),
             compute_per_iter: compute,
             server_busy_per_iter: server_busy,
+            apply_per_iter: apply_busy,
             early_requests_per_iter: early,
             late_requests_per_iter: late,
             service_mean_s: service_mean,

@@ -16,6 +16,7 @@ use parallax_tensor::{IndexedSlices, Tensor};
 use parallax_trace::{span, SpanCat};
 
 use crate::transport::{unwrap_shared, Endpoint, Payload};
+use crate::wire::{PackedSlices, WireFormat};
 use crate::{CommError, Result};
 
 /// Position of this endpoint within the participant list.
@@ -124,6 +125,95 @@ pub fn ring_allreduce_tensor(
     ring_allreduce(ep, ranks, tag, tensor.data_mut())
 }
 
+/// Ring AllReduce with a selectable [`WireFormat`]: chunks travel as
+/// 16-bit wire words under f16/bf16, halving dense exchange bytes.
+///
+/// Accumulation stays in f32 on every hop (decode → add local f32 →
+/// re-encode), so the reduction order is the fixed ring order and the
+/// result is deterministic. The reduced chunk is encoded *once* by its
+/// ring owner; the owner keeps the decode of that exact encoding and
+/// forwards the same words verbatim around the allgather ring, so every
+/// rank decodes identical bytes and all replicas stay bitwise
+/// identical — the invariant the distributed-runner tests assert.
+pub fn ring_allreduce_wire(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    data: &mut [f32],
+    wire: WireFormat,
+) -> Result<()> {
+    if !wire.compresses() {
+        return ring_allreduce(ep, ranks, tag, data);
+    }
+    let _span = span(SpanCat::Collective, "allreduce");
+    let pos = position(ep, ranks)?;
+    let n = ranks.len();
+    if n == 1 {
+        // Nothing crosses the wire, so nothing is quantized.
+        return Ok(());
+    }
+    let next = ranks[(pos + 1) % n];
+    let prev = ranks[(pos + n - 1) % n];
+    let len = data.len();
+
+    // Same rotation as `ring_allreduce`; the travelling chunk is held
+    // in f32 between hops and encoded only at the send boundary.
+    let mut send_f32 = data[chunk_range(len, n, pos)].to_vec();
+    for step in 0..n - 1 {
+        let _step = span(SpanCat::Collective, "allreduce.reduce_scatter");
+        let recv_idx = (pos + n - step - 1) % n;
+        ep.send(
+            next,
+            tag,
+            Payload::Words(Arc::new(wire.encode_vec(&send_f32))),
+        )?;
+        let incoming = ep.recv(prev, tag)?.into_shared_words()?;
+        let recv_range = chunk_range(len, n, recv_idx);
+        if incoming.len() != recv_range.len() {
+            return Err(CommError::LengthMismatch {
+                expected: recv_range.len(),
+                actual: incoming.len(),
+            });
+        }
+        let mut acc = wire.decode_vec(&incoming);
+        for (x, d) in acc.iter_mut().zip(&data[recv_range]) {
+            *x += *d;
+        }
+        send_f32 = acc;
+    }
+    // The owner encodes the fully reduced chunk once; both its own copy
+    // and every forwarded copy decode those same words.
+    let mut send_words = Arc::new(wire.encode_vec(&send_f32));
+    wire.decode_into(&send_words, &mut data[chunk_range(len, n, (pos + 1) % n)]);
+    for step in 0..n - 1 {
+        let _step = span(SpanCat::Collective, "allreduce.allgather");
+        let recv_idx = (pos + n - step) % n;
+        ep.send(next, tag, Payload::Words(Arc::clone(&send_words)))?;
+        let incoming = ep.recv(prev, tag)?.into_shared_words()?;
+        let recv_range = chunk_range(len, n, recv_idx);
+        if incoming.len() != recv_range.len() {
+            return Err(CommError::LengthMismatch {
+                expected: recv_range.len(),
+                actual: incoming.len(),
+            });
+        }
+        wire.decode_into(&incoming, &mut data[recv_range]);
+        send_words = incoming;
+    }
+    Ok(())
+}
+
+/// [`ring_allreduce_wire`] over a tensor's buffer.
+pub fn ring_allreduce_tensor_wire(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    tensor: &mut Tensor,
+    wire: WireFormat,
+) -> Result<()> {
+    ring_allreduce_wire(ep, ranks, tag, tensor.data_mut(), wire)
+}
+
 /// Ring AllGatherv: every participant contributes a variable-length float
 /// buffer; everyone receives all contributions, ordered by group position.
 ///
@@ -194,6 +284,59 @@ pub fn allgatherv_slices(
     let shared: Vec<Arc<IndexedSlices>> =
         parts.into_iter().map(|p| p.expect("all filled")).collect();
     IndexedSlices::concat(&shared).map_err(|_| CommError::LengthMismatch {
+        expected: 0,
+        actual: 0,
+    })
+}
+
+/// [`allgatherv_slices`] with a selectable [`WireFormat`]: under
+/// f16/bf16 the slice *indices* travel as zigzag-delta varints
+/// ([`PackedSlices`]) while values stay f32, so the exchange is
+/// lossless and the result is bitwise identical to the raw format.
+/// Each contribution is packed once at its source and forwarded by
+/// reference count, exactly like the raw path.
+pub fn allgatherv_slices_wire(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    local: IndexedSlices,
+    wire: WireFormat,
+) -> Result<IndexedSlices> {
+    if !wire.compresses() {
+        return allgatherv_slices(ep, ranks, tag, local);
+    }
+    let _span = span(SpanCat::Collective, "allgatherv_slices");
+    let pos = position(ep, ranks)?;
+    let n = ranks.len();
+    if n == 1 {
+        return Ok(local);
+    }
+    let mut parts: Vec<Option<Arc<PackedSlices>>> = vec![None; n];
+    parts[pos] = Some(Arc::new(PackedSlices::pack(&local)));
+    let next = ranks[(pos + 1) % n];
+    let prev = ranks[(pos + n - 1) % n];
+    for step in 0..n - 1 {
+        let _step = span(SpanCat::Collective, "allgatherv_slices.step");
+        let send_idx = (pos + n - step) % n;
+        let recv_idx = (pos + n - step - 1) % n;
+        let outgoing = Arc::clone(parts[send_idx].as_ref().expect("forwarding a filled slot"));
+        ep.send(next, tag, Payload::Packed(outgoing))?;
+        parts[recv_idx] = Some(ep.recv(prev, tag)?.into_shared_packed()?);
+    }
+    let unpacked: Vec<IndexedSlices> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if i == pos {
+                // Own contribution needs no decode roundtrip (the codec
+                // is lossless anyway; this just skips the work).
+                local.clone()
+            } else {
+                p.expect("all filled").unpack()
+            }
+        })
+        .collect();
+    IndexedSlices::concat(&unpacked).map_err(|_| CommError::LengthMismatch {
         expected: 0,
         actual: 0,
     })
@@ -482,6 +625,110 @@ mod tests {
         let topo = Topology::uniform(2, 3).unwrap();
         let (results, _) = run_all(topo, |ep, ranks| barrier(ep, ranks, 7).is_ok());
         assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn wire_allreduce_replicas_bitwise_identical() {
+        // Compression is lossy, but every replica must still end with
+        // the *same* bits: the ring owner encodes each reduced chunk
+        // once and everyone (owner included) decodes those exact words.
+        for wire in [WireFormat::F16, WireFormat::Bf16] {
+            for (gpus, len) in [
+                (vec![1, 1, 1, 1], 10usize),
+                (vec![2, 1], 7),
+                (vec![2, 2, 1], 13),
+            ] {
+                let topo = Topology::new(gpus).unwrap();
+                let (results, _) = run_all(topo.clone(), |ep, ranks| {
+                    let mut data: Vec<f32> = (0..len)
+                        .map(|i| (ep.rank() as f32 + 1.0) * 0.1 + i as f32 * 0.01)
+                        .collect();
+                    ring_allreduce_wire(ep, ranks, 1, &mut data, wire).unwrap();
+                    data
+                });
+                for r in &results[1..] {
+                    assert_eq!(r, &results[0], "replicas diverged under {wire:?}");
+                }
+                // The quantized sum stays close to the exact one.
+                let n = results.len() as f32;
+                for (i, &v) in results[0].iter().enumerate() {
+                    let exact: f32 = (0..results.len())
+                        .map(|r| (r as f32 + 1.0) * 0.1 + i as f32 * 0.01)
+                        .sum();
+                    assert!(
+                        (v - exact).abs() <= exact.abs() * 0.02 + 1e-3,
+                        "n={n} {v} vs {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wire_allreduce_exact_on_representable_values() {
+        // Small integers survive f16/bf16 exactly, so the compressed
+        // reduction must equal the raw one bit for bit.
+        for wire in [WireFormat::F16, WireFormat::Bf16] {
+            let topo = Topology::uniform(4, 1).unwrap();
+            let n = 4;
+            let len = 9;
+            let (results, _) = run_all(topo, |ep, ranks| {
+                let mut data: Vec<f32> = (0..len).map(|i| (ep.rank() + i) as f32).collect();
+                ring_allreduce_wire(ep, ranks, 1, &mut data, wire).unwrap();
+                data
+            });
+            let expected: Vec<f32> = (0..len)
+                .map(|i| (0..n).map(|r| (r + i) as f32).sum())
+                .collect();
+            for r in &results {
+                assert_eq!(r, &expected);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_allreduce_halves_network_bytes() {
+        let n = 4usize;
+        let len = 8usize;
+        let topo = Topology::uniform(n, 1).unwrap();
+        let (_, traffic) = run_all(topo, |ep, ranks| {
+            let mut data = vec![1.0f32; len];
+            ring_allreduce_wire(ep, ranks, 1, &mut data, WireFormat::F16).unwrap();
+        });
+        // Same hop schedule as raw, 2 bytes per scalar instead of 4.
+        let per_machine_out = 2 * (n as u64 - 1) * (len as u64 / n as u64) * 2;
+        for m in 0..n {
+            assert_eq!(traffic.out_bytes[m], per_machine_out);
+        }
+    }
+
+    #[test]
+    fn wire_allgatherv_slices_lossless_and_smaller() {
+        use parallax_tensor::Tensor;
+        let topo = Topology::uniform(3, 1).unwrap();
+        let tag = 3u64;
+        let build = |r: usize| {
+            IndexedSlices::new(
+                vec![r, r + 2, r + 2],
+                Tensor::full([3, 2], r as f32 + 0.25),
+                32,
+            )
+            .unwrap()
+        };
+        let (raw, raw_traffic) = run_all(topo.clone(), |ep, ranks| {
+            allgatherv_slices(ep, ranks, tag, build(ep.rank())).unwrap()
+        });
+        let (packed, packed_traffic) = run_all(topo, |ep, ranks| {
+            allgatherv_slices_wire(ep, ranks, tag, build(ep.rank()), WireFormat::F16).unwrap()
+        });
+        // Index packing is lossless: identical result, fewer bytes.
+        assert_eq!(raw, packed);
+        assert!(
+            packed_traffic.total_network_bytes() < raw_traffic.total_network_bytes(),
+            "packed {} >= raw {}",
+            packed_traffic.total_network_bytes(),
+            raw_traffic.total_network_bytes()
+        );
     }
 
     #[test]

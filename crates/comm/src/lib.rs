@@ -20,12 +20,14 @@ pub mod predict;
 pub mod topology;
 pub mod traffic;
 pub mod transport;
+pub mod wire;
 
 pub use error::CommError;
 pub use predict::StaticLedger;
 pub use topology::{Topology, WorkerId};
 pub use traffic::{TrafficClass, TrafficSnapshot, TrafficStats};
 pub use transport::{Endpoint, Payload, PeerHealth, Router, DEFAULT_RECV_DEADLINE};
+pub use wire::{PackedSlices, WireFormat};
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, CommError>;

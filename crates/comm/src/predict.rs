@@ -22,6 +22,7 @@ use std::sync::Arc;
 use crate::collectives::chunk_range;
 use crate::topology::Topology;
 use crate::traffic::{TrafficClass, TrafficSnapshot, TrafficStats};
+use crate::wire::WireFormat;
 use crate::Result;
 
 /// A traffic ledger fed by static replay instead of live sends.
@@ -83,10 +84,24 @@ pub fn replay_ring_allreduce(
     tag: u64,
     elems: usize,
 ) -> Result<()> {
+    replay_ring_allreduce_wire(ledger, ranks, tag, elems, WireFormat::F32)
+}
+
+/// [`replay_ring_allreduce`] under a [`WireFormat`]: identical hop
+/// schedule, `wire.scalar_bytes()` per element instead of 4 — the
+/// exact sizes `collectives::ring_allreduce_wire` puts on the wire.
+pub fn replay_ring_allreduce_wire(
+    ledger: &StaticLedger,
+    ranks: &[usize],
+    tag: u64,
+    elems: usize,
+    wire: WireFormat,
+) -> Result<()> {
     let n = ranks.len();
     if n <= 1 {
         return Ok(());
     }
+    let ws = wire.scalar_bytes();
     for (pos, &src) in ranks.iter().enumerate() {
         let dst = ranks[(pos + 1) % n];
         // Reduce-scatter step s sends chunk (pos - s) mod n; allgather
@@ -94,11 +109,11 @@ pub fn replay_ring_allreduce(
         // `collectives::ring_allreduce` performs.
         for step in 0..n - 1 {
             let chunk = chunk_range(elems, n, (pos + n - step) % n).len();
-            ledger.charge(src, dst, tag, 4 * chunk as u64)?;
+            ledger.charge(src, dst, tag, ws * chunk as u64)?;
         }
         for step in 0..n - 1 {
             let chunk = chunk_range(elems, n, (pos + 1 + n - step) % n).len();
-            ledger.charge(src, dst, tag, 4 * chunk as u64)?;
+            ledger.charge(src, dst, tag, ws * chunk as u64)?;
         }
     }
     Ok(())
@@ -228,6 +243,72 @@ mod tests {
                 "gpus={:?} len={len}",
                 topo.gpus_per_machine()
             );
+        }
+    }
+
+    #[test]
+    fn wire_ring_allreduce_replay_matches_execution_exactly() {
+        use crate::collectives::ring_allreduce_wire;
+        for wire in [WireFormat::F32, WireFormat::F16, WireFormat::Bf16] {
+            for (gpus, len) in [
+                (vec![1, 1, 1, 1], 8usize),
+                (vec![2, 1], 10),
+                (vec![2, 2, 1], 13),
+            ] {
+                let topo = Topology::new(gpus).unwrap();
+                let tag = 0x1000_0000_0000_0000u64;
+                let measured = run_all(topo.clone(), |ep, ranks| {
+                    let mut data = vec![1.0f32; len];
+                    ring_allreduce_wire(ep, ranks, tag, &mut data, wire).unwrap();
+                });
+                let ledger = StaticLedger::new(topo.clone());
+                let ranks: Vec<usize> = (0..topo.num_workers()).collect();
+                replay_ring_allreduce_wire(&ledger, &ranks, tag, len, wire).unwrap();
+                assert_eq!(
+                    ledger.class_snapshot(TrafficClass::Nccl),
+                    measured.class_snapshot(TrafficClass::Nccl),
+                    "wire={wire:?} gpus={:?} len={len}",
+                    topo.gpus_per_machine()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wire_allgatherv_slices_replay_matches_execution_exactly() {
+        use crate::collectives::allgatherv_slices_wire;
+        use crate::wire::slices_wire_bytes;
+        for wire in [WireFormat::F32, WireFormat::F16] {
+            for gpus in [vec![1, 1, 1], vec![2, 2]] {
+                let topo = Topology::new(gpus).unwrap();
+                let tag = 0x3000_0000_0000_0000u64;
+                let cols = 3usize;
+                let nnz = |rank: usize| rank + 1;
+                let build = |r: usize| {
+                    IndexedSlices::new(
+                        (0..nnz(r)).map(|i| i * 50).collect(),
+                        Tensor::full([nnz(r), cols], r as f32),
+                        1000,
+                    )
+                    .unwrap()
+                };
+                let measured = run_all(topo.clone(), |ep, ranks| {
+                    allgatherv_slices_wire(ep, ranks, tag, build(ep.rank()), wire).unwrap();
+                });
+                let ledger = StaticLedger::new(topo.clone());
+                let ranks: Vec<usize> = (0..topo.num_workers()).collect();
+                let contrib: Vec<u64> = ranks
+                    .iter()
+                    .map(|&r| slices_wire_bytes(&build(r), wire))
+                    .collect();
+                replay_allgatherv(&ledger, &ranks, tag, &contrib).unwrap();
+                assert_eq!(
+                    ledger.class_snapshot(TrafficClass::Mpi),
+                    measured.class_snapshot(TrafficClass::Mpi),
+                    "wire={wire:?} gpus={:?}",
+                    topo.gpus_per_machine()
+                );
+            }
         }
     }
 

@@ -88,6 +88,12 @@ pub enum Payload {
     Slices(Arc<IndexedSlices>),
     /// A raw float buffer (collective chunks).
     Floats(Arc<Vec<f32>>),
+    /// A compressed scalar buffer: f16/bf16 wire words of a collective
+    /// chunk ([`crate::wire::WireFormat`]).
+    Words(Arc<Vec<u16>>),
+    /// A sparse slice set with varint-packed indices
+    /// ([`crate::wire::PackedSlices`]).
+    Packed(Arc<crate::wire::PackedSlices>),
     /// An index list (sparse pull requests).
     Ids(Vec<usize>),
     /// A small control message (barrier tokens, chief notifications).
@@ -110,6 +116,8 @@ impl Payload {
             Payload::Tensor(t) => t.byte_size(),
             Payload::Slices(s) => s.byte_size(),
             Payload::Floats(f) => (f.len() * 4) as u64,
+            Payload::Words(w) => (w.len() * 2) as u64,
+            Payload::Packed(p) => p.byte_size(),
             Payload::Ids(ids) => (ids.len() * 8) as u64,
             Payload::Control(_) => 8,
             Payload::Packet { body, .. } => 8 + body.byte_size(),
@@ -147,6 +155,22 @@ impl Payload {
         match self {
             Payload::Floats(f) => Ok(f),
             _ => Err(CommError::PayloadKind { expected: "floats" }),
+        }
+    }
+
+    /// Unwraps a compressed scalar buffer without copying.
+    pub fn into_shared_words(self) -> Result<Arc<Vec<u16>>> {
+        match self {
+            Payload::Words(w) => Ok(w),
+            _ => Err(CommError::PayloadKind { expected: "words" }),
+        }
+    }
+
+    /// Unwraps a packed slice set without copying.
+    pub fn into_shared_packed(self) -> Result<Arc<crate::wire::PackedSlices>> {
+        match self {
+            Payload::Packed(p) => Ok(p),
+            _ => Err(CommError::PayloadKind { expected: "packed" }),
         }
     }
 
@@ -689,6 +713,15 @@ mod tests {
         assert_eq!(
             Payload::Tensor(Arc::new(Tensor::zeros([4]))).byte_size(),
             16
+        );
+        // Compressed payloads report their *encoded* size, which is what
+        // keeps the measured ledger equal to the wire-aware prediction.
+        assert_eq!(Payload::Words(Arc::new(vec![0u16; 10])).byte_size(), 20);
+        let slices = IndexedSlices::new(vec![1, 2], Tensor::zeros([2, 3]), 8).unwrap();
+        let packed = crate::wire::PackedSlices::pack(&slices);
+        assert_eq!(
+            Payload::Packed(Arc::new(packed)).byte_size(),
+            crate::wire::packed_byte_size(&slices)
         );
     }
 

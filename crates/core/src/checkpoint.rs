@@ -6,15 +6,19 @@
 //! (step counter, data-shard cursors) the runner needs to resume after a
 //! failure.
 //!
-//! Format v2 (`PLXCKPT2`): magic, CRC32 (IEEE, little-endian, over the
+//! Format v3 (`PLXCKPT3`): magic, CRC32 (IEEE, little-endian, over the
 //! entire payload that follows), then the payload — step `u64`, cursor
-//! count `u64`, cursors (`u64` each), variable count `u64`, and per
-//! variable its name, shape and little-endian `f32` data. Format v1
-//! (`PLXCKPT1`) lacked the CRC and training state; [`load`] /
-//! [`load_with_state`] still read it (with a default state). Saves are
-//! atomic: written to a temp file in the same directory, then renamed.
+//! count `u64`, cursors (`u64` each), variable count `u64`, per
+//! variable its name, shape and little-endian `f32` data, then an
+//! optimizer-slot section: entry count `u64` and per entry the variable
+//! name, slot name (e.g. `velocity`, `accum`), shape and `f32` data.
+//! Format v2 (`PLXCKPT2`) lacked the slot section; v1 (`PLXCKPT1`)
+//! additionally lacked the CRC and training state. [`load`] /
+//! [`load_with_state`] / [`load_full`] read all three (older formats
+//! yield a default state and/or empty slots). Saves are atomic: written
+//! to a temp file in the same directory, then renamed.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{Read as _, Write as _};
 use std::path::Path;
 
@@ -25,6 +29,13 @@ use crate::{CoreError, Result};
 
 const MAGIC_V1: &[u8; 8] = b"PLXCKPT1";
 const MAGIC_V2: &[u8; 8] = b"PLXCKPT2";
+const MAGIC_V3: &[u8; 8] = b"PLXCKPT3";
+
+/// Optimizer slot variables keyed by `(variable name, slot name)`.
+///
+/// A `BTreeMap` so serialization order — and therefore the bytes on
+/// disk — is deterministic regardless of how the map was assembled.
+pub type SlotMap = BTreeMap<(String, String), Tensor>;
 
 fn io_err(e: std::io::Error) -> CoreError {
     CoreError::Config(format!("checkpoint I/O: {e}"))
@@ -57,12 +68,42 @@ pub struct TrainState {
     pub cursors: Vec<u64>,
 }
 
+fn write_name(payload: &mut Vec<u8>, name: &str) {
+    payload.extend_from_slice(&(name.len() as u64).to_le_bytes());
+    payload.extend_from_slice(name.as_bytes());
+}
+
+fn write_tensor(payload: &mut Vec<u8>, value: &Tensor) {
+    let dims = value.shape().dims();
+    payload.extend_from_slice(&(dims.len() as u64).to_le_bytes());
+    for &d in dims {
+        payload.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &x in value.data() {
+        payload.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
 /// Saves every variable of `store` (named per `graph`) plus `state` to
-/// `path`, atomically (temp file + rename).
+/// `path`, atomically (temp file + rename). Equivalent to [`save_full`]
+/// with no optimizer slots.
 pub fn save_with_state(
     graph: &Graph,
     store: &VarStore,
     state: &TrainState,
+    path: &Path,
+) -> Result<()> {
+    save_full(graph, store, state, &SlotMap::new(), path)
+}
+
+/// Saves every variable of `store` (named per `graph`), the training
+/// `state` and the optimizer `slots` to `path`, atomically (temp file +
+/// rename). Always writes format v3.
+pub fn save_full(
+    graph: &Graph,
+    store: &VarStore,
+    state: &TrainState,
+    slots: &SlotMap,
     path: &Path,
 ) -> Result<()> {
     let mut payload = Vec::new();
@@ -75,20 +116,17 @@ pub fn save_with_state(
     for var in graph.var_ids() {
         let def = graph.var_def(var)?;
         let value = store.get(var)?;
-        let name = def.name.as_bytes();
-        payload.extend_from_slice(&(name.len() as u64).to_le_bytes());
-        payload.extend_from_slice(name);
-        let dims = value.shape().dims();
-        payload.extend_from_slice(&(dims.len() as u64).to_le_bytes());
-        for &d in dims {
-            payload.extend_from_slice(&(d as u64).to_le_bytes());
-        }
-        for &x in value.data() {
-            payload.extend_from_slice(&x.to_le_bytes());
-        }
+        write_name(&mut payload, &def.name);
+        write_tensor(&mut payload, value);
+    }
+    payload.extend_from_slice(&(slots.len() as u64).to_le_bytes());
+    for ((var_name, slot_name), value) in slots {
+        write_name(&mut payload, var_name);
+        write_name(&mut payload, slot_name);
+        write_tensor(&mut payload, value);
     }
     let mut out = Vec::with_capacity(12 + payload.len());
-    out.extend_from_slice(MAGIC_V2);
+    out.extend_from_slice(MAGIC_V3);
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
 
@@ -115,13 +153,22 @@ pub fn load(graph: &Graph, path: &Path) -> Result<VarStore> {
     load_with_state(graph, path).map(|(store, _)| store)
 }
 
-/// Loads a checkpoint (v2 or legacy v1) into a [`VarStore`] laid out for
-/// `graph`, returning the saved [`TrainState`] (default for v1 files).
+/// Loads a checkpoint into a [`VarStore`] laid out for `graph`,
+/// returning the saved [`TrainState`] and discarding optimizer slots.
+pub fn load_with_state(graph: &Graph, path: &Path) -> Result<(VarStore, TrainState)> {
+    load_full(graph, path).map(|(store, state, _)| (store, state))
+}
+
+/// Loads a checkpoint (v3, v2 or legacy v1) into a [`VarStore`] laid
+/// out for `graph`, returning the saved [`TrainState`] (default for v1
+/// files) and optimizer [`SlotMap`] (empty for v1/v2 files).
 ///
 /// Variables are matched *by name*, so the checkpoint survives graph
-/// edits that only reorder declarations; CRC mismatches (v2), shape
-/// mismatches and missing variables are errors.
-pub fn load_with_state(graph: &Graph, path: &Path) -> Result<(VarStore, TrainState)> {
+/// edits that only reorder declarations; CRC mismatches (v2+), shape
+/// mismatches and missing variables are errors. Slot entries naming a
+/// variable the graph no longer has are silently dropped — the model
+/// still loads, the stale state does not.
+pub fn load_full(graph: &Graph, path: &Path) -> Result<(VarStore, TrainState, SlotMap)> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)
         .map_err(io_err)?
@@ -131,7 +178,8 @@ pub fn load_with_state(graph: &Graph, path: &Path) -> Result<(VarStore, TrainSta
         return Err(CoreError::Config("checkpoint truncated".into()));
     }
     let magic: &[u8] = &bytes[..8];
-    let (payload, versioned) = if magic == MAGIC_V2 {
+    let has_slots = magic == MAGIC_V3;
+    let (payload, versioned) = if magic == MAGIC_V2 || magic == MAGIC_V3 {
         if bytes.len() < 12 {
             return Err(CoreError::Config("checkpoint truncated".into()));
         }
@@ -179,25 +227,45 @@ pub fn load_with_state(graph: &Graph, path: &Path) -> Result<(VarStore, TrainSta
         TrainState::default()
     };
 
-    let count = read_u64(&mut cursor)? as usize;
-    let mut by_name: HashMap<String, Tensor> = HashMap::with_capacity(count);
-    for _ in 0..count {
-        let name_len = read_u64(&mut cursor)? as usize;
-        let name = String::from_utf8(take(&mut cursor, name_len)?.to_vec())
-            .map_err(|_| CoreError::Config("checkpoint name is not UTF-8".into()))?;
-        let rank = read_u64(&mut cursor)? as usize;
+    let read_name = |cursor: &mut usize| -> Result<String> {
+        let len = read_u64(cursor)? as usize;
+        String::from_utf8(take(cursor, len)?.to_vec())
+            .map_err(|_| CoreError::Config("checkpoint name is not UTF-8".into()))
+    };
+    let read_tensor = |cursor: &mut usize| -> Result<Tensor> {
+        let rank = read_u64(cursor)? as usize;
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            dims.push(read_u64(&mut cursor)? as usize);
+            dims.push(read_u64(cursor)? as usize);
         }
         let shape = Shape::new(dims);
         let volume = shape.volume();
-        let raw = take(&mut cursor, volume * 4)?;
+        let raw = take(cursor, volume * 4)?;
         let data: Vec<f32> = raw
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        by_name.insert(name, Tensor::new(shape, data)?);
+        Ok(Tensor::new(shape, data)?)
+    };
+
+    let count = read_u64(&mut cursor)? as usize;
+    let mut by_name: HashMap<String, Tensor> = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name = read_name(&mut cursor)?;
+        let tensor = read_tensor(&mut cursor)?;
+        by_name.insert(name, tensor);
+    }
+    let mut slots = SlotMap::new();
+    if has_slots {
+        let n = read_u64(&mut cursor)? as usize;
+        for _ in 0..n {
+            let var_name = read_name(&mut cursor)?;
+            let slot_name = read_name(&mut cursor)?;
+            let tensor = read_tensor(&mut cursor)?;
+            if graph.find_variable(&var_name).is_some() {
+                slots.insert((var_name, slot_name), tensor);
+            }
+        }
     }
     if cursor != payload.len() {
         return Err(CoreError::Config("trailing bytes after checkpoint".into()));
@@ -219,7 +287,7 @@ pub fn load_with_state(graph: &Graph, path: &Path) -> Result<(VarStore, TrainSta
         }
         values.push(tensor);
     }
-    Ok((VarStore::from_values(values), state))
+    Ok((VarStore::from_values(values), state, slots))
 }
 
 #[cfg(test)]
@@ -293,6 +361,87 @@ mod tests {
         let (loaded, got) = load_with_state(&g, &path).unwrap();
         assert_eq!(got, state);
         assert_eq!(store.max_divergence(&loaded), 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Writes the legacy v2 layout (no slot section) for the
+    /// compatibility test.
+    fn save_v2(graph: &Graph, store: &VarStore, state: &TrainState, path: &std::path::Path) {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&state.step.to_le_bytes());
+        payload.extend_from_slice(&(state.cursors.len() as u64).to_le_bytes());
+        for &c in &state.cursors {
+            payload.extend_from_slice(&c.to_le_bytes());
+        }
+        payload.extend_from_slice(&(graph.variables().len() as u64).to_le_bytes());
+        for var in graph.var_ids() {
+            let def = graph.var_def(var).unwrap();
+            write_name(&mut payload, &def.name);
+            write_tensor(&mut payload, store.get(var).unwrap());
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC_V2);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        std::fs::write(path, out).unwrap();
+    }
+
+    #[test]
+    fn optimizer_slots_roundtrip() {
+        let g = graph();
+        let store = VarStore::init(&g, &mut DetRng::seed(3));
+        let mut slots = SlotMap::new();
+        slots.insert(
+            ("w".into(), "velocity".into()),
+            Tensor::new([4, 3], (0..12).map(|i| i as f32 * 0.25).collect::<Vec<_>>()).unwrap(),
+        );
+        slots.insert(
+            ("emb".into(), "velocity".into()),
+            Tensor::new([10, 4], vec![0.5; 40]).unwrap(),
+        );
+        let state = TrainState {
+            step: 9,
+            cursors: vec![3, 3, 3],
+        };
+        let path = temp_path("slots");
+        save_full(&g, &store, &state, &slots, &path).unwrap();
+        let (loaded, got_state, got_slots) = load_full(&g, &path).unwrap();
+        assert_eq!(store.max_divergence(&loaded), 0.0);
+        assert_eq!(got_state, state);
+        assert_eq!(got_slots, slots);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn slot_for_removed_variable_is_dropped_not_fatal() {
+        let g = graph();
+        let store = VarStore::init(&g, &mut DetRng::seed(3));
+        let mut slots = SlotMap::new();
+        slots.insert(
+            ("ghost".into(), "accum".into()),
+            Tensor::new([2], vec![1.0, 2.0]).unwrap(),
+        );
+        let path = temp_path("ghost_slot");
+        save_full(&g, &store, &TrainState::default(), &slots, &path).unwrap();
+        let (_, _, got) = load_full(&g, &path).unwrap();
+        assert!(got.is_empty(), "stale slot must be dropped, got {got:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v2_files_load_with_empty_slots() {
+        let g = graph();
+        let store = VarStore::init(&g, &mut DetRng::seed(5));
+        let state = TrainState {
+            step: 4,
+            cursors: vec![2, 2],
+        };
+        let path = temp_path("v2compat");
+        save_v2(&g, &store, &state, &path);
+        let (loaded, got_state, slots) = load_full(&g, &path).unwrap();
+        assert_eq!(store.max_divergence(&loaded), 0.0);
+        assert_eq!(got_state, state);
+        assert!(slots.is_empty());
         std::fs::remove_file(&path).ok();
     }
 

@@ -94,6 +94,22 @@ pub struct ParallaxConfig {
     /// available parallelism); `Some(1)` forces fully serial kernels.
     /// Results are bitwise identical for every setting.
     pub compute_threads: Option<usize>,
+    /// How gradient-exchange payloads are encoded on the wire
+    /// (`WireFormat::F32` — the default — moves raw f32; `F16`/`Bf16`
+    /// halve dense AllReduce bytes and varint-pack sparse AllGatherv
+    /// indices). The static traffic predictor, the trace ledger, and
+    /// the measured accounting all use the encoded sizes, so the
+    /// byte-equality crosschecks stay exact under every format.
+    /// Parameter-server traffic is never compressed.
+    pub wire_format: parallax_comm::WireFormat,
+    /// Row-parallelism for parameter-server applies: the minimum number
+    /// of parameter rows per pool chunk when a server shards an
+    /// optimizer apply across the shared compute pool. `0` disables
+    /// sharding (fully serial applies, the pre-compression behavior).
+    /// Results are bitwise identical for every setting; only `ps.wait`
+    /// changes. See `parallax_cluster::PsQueueModel::recommended_apply_rows`
+    /// for a queue-model-driven choice.
+    pub ps_apply_min_rows: usize,
     /// Per-machine straggler injection: machine `m`'s workers busy-wait
     /// after each backward pass so their compute phase takes
     /// `machine_slowdown[m]` times as long as it measured. Machines past
@@ -144,6 +160,8 @@ impl Default for ParallaxConfig {
             group_partitions: Vec::new(),
             alpha_dense_threshold: 0.95,
             compute_threads: None,
+            wire_format: parallax_comm::WireFormat::F32,
+            ps_apply_min_rows: 64,
             machine_slowdown: Vec::new(),
             checkpoint_path: None,
             checkpoint_interval: 0,

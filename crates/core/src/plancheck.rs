@@ -21,7 +21,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use parallax_comm::predict::{replay_allgatherv, replay_reduce_to, replay_ring_allreduce};
+use parallax_comm::predict::{replay_allgatherv, replay_reduce_to, replay_ring_allreduce_wire};
+use parallax_comm::wire::slices_wire_bytes;
 use parallax_comm::{StaticLedger, TrafficClass};
 use parallax_dataflow::grad::backward;
 use parallax_dataflow::verify::{verify_graph, DiagCode, Diagnostic, VerifyReport};
@@ -728,9 +729,15 @@ pub fn predict_iteration_traffic(
         }
         let sparse = grads_by_worker[0][&var].is_sparse();
         if sparse && gatherv.contains(&var.index()) {
+            // Contribution sizes on the wire: packed (delta+varint
+            // indices) under a compressing format, raw otherwise —
+            // exactly what `allgatherv_slices_wire` sends.
             let contribs: Vec<u64> = grads_by_worker
                 .iter()
-                .map(|g| g[&var].byte_size())
+                .map(|g| match &g[&var] {
+                    Grad::Sparse(s) => slices_wire_bytes(s, config.wire_format),
+                    Grad::Dense(_) => g[&var].byte_size(),
+                })
                 .collect();
             replay_allgatherv(
                 &ledger,
@@ -748,14 +755,18 @@ pub fn predict_iteration_traffic(
                 Grad::Dense(t) => t.data().len(),
                 Grad::Sparse(s) => s.dense_rows() * s.cols(),
             };
-            replay_ring_allreduce(
+            replay_ring_allreduce_wire(
                 &ledger,
                 &worker_ranks,
                 protocol::allreduce_tag(var.index(), iter0),
                 elems,
+                config.wire_format,
             )?;
             if workers > 1 {
-                cf[TrafficClass::Nccl as usize] += 8 * elems as u64 * (workers as u64 - 1);
+                // Each element crosses every rank boundary twice (reduce-
+                // scatter + allgather) at the wire scalar width.
+                let ws = config.wire_format.scalar_bytes();
+                cf[TrafficClass::Nccl as usize] += 2 * ws * elems as u64 * (workers as u64 - 1);
             }
         }
     }

@@ -51,6 +51,15 @@ pub fn shard_range(total: usize, workers: usize, worker: usize) -> std::ops::Ran
     start..start + len
 }
 
+/// A loaded checkpoint a recovery attempt resumes from: the variable
+/// values plus any optimizer slot state (velocity/accum) the save
+/// captured, so Momentum/Adagrad resume bitwise, not just SGD.
+#[derive(Debug, Clone)]
+struct RestorePoint {
+    store: VarStore,
+    slots: checkpoint::SlotMap,
+}
+
 /// Tag namespace for AllGatherv collectives (classified as MPI traffic).
 pub(crate) fn mpi_tag(var: usize, iter: u64) -> u64 {
     0x3000_0000_0000_0000 | protocol::pack(protocol::ReqKind::PushDense, var, 0, iter)
@@ -446,7 +455,7 @@ impl Runner {
         let mut traffic = TrafficReport::default();
         let mut losses = vec![0.0f32; iterations];
         let mut start_iter = 0usize;
-        let mut restore: Option<VarStore> = None;
+        let mut restore: Option<RestorePoint> = None;
         let mut recoveries = 0usize;
         loop {
             match self.run_attempt(
@@ -483,14 +492,14 @@ impl Runner {
                     parallax_trace::counter("fault.recovered").add(1);
                     let path = self.config.checkpoint_path.as_ref().expect("checked above");
                     if path.exists() {
-                        let (store, state) = checkpoint::load_with_state(&self.graph, path)?;
+                        let (store, state, slots) = checkpoint::load_full(&self.graph, path)?;
                         eprintln!(
                             "parallax: failure detected ({err}); recovering from \
                              checkpoint at step {}",
                             state.step
                         );
                         start_iter = state.step as usize;
-                        restore = Some(store);
+                        restore = Some(RestorePoint { store, slots });
                     } else {
                         eprintln!(
                             "parallax: failure detected ({err}) before any checkpoint; \
@@ -513,7 +522,7 @@ impl Runner {
         &self,
         iterations: usize,
         start_iter: usize,
-        restore: Option<&VarStore>,
+        restore: Option<&RestorePoint>,
         feed_fn: &F,
         injector: &Arc<FaultInjector>,
         traffic_total: &mut TrafficReport,
@@ -562,6 +571,7 @@ impl Runner {
                         serve_aggregates: self.config.trace_gradients,
                         seed: self.config.seed,
                         lr_schedule: self.config.lr_schedule,
+                        apply_min_rows: self.config.ps_apply_min_rows,
                     };
                     let mut server = match Server::new(
                         &self.graph,
@@ -580,10 +590,20 @@ impl Runner {
                     if server.num_shards() == 0 {
                         continue;
                     }
-                    if let Some(store) = restore {
-                        if let Err(e) = server.restore_from(store) {
+                    if let Some(rp) = restore {
+                        if let Err(e) = server.restore_from(&rp.store) {
                             failures.lock().push(format!("server {m} restore: {e}"));
                             continue;
+                        }
+                        for ((var_name, slot_name), tensor) in &rp.slots {
+                            let Some(var) = self.graph.find_variable(var_name) else {
+                                continue;
+                            };
+                            if let Err(e) = server.restore_slot(var, slot_name, tensor) {
+                                failures
+                                    .lock()
+                                    .push(format!("server {m} slot restore: {e}"));
+                            }
                         }
                     }
                     server.set_faults(Arc::clone(injector));
@@ -740,20 +760,45 @@ impl Runner {
     /// server shards, AllReduce variables come from the chief's own
     /// replica (identical on every worker), and the train state records
     /// `iter + 1` completed steps with one data cursor per worker.
+    ///
+    /// Optimizer slot state rides along: AllReduce slots from the
+    /// chief's own `optimizer` (replicas are identical), PS slots
+    /// piggybacked on the shard fetches and stitched like the values.
     fn save_checkpoint(
         &self,
         endpoint: &mut Endpoint,
         client: &mut PsClient,
         local: &VarStore,
+        optimizer: &dyn parallax_dataflow::Optimizer,
         iter: usize,
         path: &std::path::Path,
     ) -> Result<()> {
         let _span = parallax_trace::span(parallax_trace::SpanCat::Phase, "checkpoint.save");
         let mut store = local.clone();
+        let mut slots = checkpoint::SlotMap::new();
+        let kind = optimizer.state_name();
         for var in self.graph.var_ids() {
-            if let Some(fetched) = client.fetch_var(endpoint, var).map_err(CoreError::Ps)? {
-                let shape = self.graph.var_def(var)?.shape.clone();
-                *store.get_mut(var)? = fetched.reshape(shape)?;
+            let def_shape = self.graph.var_def(var)?.shape.clone();
+            let name = self.graph.var_def(var)?.name.clone();
+            match client
+                .fetch_var_with_state(endpoint, var)
+                .map_err(CoreError::Ps)?
+            {
+                Some((fetched, state)) => {
+                    *store.get_mut(var)? = fetched.reshape(def_shape.clone())?;
+                    if let (Some(kind), Some(state)) = (kind, state) {
+                        slots.insert((name, kind.to_string()), state.reshape(def_shape)?);
+                    }
+                }
+                None => {
+                    // AllReduce variable: slot state lives in the
+                    // chief's own optimizer.
+                    if let (Some(kind), Some(state)) =
+                        (kind, optimizer.export_slot(var.index() as u64))
+                    {
+                        slots.insert((name, kind.to_string()), state.clone());
+                    }
+                }
             }
         }
         let step = (iter + 1) as u64;
@@ -761,7 +806,7 @@ impl Runner {
             step,
             cursors: vec![step; self.topo.num_workers()],
         };
-        checkpoint::save_with_state(&self.graph, &store, &state, path)
+        checkpoint::save_full(&self.graph, &store, &state, &slots, path)
     }
 
     /// One worker's training loop over iterations
@@ -775,7 +820,7 @@ impl Runner {
         widx: usize,
         iterations: usize,
         start_iter: usize,
-        restore: Option<&VarStore>,
+        restore: Option<&RestorePoint>,
         injector: &FaultInjector,
         feed_fn: &F,
         ar_vars: &[VarId],
@@ -798,11 +843,23 @@ impl Runner {
         // Resuming replicas start from the restored checkpoint instead of
         // the seeded initializer — bitwise what the chief saved.
         let local = match restore {
-            Some(store) => store.clone(),
+            Some(rp) => rp.store.clone(),
             None => VarStore::init(&self.graph, &mut DetRng::seed(self.config.seed)),
         };
         let mut ctx = PsWorkerContext::new(endpoint, client, local);
         let mut optimizer = self.config.optimizer.build(self.config.learning_rate);
+        // Every replica applies AllReduce updates with its own optimizer
+        // copy, so every replica must re-import the checkpointed slot
+        // state — otherwise Momentum/Adagrad would resume from zeroed
+        // slots and diverge from the uninterrupted run.
+        if let (Some(rp), Some(kind)) = (restore, optimizer.state_name()) {
+            for &var in ar_vars {
+                let key = (self.graph.var_def(var)?.name.clone(), kind.to_string());
+                if let Some(t) = rp.slots.get(&key) {
+                    optimizer.import_slot(var.index() as u64, t.clone());
+                }
+            }
+        }
         let session = Session::new(&self.graph);
         let mut losses = Vec::with_capacity(iterations - start_iter);
         let mut norms = Vec::new();
@@ -904,11 +961,12 @@ impl Runner {
                 match grad {
                     Grad::Dense(t) => {
                         let mut agg = t.clone();
-                        collectives::ring_allreduce_tensor(
+                        collectives::ring_allreduce_tensor_wire(
                             endpoint,
                             &worker_ranks,
                             protocol::allreduce_tag(var.index(), iter as u64),
                             &mut agg,
+                            self.config.wire_format,
                         )?;
                         if self.config.average_dense {
                             for v in agg.data_mut() {
@@ -925,11 +983,12 @@ impl Runner {
                         }
                     }
                     Grad::Sparse(s) => {
-                        let gathered = collectives::allgatherv_slices(
+                        let gathered = collectives::allgatherv_slices_wire(
                             endpoint,
                             &worker_ranks,
                             mpi_tag(var.index(), iter as u64),
                             s.clone(),
+                            self.config.wire_format,
                         )?;
                         let mut agg = gathered.coalesce();
                         if self.config.average_sparse {
@@ -1015,7 +1074,7 @@ impl Runner {
                     .checkpoint_path
                     .as_deref()
                     .expect("ckpt_interval > 0 implies a checkpoint path");
-                self.save_checkpoint(endpoint, client, local, iter, path)?;
+                self.save_checkpoint(endpoint, client, local, optimizer.as_ref(), iter, path)?;
             }
         }
         Ok((losses, norms, compute_secs, ctx.local))

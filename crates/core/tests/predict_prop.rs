@@ -52,6 +52,14 @@ fn arch_from(selector: u8) -> ArchChoice {
     }
 }
 
+fn wire_from(selector: u8) -> parallax_comm::WireFormat {
+    match selector % 3 {
+        0 => parallax_comm::WireFormat::F32,
+        1 => parallax_comm::WireFormat::F16,
+        _ => parallax_comm::WireFormat::Bf16,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
@@ -61,6 +69,7 @@ proptest! {
         gpus in 1usize..3,
         partitions in 1usize..6,
         arch_sel in 0u8..4,
+        wire_sel in 0u8..3,
         local_agg in any::<bool>(),
         chief in any::<bool>(),
         seed in 0u64..500,
@@ -71,6 +80,7 @@ proptest! {
         let config = ParallaxConfig {
             seed,
             arch: arch_from(arch_sel),
+            wire_format: wire_from(wire_sel),
             local_aggregation: local_agg,
             chief_triggers_update: chief,
             sparse_partitions: Some(partitions),
@@ -114,8 +124,10 @@ proptest! {
 
         let report = runner.run(1, |w, _| feed_for(w)).expect("one iteration");
         let ctx = format!(
-            "{:?} x {machines}x{gpus} P={partitions} agg={local_agg} chief={chief} seed={seed}",
+            "{:?} wire={} x {machines}x{gpus} P={partitions} agg={local_agg} chief={chief} \
+             seed={seed}",
             arch_from(arch_sel),
+            wire_from(wire_sel).name(),
         );
         prop_assert_eq!(&predicted.nccl, &report.traffic.nccl, "nccl: {}", &ctx);
         prop_assert_eq!(&predicted.mpi, &report.traffic.mpi, "mpi: {}", &ctx);

@@ -230,6 +230,67 @@ fn trained_model_checkpoints_and_resumes() {
     assert!(acts.scalar(loss).unwrap().is_finite());
 }
 
+/// Crash-and-resume under a *stateful* optimizer must land on exactly
+/// the model an uninterrupted run produces: checkpoint v3 carries the
+/// Momentum velocity / Adagrad accumulator for both AllReduce replicas
+/// and PS server shards, so recovery replays from identical state.
+#[test]
+fn crash_recovery_preserves_optimizer_slots_exactly() {
+    for (tag, kind) in [
+        ("momentum", OptimizerKind::Momentum { mu: 0.9 }),
+        ("adagrad", OptimizerKind::Adagrad),
+    ] {
+        let (graph, loss) = build_model();
+        let profile = profile_for(&graph);
+        let iters = 8;
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "parallax_slot_recovery_{tag}_{}",
+            std::process::id()
+        ));
+        let config =
+            |plan: parallax_fault::FaultPlan, path: Option<std::path::PathBuf>| ParallaxConfig {
+                seed: SEED,
+                learning_rate: 0.2,
+                optimizer: kind,
+                checkpoint_interval: usize::from(path.is_some()) * 2,
+                checkpoint_path: path,
+                fault_plan: plan,
+                max_recoveries: 1,
+                // Peers blocked on the killed worker give up after this
+                // deadline; keep it short so detection is fast but long
+                // enough that a loaded CI machine doesn't false-trigger.
+                recv_deadline: Some(std::time::Duration::from_secs(2)),
+                ..ParallaxConfig::default()
+            };
+
+        // Uninterrupted reference (no checkpointing, no faults).
+        let reference = {
+            let cfg = config(parallax_fault::FaultPlan::new(), None);
+            let runner = get_runner(graph.clone(), loss, vec![2, 2], cfg, profile.clone()).unwrap();
+            let report = runner.run(iters, |w, _| worker_feed(w, 4)).unwrap();
+            report.final_store(&graph).unwrap()
+        };
+
+        // Kill worker rank 1 at step 5: past the step-4 checkpoint, so
+        // the recovery resumes mid-run with non-trivial slot state.
+        let cfg = config(
+            parallax_fault::FaultPlan::new().kill_worker(1, 5),
+            Some(path.clone()),
+        );
+        let runner = get_runner(graph.clone(), loss, vec![2, 2], cfg, profile).unwrap();
+        let report = runner.run(iters, |w, _| worker_feed(w, 4)).unwrap();
+        let recovered = report.final_store(&graph).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let div = reference.max_divergence(&recovered);
+        assert_eq!(
+            div, 0.0,
+            "{kind:?}: recovered model diverged by {div} from the uninterrupted run"
+        );
+    }
+}
+
 /// A step-decay schedule must be applied identically on replicas (AR
 /// variables) and servers (PS variables): the distributed run still
 /// matches the sequential reference that applies the same schedule.

@@ -5,12 +5,140 @@
 //! their local copies, and Parameter Server shards update server-resident
 //! partitions — so the update API works on bare tensors, keyed by an
 //! opaque slot id for optimizers with state.
+//!
+//! Applies are **row-sharded** across the shared compute pool when the
+//! parameter is large enough: every update rule here is elementwise (or
+//! row-local for sparse gradients), so splitting the parameter into
+//! disjoint row chunks changes nothing about the per-element arithmetic
+//! order and results stay bitwise identical at every thread count. The
+//! granularity knob is [`Optimizer::set_apply_min_rows`]; `0` forces
+//! fully serial applies.
 
 use std::collections::HashMap;
 
-use parallax_tensor::{ops, sparse::Grad, IndexedSlices, Tensor};
+use parallax_tensor::{ops, pool, sparse::Grad, IndexedSlices, Tensor};
 
 use crate::Result;
+
+/// Default minimum parameter rows per pool chunk for sharded applies.
+pub const DEFAULT_APPLY_MIN_ROWS: usize = 64;
+
+/// Rows of a parameter as the sharder counts them (rank-0 scalars and
+/// rank-1 vectors are a single row).
+fn param_rows(param: &Tensor) -> usize {
+    if param.shape().rank() < 2 {
+        1
+    } else {
+        param.shape().dim(0)
+    }
+}
+
+/// Splits `param` (and `state`, when present — always the same shape)
+/// into the same disjoint row chunks and runs `body(param_chunk,
+/// state_chunk, grad_chunk)` for each, across the pool when worthwhile.
+/// All three buffers have identical length; `min_rows == 0` stays
+/// serial.
+fn sharded_dense(
+    param: &mut [f32],
+    state: Option<&mut [f32]>,
+    grad: &[f32],
+    rows: usize,
+    min_rows: usize,
+    body: impl Fn(&mut [f32], Option<&mut [f32]>, &[f32]) + Sync,
+) {
+    debug_assert_eq!(param.len(), grad.len());
+    // `min_rows == 0` disables sharding entirely.
+    let chunks = rows
+        .checked_div(min_rows)
+        .map_or(1, |per| pool::effective_threads().min(per).max(1));
+    if chunks <= 1 || param.is_empty() {
+        body(param, state, grad);
+        return;
+    }
+    let row_len = param.len() / rows;
+    let base_rows = rows / chunks;
+    let extra = rows % chunks;
+    let start = |c: usize| (c * base_rows + c.min(extra)) * row_len;
+    // Disjoint element ranges of the same buffers; share base pointers
+    // as addresses so the dispatch closure stays Sync (pool.rs idiom).
+    let p_addr = param.as_mut_ptr() as usize;
+    let s_addr = state.map(|s| {
+        debug_assert_eq!(s.len(), grad.len());
+        s.as_mut_ptr() as usize
+    });
+    pool::run_batch(chunks, &|c| {
+        let (lo, hi) = (start(c), start(c + 1));
+        // SAFETY: [lo, hi) ranges are disjoint across chunks and lie
+        // within buffers that outlive the batch (run_batch blocks).
+        let p = unsafe { std::slice::from_raw_parts_mut((p_addr as *mut f32).add(lo), hi - lo) };
+        let s = s_addr
+            .map(|a| unsafe { std::slice::from_raw_parts_mut((a as *mut f32).add(lo), hi - lo) });
+        body(p, s, &grad[lo..hi]);
+    });
+}
+
+/// Runs `body(param_row, state_row, grad_row)` for every coalesced
+/// slice row, sharding the row list across the pool when worthwhile.
+/// Coalesced indices are strictly increasing, so the parameter (and
+/// state) rows touched by different chunks are disjoint. Falls back to
+/// the serial path — which surfaces the ordinary `row_mut` error — when
+/// an index is out of range or the slices are not coalesced.
+fn sharded_sparse(
+    param: &mut Tensor,
+    state: Option<&mut Tensor>,
+    merged: &IndexedSlices,
+    min_rows: usize,
+    body: impl Fn(&mut [f32], Option<&mut [f32]>, &[f32]) + Sync,
+) -> Result<()> {
+    let k = merged.indices().len();
+    let cols = merged.cols();
+    // `min_rows == 0` disables sharding entirely.
+    let chunks = k
+        .checked_div(min_rows)
+        .map_or(1, |per| pool::effective_threads().min(per).max(1));
+    let prows = param_rows(param);
+    let disjoint = merged.indices().windows(2).all(|w| w[0] < w[1])
+        && merged.indices().last().is_none_or(|&i| i < prows)
+        && param.data().len() == prows * cols
+        && state
+            .as_ref()
+            .is_none_or(|s| s.data().len() == prows * cols);
+    if chunks <= 1 || !disjoint {
+        let mut state = state;
+        for (slot_idx, &row) in merged.indices().iter().enumerate() {
+            let src = &merged.values().data()[slot_idx * cols..(slot_idx + 1) * cols];
+            let prow = param.row_mut(row)?;
+            match state.as_deref_mut() {
+                Some(s) => body(prow, Some(s.row_mut(row)?), src),
+                None => body(prow, None, src),
+            }
+        }
+        return Ok(());
+    }
+    let base = k / chunks;
+    let extra = k % chunks;
+    let start = |c: usize| c * base + c.min(extra);
+    let p_addr = param.data_mut().as_mut_ptr() as usize;
+    let s_addr = state.map(|s| s.data_mut().as_mut_ptr() as usize);
+    let indices = merged.indices();
+    let values = merged.values().data();
+    pool::run_batch(chunks, &|c| {
+        for r in start(c)..start(c + 1) {
+            let row = indices[r];
+            // SAFETY: indices are strictly increasing and in range
+            // (checked above), so every `r` touches a distinct row of
+            // buffers that outlive the batch.
+            let prow = unsafe {
+                std::slice::from_raw_parts_mut((p_addr as *mut f32).add(row * cols), cols)
+            };
+            let srow = s_addr.map(|a| unsafe {
+                std::slice::from_raw_parts_mut((a as *mut f32).add(row * cols), cols)
+            });
+            body(prow, srow, &values[r * cols..(r + 1) * cols]);
+        }
+    });
+    Ok(())
+}
 
 /// A learning-rate schedule, evaluated per iteration on both replicas
 /// and servers so every update site stays in lockstep.
@@ -70,6 +198,27 @@ pub trait Optimizer: Send {
 
     /// Updates the learning rate (schedules re-set it per iteration).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Sets the minimum parameter rows per pool chunk for row-sharded
+    /// applies; `0` forces fully serial applies. Results are bitwise
+    /// identical for every setting. Stateless default: ignore.
+    fn set_apply_min_rows(&mut self, _rows: usize) {}
+
+    /// Name of this optimizer's per-parameter state ("velocity",
+    /// "accum"), or `None` for stateless rules. Checkpoints use it to
+    /// tag serialized slot tensors.
+    fn state_name(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// The state tensor kept for `slot`, if any (checkpoint export).
+    fn export_slot(&self, _slot: u64) -> Option<&Tensor> {
+        None
+    }
+
+    /// Installs a restored state tensor for `slot` (checkpoint import).
+    /// Stateless optimizers ignore it.
+    fn import_slot(&mut self, _slot: u64, _state: Tensor) {}
 }
 
 /// Plain stochastic gradient descent: `theta -= lr * g`.
@@ -77,32 +226,51 @@ pub trait Optimizer: Send {
 pub struct Sgd {
     /// Learning rate.
     pub lr: f32,
+    apply_min_rows: usize,
 }
 
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr }
+        Sgd {
+            lr,
+            apply_min_rows: DEFAULT_APPLY_MIN_ROWS,
+        }
     }
 }
 
 impl Optimizer for Sgd {
     fn apply_dense(&mut self, _slot: u64, param: &mut Tensor, grad: &Tensor) -> Result<()> {
-        ops::axpy(-self.lr, grad, param)?;
+        if param.shape() != grad.shape() {
+            // Delegate the shape mismatch to the serial kernel's error.
+            ops::axpy(-self.lr, grad, param)?;
+            return Ok(());
+        }
+        let lr = self.lr;
+        let rows = param_rows(param);
+        sharded_dense(
+            param.data_mut(),
+            None,
+            grad.data(),
+            rows,
+            self.apply_min_rows,
+            |p, _, g| {
+                for (d, s) in p.iter_mut().zip(g) {
+                    *d += -lr * s;
+                }
+            },
+        );
         Ok(())
     }
 
     fn apply_sparse(&mut self, _slot: u64, param: &mut Tensor, grad: &IndexedSlices) -> Result<()> {
         let merged = grad.coalesce();
-        let cols = merged.cols();
-        for (slot_idx, &row) in merged.indices().iter().enumerate() {
-            let src = &merged.values().data()[slot_idx * cols..(slot_idx + 1) * cols];
-            let dst = &mut param.row_mut(row)?;
+        let lr = self.lr;
+        sharded_sparse(param, None, &merged, self.apply_min_rows, |dst, _, src| {
             for (d, s) in dst.iter_mut().zip(src) {
-                *d -= self.lr * s;
+                *d -= lr * s;
             }
-        }
-        Ok(())
+        })
     }
 
     fn learning_rate(&self) -> f32 {
@@ -111,6 +279,10 @@ impl Optimizer for Sgd {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn set_apply_min_rows(&mut self, rows: usize) {
+        self.apply_min_rows = rows;
     }
 }
 
@@ -122,6 +294,7 @@ pub struct Momentum {
     /// Momentum coefficient.
     pub mu: f32,
     velocity: HashMap<u64, Tensor>,
+    apply_min_rows: usize,
 }
 
 impl Momentum {
@@ -131,20 +304,40 @@ impl Momentum {
             lr,
             mu,
             velocity: HashMap::new(),
+            apply_min_rows: DEFAULT_APPLY_MIN_ROWS,
         }
     }
 }
 
 impl Optimizer for Momentum {
     fn apply_dense(&mut self, slot: u64, param: &mut Tensor, grad: &Tensor) -> Result<()> {
+        if param.shape() != grad.shape() {
+            return ops::axpy(-self.lr, grad, param).map_err(Into::into);
+        }
+        // State entry-or-insert happens before the parallel region; the
+        // chunk bodies only see disjoint row slices of it.
         let v = self
             .velocity
             .entry(slot)
             .or_insert_with(|| Tensor::zeros(param.shape().clone()));
-        for (vi, gi) in v.data_mut().iter_mut().zip(grad.data()) {
-            *vi = self.mu * *vi + gi;
-        }
-        ops::axpy(-self.lr, v, param)?;
+        let (lr, mu) = (self.lr, self.mu);
+        let rows = param_rows(param);
+        sharded_dense(
+            param.data_mut(),
+            Some(v.data_mut()),
+            grad.data(),
+            rows,
+            self.apply_min_rows,
+            |p, v, g| {
+                let v = v.expect("velocity chunk");
+                for (vi, gi) in v.iter_mut().zip(g.iter()) {
+                    *vi = mu * *vi + gi;
+                }
+                for (pi, vi) in p.iter_mut().zip(v.iter()) {
+                    *pi += -lr * vi;
+                }
+            },
+        );
         Ok(())
     }
 
@@ -152,24 +345,26 @@ impl Optimizer for Momentum {
         // Momentum for sparse rows: decay and update only touched rows,
         // matching TensorFlow's sparse momentum semantics.
         let merged = grad.coalesce();
-        let cols = merged.cols();
         let v = self
             .velocity
             .entry(slot)
             .or_insert_with(|| Tensor::zeros(param.shape().clone()));
-        for (slot_idx, &row) in merged.indices().iter().enumerate() {
-            let src = &merged.values().data()[slot_idx * cols..(slot_idx + 1) * cols];
-            let vrow = v.row_mut(row)?;
-            for (vi, gi) in vrow.iter_mut().zip(src) {
-                *vi = self.mu * *vi + gi;
-            }
-            let vsnap: Vec<f32> = v.row(row)?.to_vec();
-            let prow = param.row_mut(row)?;
-            for (p, vi) in prow.iter_mut().zip(vsnap) {
-                *p -= self.lr * vi;
-            }
-        }
-        Ok(())
+        let (lr, mu) = (self.lr, self.mu);
+        sharded_sparse(
+            param,
+            Some(v),
+            &merged,
+            self.apply_min_rows,
+            |prow, vrow, src| {
+                let vrow = vrow.expect("velocity row");
+                for (vi, gi) in vrow.iter_mut().zip(src) {
+                    *vi = mu * *vi + gi;
+                }
+                for (p, vi) in prow.iter_mut().zip(vrow.iter()) {
+                    *p -= lr * vi;
+                }
+            },
+        )
     }
 
     fn learning_rate(&self) -> f32 {
@@ -178,6 +373,22 @@ impl Optimizer for Momentum {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn set_apply_min_rows(&mut self, rows: usize) {
+        self.apply_min_rows = rows;
+    }
+
+    fn state_name(&self) -> Option<&'static str> {
+        Some("velocity")
+    }
+
+    fn export_slot(&self, slot: u64) -> Option<&Tensor> {
+        self.velocity.get(&slot)
+    }
+
+    fn import_slot(&mut self, slot: u64, state: Tensor) {
+        self.velocity.insert(slot, state);
     }
 }
 
@@ -190,6 +401,7 @@ pub struct Adagrad {
     /// Numerical-stability floor.
     pub eps: f32,
     accum: HashMap<u64, Tensor>,
+    apply_min_rows: usize,
 }
 
 impl Adagrad {
@@ -199,49 +411,59 @@ impl Adagrad {
             lr,
             eps: 1e-8,
             accum: HashMap::new(),
+            apply_min_rows: DEFAULT_APPLY_MIN_ROWS,
         }
     }
 }
 
 impl Optimizer for Adagrad {
     fn apply_dense(&mut self, slot: u64, param: &mut Tensor, grad: &Tensor) -> Result<()> {
+        if param.shape() != grad.shape() {
+            return ops::axpy(-self.lr, grad, param).map_err(Into::into);
+        }
         let acc = self
             .accum
             .entry(slot)
             .or_insert_with(|| Tensor::zeros(param.shape().clone()));
-        for ((p, a), g) in param
-            .data_mut()
-            .iter_mut()
-            .zip(acc.data_mut())
-            .zip(grad.data())
-        {
-            *a += g * g;
-            *p -= self.lr * g / (a.sqrt() + self.eps);
-        }
+        let (lr, eps) = (self.lr, self.eps);
+        let rows = param_rows(param);
+        sharded_dense(
+            param.data_mut(),
+            Some(acc.data_mut()),
+            grad.data(),
+            rows,
+            self.apply_min_rows,
+            |p, a, g| {
+                let a = a.expect("accumulator chunk");
+                for ((pi, ai), gi) in p.iter_mut().zip(a.iter_mut()).zip(g.iter()) {
+                    *ai += gi * gi;
+                    *pi -= lr * gi / (ai.sqrt() + eps);
+                }
+            },
+        );
         Ok(())
     }
 
     fn apply_sparse(&mut self, slot: u64, param: &mut Tensor, grad: &IndexedSlices) -> Result<()> {
         let merged = grad.coalesce();
-        let cols = merged.cols();
         let acc = self
             .accum
             .entry(slot)
             .or_insert_with(|| Tensor::zeros(param.shape().clone()));
-        for (slot_idx, &row) in merged.indices().iter().enumerate() {
-            let src = &merged.values().data()[slot_idx * cols..(slot_idx + 1) * cols];
-            let arow = acc.row_mut(row)?;
-            let mut scaled = Vec::with_capacity(cols);
-            for (a, g) in arow.iter_mut().zip(src) {
-                *a += g * g;
-                scaled.push(g / (a.sqrt() + self.eps));
-            }
-            let prow = param.row_mut(row)?;
-            for (p, s) in prow.iter_mut().zip(scaled) {
-                *p -= self.lr * s;
-            }
-        }
-        Ok(())
+        let (lr, eps) = (self.lr, self.eps);
+        sharded_sparse(
+            param,
+            Some(acc),
+            &merged,
+            self.apply_min_rows,
+            |prow, arow, src| {
+                let arow = arow.expect("accumulator row");
+                for ((p, a), g) in prow.iter_mut().zip(arow.iter_mut()).zip(src) {
+                    *a += g * g;
+                    *p -= lr * (g / (a.sqrt() + eps));
+                }
+            },
+        )
     }
 
     fn learning_rate(&self) -> f32 {
@@ -250,6 +472,22 @@ impl Optimizer for Adagrad {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn set_apply_min_rows(&mut self, rows: usize) {
+        self.apply_min_rows = rows;
+    }
+
+    fn state_name(&self) -> Option<&'static str> {
+        Some("accum")
+    }
+
+    fn export_slot(&self, slot: u64) -> Option<&Tensor> {
+        self.accum.get(&slot)
+    }
+
+    fn import_slot(&mut self, slot: u64, state: Tensor) {
+        self.accum.insert(slot, state);
     }
 }
 
@@ -358,6 +596,79 @@ mod tests {
         assert_eq!(p.row(0).unwrap(), &[1.0, 1.0]);
         assert_ne!(p.row(1).unwrap(), &[1.0, 1.0]);
         assert_eq!(p.row(2).unwrap(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn sharded_applies_are_bitwise_identical_to_serial() {
+        parallax_tensor::pool::configure_threads(4);
+        let rows = 97usize;
+        let cols = 5usize;
+        let dense_grad = Tensor::new(
+            [rows, cols],
+            (0..rows * cols)
+                .map(|i| ((i * 37 % 113) as f32 - 56.0) * 0.037)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let touched: Vec<usize> = (0..rows).filter(|r| r % 3 != 1).collect();
+        let sparse_grad = IndexedSlices::new(
+            touched.clone(),
+            Tensor::new(
+                [touched.len(), cols],
+                (0..touched.len() * cols)
+                    .map(|i| ((i * 17 % 41) as f32 - 20.0) * 0.09)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+            rows,
+        )
+        .unwrap();
+        let builders: Vec<fn() -> Box<dyn Optimizer>> = vec![
+            || Box::new(Sgd::new(0.1)),
+            || Box::new(Momentum::new(0.1, 0.9)),
+            || Box::new(Adagrad::new(0.1)),
+        ];
+        for build in builders {
+            let mut serial = build();
+            serial.set_apply_min_rows(0);
+            let mut sharded = build();
+            sharded.set_apply_min_rows(1);
+            let mut p_serial = Tensor::full([rows, cols], 1.0);
+            let mut p_sharded = p_serial.clone();
+            for step in 0..3 {
+                serial.apply_dense(7, &mut p_serial, &dense_grad).unwrap();
+                sharded.apply_dense(7, &mut p_sharded, &dense_grad).unwrap();
+                serial.apply_sparse(7, &mut p_serial, &sparse_grad).unwrap();
+                sharded
+                    .apply_sparse(7, &mut p_sharded, &sparse_grad)
+                    .unwrap();
+                assert_eq!(p_serial, p_sharded, "step {step}");
+            }
+            assert_eq!(
+                serial.export_slot(7),
+                sharded.export_slot(7),
+                "optimizer state matches"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_export_import_roundtrip() {
+        let mut opt = Momentum::new(0.1, 0.9);
+        assert_eq!(opt.state_name(), Some("velocity"));
+        assert!(opt.export_slot(3).is_none());
+        let mut p = Tensor::full([4, 2], 1.0);
+        opt.apply_dense(3, &mut p, &Tensor::full([4, 2], 0.5))
+            .unwrap();
+        let v = opt.export_slot(3).expect("velocity exists").clone();
+        let mut restored = Momentum::new(0.1, 0.9);
+        restored.import_slot(3, v.clone());
+        assert_eq!(restored.export_slot(3), Some(&v));
+        // Stateless SGD exports nothing and ignores imports.
+        let mut sgd = Sgd::new(0.1);
+        assert_eq!(sgd.state_name(), None);
+        sgd.import_slot(0, v);
+        assert!(sgd.export_slot(0).is_none());
     }
 
     #[test]

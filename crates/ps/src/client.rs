@@ -287,6 +287,24 @@ impl PsClient {
     /// The result is row-major over the variable's *rows*; the caller
     /// reshapes to the variable's full shape.
     pub fn fetch_var(&mut self, ep: &mut Endpoint, var: VarId) -> Result<Option<Tensor>> {
+        Ok(self
+            .fetch_var_with_state(ep, var)?
+            .map(|(value, _state)| value))
+    }
+
+    /// Like [`PsClient::fetch_var`], but also returns the optimizer's
+    /// slot state (velocity/accum) for the variable, stitched across
+    /// shards the same way as the value. `None` state means the server's
+    /// optimizer is stateless (or some shard had no state yet).
+    ///
+    /// The server piggybacks the state as a second message under the
+    /// fetch response tag; both messages are always consumed, so callers
+    /// that discard the state leave no strays in the transport.
+    pub fn fetch_var_with_state(
+        &mut self,
+        ep: &mut Endpoint,
+        var: VarId,
+    ) -> Result<Option<(Tensor, Option<Tensor>)>> {
         let _span = span(SpanCat::Ps, "ps.fetch_shard");
         let targets = self.shard_targets(var)?;
         if targets.is_empty() {
@@ -303,19 +321,38 @@ impl PsClient {
             )?;
         }
         let mut tensors = Vec::with_capacity(targets.len());
+        let mut states = Vec::with_capacity(targets.len());
         for (machine, part) in targets {
             let server = self.topo.server_rank(machine);
-            let t = ep
-                .recv(
-                    server,
-                    protocol::response_tag(ReqKind::FetchShard, var.index(), part, self.iter),
-                )?
-                .into_tensor()?;
-            tensors.push(t);
+            let tag = protocol::response_tag(ReqKind::FetchShard, var.index(), part, self.iter);
+            tensors.push(ep.recv(server, tag)?.into_tensor()?);
+            states.push(match ep.recv(server, tag)? {
+                Payload::Tensor(t) => Some(Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone())),
+                Payload::Control(_) => None,
+                _ => {
+                    return Err(PsError::Protocol(
+                        "unexpected FetchShard state payload".into(),
+                    ))
+                }
+            });
         }
+        // All-or-nothing: a slot tensor is only meaningful if every
+        // shard contributed its slice.
+        let state = if states.iter().all(Option::is_some) {
+            let parts: Vec<Tensor> = states.into_iter().map(|s| s.expect("checked")).collect();
+            Some(match self.plan.placement(var)? {
+                VarPlacement::PsDense { .. } => parts.into_iter().next().expect("one part"),
+                VarPlacement::PsSparse { partition, .. } => partition.stitch(&parts)?,
+                VarPlacement::AllReduce => unreachable!("empty targets handled above"),
+            })
+        } else {
+            None
+        };
         match self.plan.placement(var)? {
-            VarPlacement::PsDense { .. } => Ok(Some(tensors.swap_remove(0))),
-            VarPlacement::PsSparse { partition, .. } => Ok(Some(partition.stitch(&tensors)?)),
+            VarPlacement::PsDense { .. } => Ok(Some((tensors.swap_remove(0), state))),
+            VarPlacement::PsSparse { partition, .. } => {
+                Ok(Some((partition.stitch(&tensors)?, state)))
+            }
             VarPlacement::AllReduce => unreachable!("empty targets handled above"),
         }
     }

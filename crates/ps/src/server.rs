@@ -62,6 +62,11 @@ pub struct ServerConfig {
     /// value (`FetchShard`), and the server must count those messages in
     /// its drain loop. `0` disables checkpointing.
     pub checkpoint_interval: usize,
+    /// Minimum parameter rows per pool chunk when the server shards an
+    /// optimizer apply across the shared compute pool (`0` keeps applies
+    /// fully serial). Results are bitwise identical for every setting;
+    /// only the time spent inside `ps.apply` changes.
+    pub apply_min_rows: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +82,7 @@ impl Default for ServerConfig {
             lr_schedule: LrSchedule::Constant,
             start_iteration: 0,
             checkpoint_interval: 0,
+            apply_min_rows: parallax_dataflow::optimizer::DEFAULT_APPLY_MIN_ROWS,
         }
     }
 }
@@ -146,8 +152,9 @@ impl Server {
         topo: PsTopology,
         endpoint: Endpoint,
         config: ServerConfig,
-        optimizer: Box<dyn Optimizer>,
+        mut optimizer: Box<dyn Optimizer>,
     ) -> Result<Self> {
+        optimizer.set_apply_min_rows(config.apply_min_rows);
         let machine = topo
             .machine_of(endpoint.rank())
             .map_err(|_| PsError::Protocol("server endpoint has no machine".into()))?;
@@ -241,6 +248,34 @@ impl Server {
             } else {
                 full.clone()
             };
+        }
+        Ok(())
+    }
+
+    /// Restores the optimizer's slot state for `var` from a checkpointed
+    /// full-size tensor, re-slicing sparse shards by their row ranges
+    /// exactly like [`Server::restore_from`] does for values. A slot
+    /// name that does not match this optimizer's state kind (a config
+    /// change between save and resume) is ignored, not an error.
+    pub fn restore_slot(&mut self, var: VarId, slot_name: &str, full: &Tensor) -> Result<()> {
+        if self.optimizer.state_name() != Some(slot_name) {
+            return Ok(());
+        }
+        let targets: Vec<(u64, Option<std::ops::Range<usize>>)> = self
+            .shards
+            .iter()
+            .filter(|s| s.var == var)
+            .map(|s| {
+                let slot = ((s.var.index() as u64) << 20) | s.part as u64;
+                (slot, s.sparse.then(|| s.rows.clone()))
+            })
+            .collect();
+        for (slot, rows) in targets {
+            let state = match rows {
+                Some(r) => full.slice_rows(r.start, r.end)?,
+                None => full.clone(),
+            };
+            self.optimizer.import_slot(slot, state);
         }
         Ok(())
     }
@@ -484,11 +519,20 @@ impl Server {
                     ));
                 }
                 let value = shard.value.clone();
-                self.endpoint.send(
-                    from,
-                    protocol::response_tag(ReqKind::FetchShard, var, part, iter),
-                    Payload::Tensor(Arc::new(value)),
-                )?;
+                let tag = protocol::response_tag(ReqKind::FetchShard, var, part, iter);
+                self.endpoint
+                    .send(from, tag, Payload::Tensor(Arc::new(value)))?;
+                // Piggyback the optimizer slot state (velocity/accum) on
+                // the same tag so checkpoints can capture it: the
+                // transport is FIFO per (peer, tag), so the client reads
+                // value-then-state in order. Stateless optimizers send a
+                // zero-cost control marker instead.
+                let slot = ((var as u64) << 20) | part as u64;
+                let state = match self.optimizer.export_slot(slot) {
+                    Some(t) => Payload::Tensor(Arc::new(t.clone())),
+                    None => Payload::Control(0),
+                };
+                self.endpoint.send(from, tag, state)?;
             }
             ReqKind::ReadAgg => {
                 body.into_control()?;
@@ -525,7 +569,10 @@ impl Server {
     fn apply_async(&mut self, idx: usize, grad: Grad) -> Result<()> {
         let shard = &mut self.shards[idx];
         let slot = ((shard.var.index() as u64) << 20) | shard.part as u64;
-        self.optimizer.apply(slot, &mut shard.value, &grad)?;
+        {
+            let _apply = span(SpanCat::Ps, "ps.apply");
+            self.optimizer.apply(slot, &mut shard.value, &grad)?;
+        }
         shard.applied = true;
         Ok(())
     }
@@ -557,7 +604,13 @@ impl Server {
         };
         let slot = ((shard.var.index() as u64) << 20) | shard.part as u64;
         let agg = shard.pending.take().expect("checked above").scale(scale);
-        self.optimizer.apply(slot, &mut shard.value, &agg)?;
+        {
+            // The apply is the server's heaviest unit of work; it gets
+            // its own span so measured serve time can be split into
+            // queueing/serving/applying phases.
+            let _apply = span(SpanCat::Ps, "ps.apply");
+            self.optimizer.apply(slot, &mut shard.value, &agg)?;
+        }
         shard.last_aggregate = if self.config.serve_aggregates {
             Some(match agg {
                 Grad::Dense(t) => Payload::Tensor(Arc::new(t)),

@@ -32,11 +32,21 @@ pub fn configure_threads(n: usize) {
 /// value, or the machine's available parallelism by default.
 pub fn effective_threads() -> usize {
     match DESIRED.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        0 => default_parallelism(),
         n => n,
     }
+}
+
+/// `available_parallelism()` probed once and cached: the std call reads
+/// procfs/cgroup files on Linux (~10us), which would otherwise tax every
+/// kernel dispatch on the hot path.
+fn default_parallelism() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 struct Shared {

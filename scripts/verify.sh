@@ -30,4 +30,11 @@ cargo run --release -q -p parallax-bench --bin repro -- straggler --model lm
 cargo run --release -q -p parallax-bench --bin repro -- chaos \
   --scenarios baseline,worker-kill,drop,duplicate
 
+# Compression gate: f16/bf16 dense payloads must shrink >= 1.8x with
+# predicted==traced==measured bytes exactly equal under every wire
+# format, the delta+varint sparse index codec must beat raw u32 indices
+# at alpha <= 0.1, and the fused LSTM cell must be no slower than the
+# unfused op chain (exits nonzero if any gate fails).
+cargo run --release -q -p parallax-bench --bin repro -- compress
+
 echo "verify: OK"

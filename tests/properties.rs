@@ -262,4 +262,53 @@ proptest! {
             ps.total_bytes(),
         );
     }
+
+    /// The delta+varint sparse index codec is lossless for arbitrary
+    /// sorted index sets, and its no-allocation length predictor matches
+    /// the encoder byte for byte (predicted==measured by construction).
+    #[test]
+    fn index_codec_roundtrips_losslessly(
+        raw in vec(0usize..2_000_000, 0..300),
+    ) {
+        use parallax_repro::comm::wire::{decode_indices, encode_indices, encoded_index_len};
+        let mut indices = raw;
+        indices.sort_unstable();
+        indices.dedup();
+        let encoded = encode_indices(&indices);
+        prop_assert_eq!(encoded.len(), encoded_index_len(&indices));
+        prop_assert_eq!(decode_indices(&encoded, indices.len()), indices);
+    }
+
+    /// f16/bf16 roundtrip error is bounded by the formats' mantissa
+    /// widths: round-to-nearest on 10 (f16) / 7 (bf16) mantissa bits
+    /// keeps the relative error within 2^-11 / 2^-8 across each format's
+    /// normal range, and both quantizers are idempotent (re-encoding a
+    /// decoded value is exact — what lets the ring reduce-scatter stay
+    /// deterministic under compression).
+    #[test]
+    fn half_precision_roundtrip_error_bounded(
+        mag in 1e-3f32..1e3,
+        sign in 0u8..2,
+    ) {
+        use parallax_repro::comm::WireFormat;
+        let x = if sign == 1 { -mag } else { mag };
+        for (format, rel_bound) in [
+            (WireFormat::F16, (2.0f32).powi(-11)),
+            (WireFormat::Bf16, (2.0f32).powi(-8)),
+        ] {
+            let rt = format.decode_scalar(format.encode_scalar(x));
+            prop_assert!(
+                (rt - x).abs() <= rel_bound * x.abs(),
+                "{}: {x} -> {rt} (err {} > {})",
+                format.name(),
+                (rt - x).abs(),
+                rel_bound * x.abs(),
+            );
+            // Idempotence: a value already on the format's grid encodes
+            // back to itself bit for bit.
+            prop_assert_eq!(format.decode_scalar(format.encode_scalar(rt)).to_bits(), rt.to_bits());
+            // Zero is exact in both formats.
+            prop_assert_eq!(format.decode_scalar(format.encode_scalar(0.0)).to_bits(), 0.0f32.to_bits());
+        }
+    }
 }

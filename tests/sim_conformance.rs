@@ -7,11 +7,15 @@
 //! simulator's compute-skew ratio and mean PS wait predictions against a
 //! second run with the *real* injected slowdown
 //! (`ParallaxConfig::machine_slowdown`). Checked predictions: the
-//! compute-skew ratio, the mean PS wait, and (loosely) the p99 PS wait
+//! compute-skew ratio, the mean PS wait, (loosely) the p99 PS wait
 //! — the largest modelled idle gap against the power-of-two histogram's
-//! p99 bucket bound. Tolerance bands are the ones DESIGN.md documents
+//! p99 bucket bound — and the per-phase figures: the mean exchange
+//! phase (barrier skew + exposed communication vs the `phase.exchange`
+//! spans) and the per-iteration optimizer-apply total (calibrated
+//! `ps.apply` time, skew-invariant, vs the straggler run's `ps.apply`
+//! spans). Tolerance bands are the ones DESIGN.md documents
 //! (`parallax_bench::straggler::{RATIO_REL_TOL, RATIO_ABS_TOL,
-//! WAIT_BAND, P99_BAND}`).
+//! WAIT_BAND, P99_BAND, EXCHANGE_BAND, APPLY_BAND}`).
 //!
 //! The tracer is process-global, so every test takes one lock.
 
@@ -53,14 +57,29 @@ fn conformance_matrix(preset: &str) {
             case.predicted_p99_s,
             case.measured_p99_s,
         );
-        // The p99 band is checked inside `case.ok()`; assert it
-        // separately too so a tail-only regression names itself.
+        // The p99 and per-phase bands are checked inside `case.ok()`;
+        // assert them separately too so a single-band regression names
+        // itself.
         assert!(
             case.p99_ok(),
             "{preset} factor {factor}: p99 wait outside band \
              ({:.6}s predicted vs {:.6}s measured bound)",
             case.predicted_p99_s,
             case.measured_p99_s,
+        );
+        assert!(
+            case.exchange_ok(),
+            "{preset} factor {factor}: exchange phase outside band \
+             ({:.6}s predicted vs {:.6}s measured)",
+            case.predicted_exchange_s,
+            case.measured_exchange_s,
+        );
+        assert!(
+            case.apply_ok(),
+            "{preset} factor {factor}: apply phase outside band \
+             ({:.6}s predicted vs {:.6}s measured)",
+            case.predicted_apply_s,
+            case.measured_apply_s,
         );
         // No bytes may escape transport classification when delays are
         // injected: the straggler knob changes timing, never routing.
