@@ -8,6 +8,7 @@
 //! repro straggler [--model lm|nmt] [--iters N] [--factors 1,2,3]
 //! repro chaos [--scenarios name,name,...]
 //! repro compress
+//! repro serve-bench [--model lm|nmt]
 //! ```
 //!
 //! `check` runs the static plan verifier (graph passes, distributed-plan
@@ -43,6 +44,13 @@
 //! cell against its unfused composition, writes
 //! `BENCH_compression.json`, and exits nonzero if any compression or
 //! equality gate fails. Excluded from `all` (a gate, like `check`).
+//!
+//! `serve-bench` trains a tiny model with snapshot publishing, times
+//! the zero-copy snapshot load, checks served outputs bitwise against
+//! a training-graph forward pass, measures serving QPS and p50/p99
+//! latency, and writes `BENCH_serving.json`; exits nonzero if the
+//! load-time or bitwise gate fails. Excluded from `all` (a gate, like
+//! `check`).
 
 use parallax_bench::experiments::{self, Framework};
 use parallax_bench::report::{fmt_speedup, fmt_throughput, render_table};
@@ -68,6 +76,7 @@ const KNOWN: &[&str] = &[
     "straggler",
     "chaos",
     "compress",
+    "serve-bench",
 ];
 
 fn main() {
@@ -77,8 +86,11 @@ fn main() {
         eprintln!("usage: repro [{}]", KNOWN.join("|"));
         eprintln!("       repro check [--model lm|nmt]");
         eprintln!("       repro trace [--model lm|nmt] [--iters N]");
+        eprintln!("       repro trace-overhead");
         eprintln!("       repro straggler [--model lm|nmt] [--iters N] [--factors 1,2,3]");
         eprintln!("       repro chaos [--scenarios name,name,...]");
+        eprintln!("       repro compress");
+        eprintln!("       repro serve-bench [--model lm|nmt]");
         std::process::exit(2);
     }
     let all = which == "all";
@@ -171,6 +183,21 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("repro compress: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if which == "serve-bench" {
+        let model = flag_value("--model");
+        match parallax_bench::serve::run(model.as_deref(), "BENCH_serving.json") {
+            Ok((report, ok)) => {
+                print!("{report}");
+                if !ok {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("repro serve-bench: {e}");
                 std::process::exit(1);
             }
         }

@@ -16,6 +16,7 @@ pub mod compress;
 pub mod experiments;
 pub mod kernels;
 pub mod report;
+pub mod serve;
 pub mod straggler;
 pub mod trace;
 

@@ -127,6 +127,14 @@ pub struct ParallaxConfig {
     /// iteration where `(iter + 1) % interval == 0`. Must be `>= 1` when
     /// `checkpoint_path` is set.
     pub checkpoint_interval: usize,
+    /// Serving-snapshot path. When set, the chief also publishes a
+    /// weights-only, mmap-friendly `PLXSNAP1` artifact (atomically, via
+    /// rename) at every checkpoint boundary — the online-serving mode:
+    /// a `parallax-serve` engine watching this path refreshes between
+    /// batches and never lags training by more than
+    /// `checkpoint_interval` steps. Uses `checkpoint_interval` as its
+    /// cadence and may be set with or without `checkpoint_path`.
+    pub snapshot_path: Option<std::path::PathBuf>,
     /// Deterministic fault-injection plan evaluated by the transport and
     /// the runner's worker/server loops. Empty (the default) injects
     /// nothing.
@@ -165,6 +173,7 @@ impl Default for ParallaxConfig {
             machine_slowdown: Vec::new(),
             checkpoint_path: None,
             checkpoint_interval: 0,
+            snapshot_path: None,
             fault_plan: parallax_fault::FaultPlan::new(),
             recv_deadline: None,
             max_recoveries: 1,

@@ -40,6 +40,7 @@ pub mod hybrid;
 pub mod partition;
 pub mod plancheck;
 pub mod runner;
+pub mod snapshot;
 pub mod sparsity;
 pub mod transfer;
 pub mod transform;

@@ -268,22 +268,24 @@ pub fn get_runner(
             )));
         }
     }
-    if config.checkpoint_path.is_some() {
+    let persists = config.checkpoint_path.is_some() || config.snapshot_path.is_some();
+    if persists {
         if config.checkpoint_interval == 0 {
             return Err(CoreError::Config(
-                "checkpoint_interval must be >= 1 when checkpoint_path is set".into(),
+                "checkpoint_interval must be >= 1 when checkpoint_path or snapshot_path is set"
+                    .into(),
             ));
         }
         if !config.synchronous {
             return Err(CoreError::Config(
-                "checkpointing requires synchronous training (the chief \
-                 coordinates consistent shard fetches at iteration boundaries)"
+                "checkpointing and snapshot publishing require synchronous training (the \
+                 chief coordinates consistent shard fetches at iteration boundaries)"
                     .into(),
             ));
         }
     } else if config.checkpoint_interval != 0 {
         return Err(CoreError::Config(
-            "checkpoint_interval is set but checkpoint_path is None".into(),
+            "checkpoint_interval is set but neither checkpoint_path nor snapshot_path is".into(),
         ));
     }
     if let Some(d) = config.recv_deadline {
@@ -741,39 +743,43 @@ impl Runner {
         })
     }
 
-    /// The effective checkpoint interval: `checkpoint_interval` when a
-    /// checkpoint path is configured under synchronous training, else 0
-    /// (disabled). Workers and servers must agree on this value — the
-    /// chief sends one `FetchShard` per shard at every boundary
-    /// iteration and servers count those messages into their
-    /// synchronization barrier.
+    /// The effective checkpoint/snapshot interval: `checkpoint_interval`
+    /// when a checkpoint or serving-snapshot path is configured under
+    /// synchronous training, else 0 (disabled). Workers and servers must
+    /// agree on this value — the chief sends one `FetchShard` per shard
+    /// at every boundary iteration and servers count those messages into
+    /// their synchronization barrier.
     fn ckpt_interval(&self) -> usize {
-        if self.config.checkpoint_path.is_some() && self.config.synchronous {
+        let persists = self.config.checkpoint_path.is_some() || self.config.snapshot_path.is_some();
+        if persists && self.config.synchronous {
             self.config.checkpoint_interval
         } else {
             0
         }
     }
 
-    /// Saves a consistent checkpoint at the end of iteration `iter`
-    /// (chief only): PS variables are fetched post-update from their
-    /// server shards, AllReduce variables come from the chief's own
-    /// replica (identical on every worker), and the train state records
-    /// `iter + 1` completed steps with one data cursor per worker.
+    /// Publishes the chief's persistence artifacts at the end of
+    /// iteration `iter`: a full training checkpoint (when
+    /// `checkpoint_path` is set) and/or a weights-only serving snapshot
+    /// (when `snapshot_path` is set). One consistent fetch pass feeds
+    /// both — PS variables are fetched post-update from their server
+    /// shards, AllReduce variables come from the chief's own replica
+    /// (identical on every worker) — so the two artifacts always agree,
+    /// and the per-boundary `FetchShard` message count the servers fold
+    /// into their barrier is unchanged whether one or both are written.
     ///
-    /// Optimizer slot state rides along: AllReduce slots from the
-    /// chief's own `optimizer` (replicas are identical), PS slots
-    /// piggybacked on the shard fetches and stitched like the values.
-    fn save_checkpoint(
+    /// For the checkpoint, optimizer slot state rides along: AllReduce
+    /// slots from the chief's own `optimizer` (replicas are identical),
+    /// PS slots piggybacked on the shard fetches and stitched like the
+    /// values. The snapshot takes weights only.
+    fn publish_artifacts(
         &self,
         endpoint: &mut Endpoint,
         client: &mut PsClient,
         local: &VarStore,
         optimizer: &dyn parallax_dataflow::Optimizer,
         iter: usize,
-        path: &std::path::Path,
     ) -> Result<()> {
-        let _span = parallax_trace::span(parallax_trace::SpanCat::Phase, "checkpoint.save");
         let mut store = local.clone();
         let mut slots = checkpoint::SlotMap::new();
         let kind = optimizer.state_name();
@@ -802,11 +808,18 @@ impl Runner {
             }
         }
         let step = (iter + 1) as u64;
-        let state = TrainState {
-            step,
-            cursors: vec![step; self.topo.num_workers()],
-        };
-        checkpoint::save_full(&self.graph, &store, &state, &slots, path)
+        if let Some(path) = self.config.checkpoint_path.as_ref() {
+            let _span = parallax_trace::span(parallax_trace::SpanCat::Phase, "checkpoint.save");
+            let state = TrainState {
+                step,
+                cursors: vec![step; self.topo.num_workers()],
+            };
+            checkpoint::save_full(&self.graph, &store, &state, &slots, path)?;
+        }
+        if let Some(path) = self.config.snapshot_path.as_ref() {
+            crate::snapshot::save(&self.graph, &store, step, path)?;
+        }
+        Ok(())
     }
 
     /// One worker's training loop over iterations
@@ -1065,16 +1078,12 @@ impl Runner {
                 }
                 norms.push(sq_norm.sqrt() as f32);
             }
-            // Checkpoint boundary: the chief fetches post-update shard
-            // values from the servers (they hold this iteration open
-            // until the fetches arrive) and writes one atomic file.
+            // Checkpoint/snapshot boundary: the chief fetches
+            // post-update shard values from the servers (they hold this
+            // iteration open until the fetches arrive) and writes each
+            // configured artifact as one atomic file.
             if is_global_chief && ckpt_interval > 0 && (iter + 1).is_multiple_of(ckpt_interval) {
-                let path = self
-                    .config
-                    .checkpoint_path
-                    .as_deref()
-                    .expect("ckpt_interval > 0 implies a checkpoint path");
-                self.save_checkpoint(endpoint, client, local, optimizer.as_ref(), iter, path)?;
+                self.publish_artifacts(endpoint, client, local, optimizer.as_ref(), iter)?;
             }
         }
         Ok((losses, norms, compute_secs, ctx.local))

@@ -307,6 +307,85 @@ impl Op {
     }
 }
 
+/// Clones `op` with every node input rewritten through `map` (old node
+/// index → id in the sliced graph). Exhaustive over [`Op`] so a new
+/// variant cannot silently ship with a broken inference slice.
+/// `Placeholder` is handled by the caller (it must be re-declared, not
+/// remapped).
+fn remap_op(op: &Op, map: &[Option<NodeId>]) -> Result<Op> {
+    let m = |id: &NodeId| -> Result<NodeId> {
+        map.get(id.0)
+            .copied()
+            .flatten()
+            .ok_or(DataflowError::UnknownNode(id.0))
+    };
+    Ok(match op {
+        Op::Placeholder(_) => {
+            return Err(DataflowError::InvalidGraph(
+                "placeholders are re-declared, not remapped".into(),
+            ))
+        }
+        Op::Variable(v) => Op::Variable(*v),
+        Op::Constant(t) => Op::Constant(t.clone()),
+        Op::MatMul(a, b) => Op::MatMul(m(a)?, m(b)?),
+        Op::MatMulBT(a, b) => Op::MatMulBT(m(a)?, m(b)?),
+        Op::Add(a, b) => Op::Add(m(a)?, m(b)?),
+        Op::Sub(a, b) => Op::Sub(m(a)?, m(b)?),
+        Op::Hadamard(a, b) => Op::Hadamard(m(a)?, m(b)?),
+        Op::AddBias { x, bias } => Op::AddBias {
+            x: m(x)?,
+            bias: m(bias)?,
+        },
+        Op::Scale(a, f) => Op::Scale(m(a)?, *f),
+        Op::Sigmoid(a) => Op::Sigmoid(m(a)?),
+        Op::Tanh(a) => Op::Tanh(m(a)?),
+        Op::Relu(a) => Op::Relu(m(a)?),
+        Op::Gather { table, ids } => Op::Gather {
+            table: *table,
+            ids: m(ids)?,
+        },
+        Op::ConcatCols(parts) => Op::ConcatCols(parts.iter().map(&m).collect::<Result<_>>()?),
+        Op::SliceCols {
+            input,
+            start,
+            width,
+        } => Op::SliceCols {
+            input: m(input)?,
+            start: *start,
+            width: *width,
+        },
+        Op::SliceRows { input, start, rows } => Op::SliceRows {
+            input: m(input)?,
+            start: *start,
+            rows: *rows,
+        },
+        Op::LstmCellFused {
+            x,
+            h_prev,
+            c_prev,
+            w,
+            b,
+            hidden,
+        } => Op::LstmCellFused {
+            x: m(x)?,
+            h_prev: m(h_prev)?,
+            c_prev: m(c_prev)?,
+            w: m(w)?,
+            b: m(b)?,
+            hidden: *hidden,
+        },
+        Op::SoftmaxRows(a) => Op::SoftmaxRows(m(a)?),
+        Op::SumRowsToColumn(a) => Op::SumRowsToColumn(m(a)?),
+        Op::ScaleRows { x, s } => Op::ScaleRows { x: m(x)?, s: m(s)? },
+        Op::Reshape(a, shape) => Op::Reshape(m(a)?, shape.clone()),
+        Op::MeanAll(a) => Op::MeanAll(m(a)?),
+        Op::SoftmaxXent { logits, labels } => Op::SoftmaxXent {
+            logits: m(logits)?,
+            labels: m(labels)?,
+        },
+    })
+}
+
 /// A single-device computation graph, the input to Parallax's transformer.
 #[derive(Debug, Clone, Default)]
 pub struct Graph {
@@ -531,6 +610,68 @@ impl Graph {
         }
     }
 
+    /// Extracts the inference-only subgraph needed to compute `targets`:
+    /// the ancestor closure of the target nodes, with everything else —
+    /// label placeholders, per-timestep losses, the mean loss — dropped.
+    ///
+    /// Every [`VariableDef`] is cloned **in declaration order** even
+    /// when the slice does not read it, so `VarId`s are identical
+    /// between the training graph and the slice. That invariant is what
+    /// lets a serving snapshot written against the training graph be
+    /// applied to the slice without a name-based remap, and keeps
+    /// `find_variable`/`var_def` answers consistent across both graphs.
+    /// Kept placeholders are re-declared under their original names
+    /// (feeds address placeholders by name, so fresh `PhId`s are fine).
+    ///
+    /// Returns the sliced graph plus a per-node mapping: entry `i` is
+    /// `Some(new_id)` when node `i` of `self` was kept (e.g. to locate
+    /// the logits node in the slice), `None` when it was dropped.
+    pub fn inference_slice(&self, targets: &[NodeId]) -> Result<(Graph, Vec<Option<NodeId>>)> {
+        let mut keep = vec![false; self.nodes.len()];
+        for &t in targets {
+            *keep.get_mut(t.0).ok_or(DataflowError::UnknownNode(t.0))? = true;
+        }
+        // Insertion order is topological, so one reverse sweep closes
+        // the ancestor set.
+        for i in (0..self.nodes.len()).rev() {
+            if keep[i] {
+                for input in self.nodes[i].inputs() {
+                    keep[input.0] = true;
+                }
+            }
+        }
+
+        let mut sliced = Graph::new();
+        for _ in 0..self.partition_groups {
+            sliced.open_partition_group();
+        }
+        for def in &self.variables {
+            // Defs carry their partition_group already; push verbatim.
+            sliced.variables.push(def.clone());
+        }
+
+        let mut map: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        for (i, op) in self.nodes.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            let new_id = match op {
+                Op::Placeholder(ph) => {
+                    let def = self.placeholder_def(*ph)?;
+                    sliced.placeholder(def.name.clone(), def.kind)?
+                }
+                other => {
+                    let remapped = remap_op(other, &map)?;
+                    sliced.add(remapped)?
+                }
+            };
+            // Preserve builder provenance for verifier diagnostics.
+            sliced.origins[new_id.0] = self.origins[i].clone();
+            map[i] = Some(new_id);
+        }
+        Ok((sliced, map))
+    }
+
     /// Nodes that `Gather` from `var`.
     pub fn gather_nodes_of(&self, var: VarId) -> Vec<NodeId> {
         self.nodes
@@ -679,5 +820,89 @@ mod tests {
     fn gather_nodes_listed() {
         let (g, emb, _) = small_graph();
         assert_eq!(g.gather_nodes_of(emb).len(), 1);
+    }
+
+    /// A toy train graph with a logits head and a label/loss tail:
+    /// `logits = gather(emb, ids) * w + b`, `loss = xent(logits, labels)`.
+    fn train_graph() -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let grp = g.open_partition_group();
+        let emb = g
+            .variable_in_group(VariableDef::new("emb", [10, 4], Init::Glorot), grp)
+            .unwrap();
+        let w = g
+            .variable(VariableDef::new("w", [4, 3], Init::Normal(0.2)))
+            .unwrap();
+        let b = g.variable(VariableDef::new("b", [3], Init::Zeros)).unwrap();
+        let ids = g.placeholder("ids", PhKind::Ids).unwrap();
+        let x = g.add(Op::Gather { table: emb, ids }).unwrap();
+        let wr = g.read(w).unwrap();
+        let br = g.read(b).unwrap();
+        let xw = g.add(Op::MatMul(x, wr)).unwrap();
+        let logits = g.add(Op::AddBias { x: xw, bias: br }).unwrap();
+        let labels = g.placeholder("labels", PhKind::Ids).unwrap();
+        let loss = g.add(Op::SoftmaxXent { logits, labels }).unwrap();
+        (g, logits, loss)
+    }
+
+    #[test]
+    fn inference_slice_drops_loss_and_keeps_var_ids() {
+        let (g, logits, loss) = train_graph();
+        let (sliced, map) = g.inference_slice(&[logits]).unwrap();
+        // The loss node and the labels placeholder are gone.
+        assert!(map[loss.0].is_none());
+        assert!(sliced.ops().iter().all(|op| op.name() != "SoftmaxXent"));
+        assert!(sliced.placeholders().iter().all(|p| p.name != "labels"));
+        assert!(sliced.placeholders().iter().any(|p| p.name == "ids"));
+        // VarIds (and partition groups) are identical to the training graph.
+        assert_eq!(sliced.variables().len(), g.variables().len());
+        assert_eq!(sliced.num_partition_groups(), g.num_partition_groups());
+        for var in g.var_ids() {
+            let a = g.var_def(var).unwrap();
+            let b = sliced.var_def(var).unwrap();
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.shape, b.shape);
+            assert_eq!(a.partition_group, b.partition_group);
+        }
+        assert!(g.is_sparse_variable(g.find_variable("emb").unwrap()));
+        assert!(sliced.is_sparse_variable(sliced.find_variable("emb").unwrap()));
+        sliced.validate().unwrap();
+    }
+
+    #[test]
+    fn inference_slice_forward_is_bitwise_equal() {
+        use crate::value::{Feed, Value};
+        use crate::varstore::VarStore;
+        use parallax_tensor::DetRng;
+
+        let (g, logits, _) = train_graph();
+        let (sliced, map) = g.inference_slice(&[logits]).unwrap();
+        let sliced_logits = map[logits.0].unwrap();
+        // Same defs + same seed => identical stores on both graphs.
+        let mut store = VarStore::init(&g, &mut DetRng::seed(11));
+        let mut store2 = VarStore::init(&sliced, &mut DetRng::seed(11));
+        let ids = vec![3usize, 0, 7];
+        let full_feed = Feed::new()
+            .with("ids", Value::Ids(ids.clone()))
+            .with("labels", Value::Ids(vec![0, 1, 2]));
+        let slice_feed = Feed::new().with("ids", Value::Ids(ids));
+        let sess = crate::exec::Session::new(&g);
+        let mut acts = crate::exec::Activations::default();
+        sess.forward_into(&full_feed, &mut store, &mut acts)
+            .unwrap();
+        let sess2 = crate::exec::Session::new(&sliced);
+        let mut acts2 = crate::exec::Activations::default();
+        sess2
+            .forward_into(&slice_feed, &mut store2, &mut acts2)
+            .unwrap();
+        let want = acts.tensor(logits).unwrap();
+        let got = acts2.tensor(sliced_logits).unwrap();
+        assert_eq!(want.data(), got.data(), "slice forward must be bitwise");
+    }
+
+    #[test]
+    fn inference_slice_rejects_unknown_target() {
+        let (g, ..) = train_graph();
+        assert!(g.inference_slice(&[NodeId(999)]).is_err());
     }
 }

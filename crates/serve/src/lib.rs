@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Snapshot-consistent inference serving for the Parallax reproduction.
+//!
+//! Training ends at a barrier; this crate is what comes after it — the
+//! ROADMAP's "serve heavy traffic" leg:
+//!
+//! * [`queue`] — a bounded MPMC request queue with batched dequeue:
+//!   admission control in front of the compute pool.
+//! * [`engine`] — the [`engine::ServeEngine`]: worker threads coalesce
+//!   queued requests into model-sized batches, read weights zero-copy
+//!   from an mmap'd [`parallax_core::snapshot`] artifact, and run one
+//!   batched forward pass per batch, with per-request latency
+//!   histograms riding `parallax-trace`. In online mode the workers
+//!   swap in newer snapshots the trainer republishes, upholding the
+//!   `train_step - served_step <= checkpoint_interval` staleness bound.
+//! * [`lm`] / [`nmt`] — [`engine::ServeModel`] adapters for the two
+//!   sparse evaluation models, built on `Graph::inference_slice` so the
+//!   serving graph shares `VarId`s (and therefore snapshots) with the
+//!   training graph, and served logits are bitwise equal to a
+//!   training-graph forward pass on the same weights.
+
+pub mod engine;
+pub mod error;
+pub mod lm;
+pub mod nmt;
+pub mod queue;
+
+pub use engine::{Response, ServeConfig, ServeEngine, ServeModel, Ticket};
+pub use error::ServeError;
+pub use lm::{LmRequest, LmServe};
+pub use nmt::{NmtRequest, NmtServe};
+pub use queue::Bounded;
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,180 @@
+//! Serving adapter for the LM model: next-token logits over the full
+//! vocabulary from a fixed-length context.
+//!
+//! The adapter slices the training graph at its logits node
+//! ([`Graph::inference_slice`]), dropping the label placeholders and
+//! loss tail, and feeds the candidate placeholder with the *entire*
+//! vocabulary `0..vocab` — serving scores every token, where training
+//! scores only the sampled-softmax candidates. `VarId`s are shared
+//! with the training graph, so a snapshot published by the trainer
+//! applies directly.
+
+use parallax_dataflow::{Feed, Graph, NodeId};
+use parallax_models::lm::{LmConfig, LmModel};
+use parallax_tensor::Tensor;
+
+use crate::engine::ServeModel;
+use crate::error::ServeError;
+use crate::Result;
+
+/// One LM inference request: a context of exactly `length` token ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LmRequest {
+    /// Token ids, oldest first; must have the model's unroll length.
+    pub context: Vec<usize>,
+}
+
+/// The LM serving adapter.
+pub struct LmServe {
+    graph: Graph,
+    logits: NodeId,
+    config: LmConfig,
+    /// The full-vocabulary candidate set, shared by every batch.
+    cands: Vec<usize>,
+}
+
+impl LmServe {
+    /// Builds the inference slice of a trained LM.
+    pub fn new(model: &LmModel) -> Result<LmServe> {
+        let (graph, map) = model.built.graph.inference_slice(&[model.built.logits])?;
+        let logits = map[model.built.logits.index()].expect("slice targets are always kept");
+        Ok(LmServe {
+            graph,
+            logits,
+            config: model.config,
+            cands: (0..model.config.vocab).collect(),
+        })
+    }
+
+    /// The model hyperparameters.
+    pub fn config(&self) -> &LmConfig {
+        &self.config
+    }
+}
+
+impl ServeModel for LmServe {
+    type Request = LmRequest;
+    /// Next-token logits over the full vocabulary (`vocab` entries).
+    type Output = Vec<f32>;
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn output(&self) -> NodeId {
+        self.logits
+    }
+
+    fn batch_size(&self) -> usize {
+        self.config.batch
+    }
+
+    fn validate(&self, req: &LmRequest) -> Result<()> {
+        if req.context.len() != self.config.length {
+            return Err(ServeError::BadRequest(format!(
+                "context has {} tokens, model unrolls {}",
+                req.context.len(),
+                self.config.length
+            )));
+        }
+        if let Some(&t) = req.context.iter().find(|&&t| t >= self.config.vocab) {
+            return Err(ServeError::BadRequest(format!(
+                "token {t} outside vocabulary of {}",
+                self.config.vocab
+            )));
+        }
+        Ok(())
+    }
+
+    fn build_feed(&self, batch: &[LmRequest]) -> Result<Feed> {
+        let b = self.config.batch;
+        // Time-major id block, padded with token 0 — padding rows ride
+        // along but their logits are dropped in `extract`.
+        let mut ids = Vec::with_capacity(self.config.length * b);
+        for t in 0..self.config.length {
+            for slot in 0..b {
+                ids.push(batch.get(slot).map_or(0, |r| r.context[t]));
+            }
+        }
+        Ok(Feed::new()
+            .with("ids", ids)
+            .with("cands", self.cands.clone())
+            .with("h0", Tensor::zeros([b, self.config.hidden]))
+            .with("c0", Tensor::zeros([b, self.config.hidden])))
+    }
+
+    fn extract(&self, batch: &[LmRequest], output: &Tensor) -> Result<Vec<Vec<f32>>> {
+        (0..batch.len())
+            .map(|slot| Ok(output.row(slot)?.to_vec()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_dataflow::{Session, Value, VarStore};
+    use parallax_tensor::DetRng;
+
+    /// Served logits must be bitwise equal to a training-graph forward
+    /// pass on the same weights with the same full-vocab candidates.
+    #[test]
+    fn slice_matches_training_graph_bitwise() {
+        let model = LmModel::build(LmConfig::tiny()).unwrap();
+        let serve = LmServe::new(&model).unwrap();
+        let cfg = model.config;
+        let mut store = VarStore::init(&model.built.graph, &mut DetRng::seed(21));
+        let mut store2 = VarStore::init(&serve.graph, &mut DetRng::seed(21));
+
+        let requests: Vec<LmRequest> = (0..cfg.batch)
+            .map(|b| LmRequest {
+                context: (0..cfg.length)
+                    .map(|t| (7 * b + 3 * t) % cfg.vocab)
+                    .collect(),
+            })
+            .collect();
+        let serve_feed = serve.build_feed(&requests).unwrap();
+
+        // The same inputs through the training graph, labels zeroed
+        // (they only feed the loss tail, not the logits).
+        let mut train_feed = Feed::new()
+            .with("cands", (0..cfg.vocab).collect::<Vec<usize>>())
+            .with("h0", Tensor::zeros([cfg.batch, cfg.hidden]))
+            .with("c0", Tensor::zeros([cfg.batch, cfg.hidden]));
+        let mut ids = Vec::new();
+        for t in 0..cfg.length {
+            for r in &requests {
+                ids.push(r.context[t]);
+            }
+            train_feed.insert(format!("labels_{t}"), vec![0usize; cfg.batch]);
+        }
+        train_feed.insert("ids", Value::Ids(ids));
+
+        let served = Session::new(&serve.graph)
+            .forward(&serve_feed, &mut store2)
+            .unwrap();
+        let trained = Session::new(&model.built.graph)
+            .forward(&train_feed, &mut store)
+            .unwrap();
+        let a = served.tensor(serve.logits).unwrap();
+        let b = trained.tensor(model.built.logits).unwrap();
+        assert_eq!(a.shape().dims(), &[cfg.batch, cfg.vocab]);
+        assert_eq!(a.data(), b.data(), "served logits must be bitwise equal");
+    }
+
+    #[test]
+    fn validation_checks_length_and_vocab() {
+        let model = LmModel::build(LmConfig::tiny()).unwrap();
+        let serve = LmServe::new(&model).unwrap();
+        let good = LmRequest {
+            context: vec![1; serve.config().length],
+        };
+        serve.validate(&good).unwrap();
+        let short = LmRequest { context: vec![1] };
+        assert!(serve.validate(&short).is_err());
+        let oov = LmRequest {
+            context: vec![serve.config().vocab; serve.config().length],
+        };
+        assert!(serve.validate(&oov).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Serving adapter for the NMT model: next-target-token logits over
+//! the full target vocabulary, given a source sentence and a decoded
+//! target prefix (one step of greedy/beam decoding).
+//!
+//! The training graph already projects to the full target vocabulary,
+//! so — unlike the LM — no candidate widening is needed; the adapter
+//! only slices off the label placeholders and loss tail.
+
+use parallax_dataflow::{Feed, Graph, NodeId};
+use parallax_models::nmt::{NmtConfig, NmtModel};
+use parallax_tensor::Tensor;
+
+use crate::engine::ServeModel;
+use crate::error::ServeError;
+use crate::Result;
+
+/// One NMT inference request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NmtRequest {
+    /// Source token ids; must have the model's sequence length.
+    pub src: Vec<usize>,
+    /// Target-side prefix (teacher-forced decoder input); must have
+    /// the model's sequence length. The response scores the token
+    /// following the last prefix position.
+    pub tgt_prefix: Vec<usize>,
+}
+
+/// The NMT serving adapter.
+pub struct NmtServe {
+    graph: Graph,
+    logits: NodeId,
+    config: NmtConfig,
+}
+
+impl NmtServe {
+    /// Builds the inference slice of a trained NMT model.
+    pub fn new(model: &NmtModel) -> Result<NmtServe> {
+        let (graph, map) = model.built.graph.inference_slice(&[model.built.logits])?;
+        let logits = map[model.built.logits.index()].expect("slice targets are always kept");
+        Ok(NmtServe {
+            graph,
+            logits,
+            config: model.config,
+        })
+    }
+
+    /// The model hyperparameters.
+    pub fn config(&self) -> &NmtConfig {
+        &self.config
+    }
+}
+
+impl ServeModel for NmtServe {
+    type Request = NmtRequest;
+    /// Logits over the full target vocabulary (`tgt_vocab` entries).
+    type Output = Vec<f32>;
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn output(&self) -> NodeId {
+        self.logits
+    }
+
+    fn batch_size(&self) -> usize {
+        self.config.batch
+    }
+
+    fn validate(&self, req: &NmtRequest) -> Result<()> {
+        if req.src.len() != self.config.length || req.tgt_prefix.len() != self.config.length {
+            return Err(ServeError::BadRequest(format!(
+                "src/tgt have {}/{} tokens, model unrolls {}",
+                req.src.len(),
+                req.tgt_prefix.len(),
+                self.config.length
+            )));
+        }
+        if let Some(&t) = req.src.iter().find(|&&t| t >= self.config.src_vocab) {
+            return Err(ServeError::BadRequest(format!(
+                "source token {t} outside vocabulary of {}",
+                self.config.src_vocab
+            )));
+        }
+        if let Some(&t) = req.tgt_prefix.iter().find(|&&t| t >= self.config.tgt_vocab) {
+            return Err(ServeError::BadRequest(format!(
+                "target token {t} outside vocabulary of {}",
+                self.config.tgt_vocab
+            )));
+        }
+        Ok(())
+    }
+
+    fn build_feed(&self, batch: &[NmtRequest]) -> Result<Feed> {
+        let b = self.config.batch;
+        let mut src_ids = Vec::with_capacity(self.config.length * b);
+        let mut tgt_ids = Vec::with_capacity(self.config.length * b);
+        for t in 0..self.config.length {
+            for slot in 0..b {
+                src_ids.push(batch.get(slot).map_or(0, |r| r.src[t]));
+                tgt_ids.push(batch.get(slot).map_or(0, |r| r.tgt_prefix[t]));
+            }
+        }
+        Ok(Feed::new()
+            .with("src_ids", src_ids)
+            .with("tgt_ids", tgt_ids)
+            .with("h0", Tensor::zeros([b, self.config.hidden]))
+            .with("c0", Tensor::zeros([b, self.config.hidden])))
+    }
+
+    fn extract(&self, batch: &[NmtRequest], output: &Tensor) -> Result<Vec<Vec<f32>>> {
+        (0..batch.len())
+            .map(|slot| Ok(output.row(slot)?.to_vec()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_dataflow::{Session, Value, VarStore};
+    use parallax_tensor::DetRng;
+
+    #[test]
+    fn slice_matches_training_graph_bitwise() {
+        let model = NmtModel::build(NmtConfig::tiny()).unwrap();
+        let serve = NmtServe::new(&model).unwrap();
+        let cfg = model.config;
+        let mut store = VarStore::init(&model.built.graph, &mut DetRng::seed(33));
+        let mut store2 = VarStore::init(&serve.graph, &mut DetRng::seed(33));
+
+        let requests: Vec<NmtRequest> = (0..cfg.batch)
+            .map(|b| NmtRequest {
+                src: (0..cfg.length)
+                    .map(|t| (5 * b + 2 * t) % cfg.src_vocab)
+                    .collect(),
+                tgt_prefix: (0..cfg.length)
+                    .map(|t| (3 * b + 7 * t) % cfg.tgt_vocab)
+                    .collect(),
+            })
+            .collect();
+        let serve_feed = serve.build_feed(&requests).unwrap();
+
+        let mut train_feed = Feed::new()
+            .with("h0", Tensor::zeros([cfg.batch, cfg.hidden]))
+            .with("c0", Tensor::zeros([cfg.batch, cfg.hidden]));
+        let mut src_ids = Vec::new();
+        let mut tgt_ids = Vec::new();
+        for t in 0..cfg.length {
+            for r in &requests {
+                src_ids.push(r.src[t]);
+                tgt_ids.push(r.tgt_prefix[t]);
+            }
+            train_feed.insert(format!("labels_{t}"), vec![0usize; cfg.batch]);
+        }
+        train_feed.insert("src_ids", Value::Ids(src_ids));
+        train_feed.insert("tgt_ids", Value::Ids(tgt_ids));
+
+        let served = Session::new(&serve.graph)
+            .forward(&serve_feed, &mut store2)
+            .unwrap();
+        let trained = Session::new(&model.built.graph)
+            .forward(&train_feed, &mut store)
+            .unwrap();
+        let a = served.tensor(serve.logits).unwrap();
+        let b = trained.tensor(model.built.logits).unwrap();
+        assert_eq!(a.shape().dims(), &[cfg.batch, cfg.tgt_vocab]);
+        assert_eq!(a.data(), b.data(), "served logits must be bitwise equal");
+    }
+
+    #[test]
+    fn validation_checks_lengths_and_vocabs() {
+        let model = NmtModel::build(NmtConfig::tiny()).unwrap();
+        let serve = NmtServe::new(&model).unwrap();
+        let l = serve.config().length;
+        serve
+            .validate(&NmtRequest {
+                src: vec![1; l],
+                tgt_prefix: vec![1; l],
+            })
+            .unwrap();
+        assert!(serve
+            .validate(&NmtRequest {
+                src: vec![1; l - 1],
+                tgt_prefix: vec![1; l],
+            })
+            .is_err());
+        assert!(serve
+            .validate(&NmtRequest {
+                src: vec![serve.config().src_vocab; l],
+                tgt_prefix: vec![1; l],
+            })
+            .is_err());
+        assert!(serve
+            .validate(&NmtRequest {
+                src: vec![1; l],
+                tgt_prefix: vec![serve.config().tgt_vocab; l],
+            })
+            .is_err());
+    }
+}

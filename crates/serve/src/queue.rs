@@ -1,0 +1,177 @@
+//! A bounded MPMC request queue with batched dequeue.
+//!
+//! The admission point of the serving engine: producers (frontend
+//! threads) block — or shed load via [`Bounded::try_push`] — when the
+//! queue is at capacity, and consumer workers take *up to* a batch of
+//! requests in one lock acquisition, which is what lets the batcher
+//! coalesce whatever has accumulated since its last forward pass
+//! instead of paying one wakeup per request.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Rejection reasons from [`Bounded::try_push`]; carries the value back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue has been closed.
+    Closed(T),
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer FIFO queue.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking; fails when full or closed.
+    pub fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(value));
+        }
+        if inner.queue.len() >= self.capacity {
+            return Err(PushError::Full(value));
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the queue is at capacity. Returns the
+    /// value back when the queue closes before space opens up.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        while !inner.closed && inner.queue.len() >= self.capacity {
+            inner = self.not_full.wait(inner).expect("queue poisoned");
+        }
+        if inner.closed {
+            return Err(value);
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues up to `max` items, blocking until at least one is
+    /// available. Returns `None` once the queue is closed *and*
+    /// drained — in-flight requests are always served out.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        while inner.queue.is_empty() {
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+        let n = inner.queue.len().min(max.max(1));
+        let batch: Vec<T> = inner.queue.drain(..n).collect();
+        drop(inner);
+        // Batch drains free up to `n` slots; wake all blocked producers.
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current depth (racy; for metrics only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").queue.len()
+    }
+
+    /// True when no requests are waiting (racy; for metrics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_batched_drain() {
+        let q = Bounded::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(3).unwrap(), vec![3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        q.pop_batch(1).unwrap();
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Bounded::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(8), Err(PushError::Closed(8))));
+        assert!(q.push(9).is_err());
+        assert_eq!(q.pop_batch(4).unwrap(), vec![7]);
+        assert!(q.pop_batch(4).is_none());
+    }
+
+    #[test]
+    fn blocked_producer_wakes_on_drain() {
+        let q = Arc::new(Bounded::new(1));
+        q.try_push(0usize).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(1).is_ok());
+        // Give the producer a moment to block, then free a slot.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(q.pop_batch(1).unwrap(), vec![0]);
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop_batch(1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q: Arc<Bounded<usize>> = Arc::new(Bounded::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_batch(4));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert!(consumer.join().unwrap().is_none());
+    }
+}

@@ -15,12 +15,14 @@ pub mod rng;
 pub mod shape;
 pub mod sparse;
 pub mod tensor;
+pub mod view;
 
 pub use error::TensorError;
 pub use rng::DetRng;
 pub use shape::Shape;
 pub use sparse::IndexedSlices;
 pub use tensor::Tensor;
+pub use view::TensorView;
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, TensorError>;

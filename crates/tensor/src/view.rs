@@ -1,0 +1,136 @@
+//! Borrowed tensors: a shape over externally owned `f32` memory.
+//!
+//! A [`TensorView`] is the zero-copy counterpart of [`Tensor`]: it
+//! carries a [`Shape`] and a borrowed element slice instead of a
+//! `Vec<f32>`. The serving path mmaps a model snapshot and exposes each
+//! variable as a view over the mapped bytes — reading weights never
+//! deserializes or copies them; only explicitly requested rows are
+//! materialized (the gather) or the whole value on an explicit
+//! [`TensorView::to_tensor`].
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// An immutable tensor view over borrowed element storage.
+/// Views keep the shape by reference too, so constructing one
+/// allocates nothing (`Shape` owns a `Vec<usize>` of dims).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorView<'a> {
+    shape: &'a Shape,
+    data: &'a [f32],
+}
+
+impl<'a> TensorView<'a> {
+    /// Wraps `data` as a tensor of `shape`. The element count must
+    /// match the shape's volume.
+    pub fn new(shape: &'a Shape, data: &'a [f32]) -> Result<Self> {
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(TensorView { shape, data })
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &Shape {
+        self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the view holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The borrowed element slice, row-major. The returned slice lives
+    /// as long as the underlying storage, not the view value itself.
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Row `r` of a matrix-shaped view (borrowed, no copy).
+    pub fn row(&self, r: usize) -> Result<&'a [f32]> {
+        let (rows, cols) = self.shape.as_matrix()?;
+        if r >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: r,
+                bound: rows,
+            });
+        }
+        Ok(&self.data[r * cols..(r + 1) * cols])
+    }
+
+    /// Materializes the view into an owned [`Tensor`] (the one explicit
+    /// copy on the zero-copy load path).
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::new(self.shape.clone(), self.data.to_vec()).expect("view invariant: volume == len")
+    }
+
+    /// Gathers rows `ids` into an owned `[ids.len(), cols]` tensor —
+    /// bitwise identical to [`crate::ops::gather_rows`] on an owned
+    /// tensor holding the same data.
+    pub fn gather_rows(&self, ids: &[usize]) -> Result<Tensor> {
+        let (rows, cols) = self.shape.as_matrix()?;
+        let mut data = Vec::with_capacity(ids.len() * cols);
+        for &id in ids {
+            if id >= rows {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: id,
+                    bound: rows,
+                });
+            }
+            data.extend_from_slice(&self.data[id * cols..(id + 1) * cols]);
+        }
+        Tensor::new([ids.len(), cols], data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn view_borrows_without_copying() {
+        let shape = Shape::new([2, 3]);
+        let data = vec![0., 1., 2., 10., 11., 12.];
+        let view = TensorView::new(&shape, &data).unwrap();
+        assert_eq!(view.len(), 6);
+        // Same memory, not a copy.
+        assert!(std::ptr::eq(view.data().as_ptr(), data.as_ptr()));
+        assert_eq!(view.row(1).unwrap(), &[10., 11., 12.]);
+        assert!(view.row(2).is_err());
+    }
+
+    #[test]
+    fn volume_mismatch_rejected() {
+        let shape = Shape::new([2, 3]);
+        let data = vec![0.0; 5];
+        assert!(TensorView::new(&shape, &data).is_err());
+    }
+
+    #[test]
+    fn gather_matches_owned_gather_bitwise() {
+        let t = Tensor::new([4, 2], (0..8).map(|i| i as f32 * 0.5).collect::<Vec<_>>()).unwrap();
+        let view = TensorView::new(t.shape(), t.data()).unwrap();
+        let ids = [3usize, 0, 3, 1];
+        let from_view = view.gather_rows(&ids).unwrap();
+        let from_tensor = ops::gather_rows(&t, &ids).unwrap();
+        assert_eq!(from_view, from_tensor);
+        assert!(view.gather_rows(&[4]).is_err());
+    }
+
+    #[test]
+    fn to_tensor_roundtrips() {
+        let t = Tensor::new([3, 1], vec![1., 2., 3.]).unwrap();
+        let view = TensorView::new(t.shape(), t.data()).unwrap();
+        assert_eq!(view.to_tensor(), t);
+    }
+}

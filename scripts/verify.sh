@@ -37,4 +37,12 @@ cargo run --release -q -p parallax-bench --bin repro -- chaos \
 # unfused op chain (exits nonzero if any gate fails).
 cargo run --release -q -p parallax-bench --bin repro -- compress
 
+# Serving gate: train both tiny presets with snapshot publishing, then
+# require the validated zero-copy snapshot load to finish inside its
+# time budget and every served response to be bitwise identical to a
+# training-graph forward pass on the snapshot weights. QPS and p50/p99
+# are reported (BENCH_serving.json) but not gated — absolute latency on
+# a shared host is noise.
+cargo run --release -q -p parallax-bench --bin repro -- serve-bench
+
 echo "verify: OK"

@@ -19,6 +19,9 @@
 //! * [`fault`] — deterministic fault injection (kill / drop / delay /
 //!   duplicate / stall plans evaluated inside the transport and the
 //!   runner's worker and server loops).
+//! * [`serve`] — snapshot-consistent inference: the trainer publishes
+//!   immutable post-barrier weight snapshots, and a batched serving
+//!   engine answers requests from them via zero-copy mmap views.
 //!
 //! # Quickstart
 //!
@@ -59,5 +62,6 @@ pub use parallax_dataflow as dataflow;
 pub use parallax_fault as fault;
 pub use parallax_models as models;
 pub use parallax_ps as ps;
+pub use parallax_serve as serve;
 pub use parallax_tensor as tensor;
 pub use parallax_trace as trace;

@@ -1,0 +1,103 @@
+//! Property test for the serving batcher's determinism invariant:
+//! the same request set must produce bitwise-identical responses for
+//! *any* arrival order, *any* compute-thread count, and *any* worker
+//! count. The engine packs arriving requests into batches of whatever
+//! happens to be queued (padding the remainder), so this holds only
+//! because every output row of a batched forward pass depends on that
+//! row's own request alone — the invariant `ServeModel::build_feed`
+//! documents and this test enforces end to end.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use parallax_repro::core::snapshot;
+use parallax_repro::dataflow::{Session, VarStore};
+use parallax_repro::models::lm::{LmConfig, LmModel};
+use parallax_repro::serve::{LmRequest, LmServe, ServeConfig, ServeEngine, ServeModel};
+use parallax_repro::tensor::{pool, DetRng};
+
+/// Deterministic context for request seed `s`.
+fn context_for(s: u64, length: usize, vocab: usize) -> Vec<usize> {
+    (0..length)
+        .map(|t| ((s as usize).wrapping_mul(31) + 3 * t + 1) % vocab)
+        .collect()
+}
+
+/// Fisher-Yates permutation of `0..n` from a deterministic stream.
+fn permutation(n: usize, rng: &mut DetRng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.below(i + 1));
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Responses are a pure function of (request, snapshot): submitting
+    /// any request multiset in any order, at any thread/worker count,
+    /// returns exactly the logits a singleton forward pass computes.
+    #[test]
+    fn batched_serving_is_order_and_thread_independent(
+        weight_seed in 0u64..1_000,
+        req_seeds in vec(0u64..10_000, 1..9),
+        perm_seed in 0u64..1_000,
+        threads in 1usize..5,
+        workers in 1usize..4,
+    ) {
+        let model = LmModel::build(LmConfig::tiny()).unwrap();
+        let cfg = model.config;
+        let store = VarStore::init(&model.built.graph, &mut DetRng::seed(weight_seed));
+        let path = std::env::temp_dir().join(format!(
+            "parallax_serving_props_{}_{weight_seed}_{perm_seed}.plxsnap",
+            std::process::id()
+        ));
+        snapshot::save(&model.built.graph, &store, 1, &path).unwrap();
+
+        let requests: Vec<LmRequest> = req_seeds
+            .iter()
+            .map(|&s| LmRequest { context: context_for(s, cfg.length, cfg.vocab) })
+            .collect();
+
+        // Baseline: each request alone through the inference slice, on
+        // a store initialized identically to the snapshotted weights
+        // (shared VarIds and seeds make the stores bitwise equal).
+        let serve = LmServe::new(&model).unwrap();
+        let mut ref_store = VarStore::init(serve.graph(), &mut DetRng::seed(weight_seed));
+        let session = Session::new(serve.graph());
+        let baseline: Vec<Vec<f32>> = requests
+            .iter()
+            .map(|req| {
+                let feed = serve.build_feed(std::slice::from_ref(req)).unwrap();
+                let acts = session.forward(&feed, &mut ref_store).unwrap();
+                acts.tensor(serve.output()).unwrap().row(0).unwrap().to_vec()
+            })
+            .collect();
+
+        // The engine under the generated arrival order and pool shape.
+        pool::configure_threads(threads);
+        let engine = ServeEngine::start(
+            LmServe::new(&model).unwrap(),
+            path.clone(),
+            ServeConfig { queue_capacity: 64, workers, refresh: false },
+        )
+        .unwrap();
+        let order = permutation(requests.len(), &mut DetRng::seed(perm_seed));
+        let tickets: Vec<(usize, _)> = order
+            .iter()
+            .map(|&i| (i, engine.submit(requests[i].clone()).unwrap()))
+            .collect();
+        for (i, ticket) in tickets {
+            let resp = ticket.wait().unwrap();
+            prop_assert_eq!(resp.step, 1);
+            prop_assert_eq!(
+                &resp.output,
+                &baseline[i],
+                "request {} must be bitwise stable (threads {}, workers {})",
+                i, threads, workers
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,117 @@
+//! Online serving staleness bound: with the chief republishing the
+//! snapshot every `k` iterations and the engine refreshing at batch
+//! boundaries, every response served *while training runs* must obey
+//! `train_step - served_step <= k`.
+//!
+//! The training side is real — a synchronous LM run with
+//! `snapshot_path` set — and the serving side polls it concurrently
+//! with `refresh` enabled. The feed callback publishes the in-flight
+//! iteration number through an atomic *before* the iteration executes,
+//! so the observed `train_step` is always at least as new as any
+//! snapshot the engine could be serving from; the bound is therefore
+//! checked against a conservatively fresh trainer clock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parallax_repro::core::snapshot::Snapshot;
+use parallax_repro::core::sparsity::estimate_profile;
+use parallax_repro::core::{get_runner, ParallaxConfig};
+use parallax_repro::models::data::ZipfCorpus;
+use parallax_repro::models::lm::{LmConfig, LmModel};
+use parallax_repro::serve::{LmRequest, LmServe, ServeConfig, ServeEngine};
+use parallax_repro::tensor::DetRng;
+
+/// The staleness bound `k`: `checkpoint_interval` of the run.
+const K: usize = 2;
+
+/// Training iterations; publishes land at steps 2, 4, ..., ITERS.
+const ITERS: usize = 12;
+
+#[test]
+fn online_serving_respects_staleness_bound() {
+    let model = LmModel::build(LmConfig::tiny()).unwrap();
+    let corpus = ZipfCorpus::new(model.config.vocab, 1.0);
+    let profile = {
+        let feed = model.feed(&corpus, &mut DetRng::seed(100));
+        estimate_profile(&model.built.graph, &[feed], 1).unwrap()
+    };
+    let path = std::env::temp_dir().join(format!(
+        "parallax_serving_staleness_{}.plxsnap",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    let config = ParallaxConfig {
+        snapshot_path: Some(path.clone()),
+        checkpoint_interval: K,
+        ..ParallaxConfig::default()
+    };
+    let runner = get_runner(
+        model.built.graph.clone(),
+        model.built.loss,
+        vec![1],
+        config,
+        profile,
+    )
+    .unwrap();
+
+    // The trainer clock: the iteration whose feed was last requested.
+    let train_step = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let request = LmRequest {
+        context: (0..model.config.length)
+            .map(|t| (3 * t + 1) % model.config.vocab)
+            .collect(),
+    };
+
+    std::thread::scope(|scope| {
+        let m = &model;
+        let corpus_ref = &corpus;
+        let train_step = &train_step;
+        let done = &done;
+        scope.spawn(move || {
+            runner
+                .run(ITERS, |w, i| {
+                    train_step.store(i as u64, Ordering::SeqCst);
+                    m.sharded_feed(corpus_ref, 1, w, &mut DetRng::seed(7000 + i as u64))
+                })
+                .unwrap();
+            done.store(true, Ordering::SeqCst);
+        });
+
+        // Wait for the first publish, then serve against the live file.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Snapshot::peek_step(&path).is_err() {
+            assert!(Instant::now() < deadline, "no snapshot published");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let engine = ServeEngine::start(
+            LmServe::new(m).unwrap(),
+            path.clone(),
+            ServeConfig {
+                queue_capacity: 8,
+                workers: 1,
+                refresh: true,
+            },
+        )
+        .unwrap();
+
+        let mut served = 0u64;
+        while !done.load(Ordering::SeqCst) {
+            let t_before = train_step.load(Ordering::SeqCst);
+            let resp = engine.call(request.clone()).unwrap();
+            assert!(
+                t_before.saturating_sub(resp.step) <= K as u64,
+                "staleness violated: train step {t_before}, served step {}",
+                resp.step
+            );
+            served += 1;
+        }
+        // After the barrier the final publish is on disk; the next
+        // batch boundary must pick it up — online refresh really ran.
+        let resp = engine.call(request.clone()).unwrap();
+        assert_eq!(resp.step, ITERS as u64, "final snapshot must be served");
+        assert!(served > 0 || resp.step == ITERS as u64);
+    });
+    std::fs::remove_file(&path).ok();
+}
