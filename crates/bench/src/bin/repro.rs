@@ -71,6 +71,7 @@ const KNOWN: &[&str] = &[
     "traffic",
     "kernels",
     "check",
+    "protocheck",
     "trace",
     "trace-overhead",
     "straggler",
@@ -85,6 +86,7 @@ fn main() {
         eprintln!("repro: unknown subcommand `{which}`");
         eprintln!("usage: repro [{}]", KNOWN.join("|"));
         eprintln!("       repro check [--model lm|nmt]");
+        eprintln!("       repro protocheck [--model lm|nmt]");
         eprintln!("       repro trace [--model lm|nmt] [--iters N]");
         eprintln!("       repro trace-overhead");
         eprintln!("       repro straggler [--model lm|nmt] [--iters N] [--factors 1,2,3]");
@@ -133,6 +135,14 @@ fn main() {
     if which == "check" {
         let model = flag_value("--model").unwrap_or_else(|| "lm".to_string());
         let (report, ok) = parallax_bench::check::run(&model);
+        print!("{report}");
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+    if which == "protocheck" {
+        let model = flag_value("--model").unwrap_or_else(|| "lm".to_string());
+        let (report, ok) = parallax_bench::protocheck::run(&model);
         print!("{report}");
         if !ok {
             std::process::exit(1);

@@ -105,7 +105,12 @@ fn check_model<F>(
 where
     F: Fn(usize, usize) -> Feed + Send + Sync,
 {
-    let config = ParallaxConfig::default();
+    // The measurement iteration runs with the session validator live
+    // (the protocol half of `repro check`'s static-then-measure story).
+    let config = ParallaxConfig {
+        validate_protocol: true,
+        ..ParallaxConfig::default()
+    };
     let mut out = String::new();
     let mut ok = true;
     let _ = writeln!(

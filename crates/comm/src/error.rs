@@ -41,6 +41,21 @@ pub enum CommError {
         /// The dead rank.
         peer: usize,
     },
+    /// A routed message was rejected by the installed session-machine
+    /// validator ([`crate::protocheck::SessionValidator`]): the link is
+    /// not allowed to carry this (namespace, kind, variable, partition)
+    /// at this point of the schedule. Protocol drift surfaces here as a
+    /// typed error instead of a hang on the receiving side.
+    Protocol {
+        /// Sending rank.
+        from: usize,
+        /// Destination rank.
+        to: usize,
+        /// The offending wire tag.
+        tag: u64,
+        /// Human-readable rejection reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -66,6 +81,17 @@ impl fmt::Display for CommError {
                 }
             }
             CommError::PeerDead { peer } => write!(f, "peer {peer} is dead"),
+            CommError::Protocol {
+                from,
+                to,
+                tag,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "protocol violation on link {from} -> {to} (tag {tag:#018x}): {reason}"
+                )
+            }
         }
     }
 }

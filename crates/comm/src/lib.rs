@@ -17,6 +17,7 @@
 pub mod collectives;
 pub mod error;
 pub mod predict;
+pub mod protocheck;
 pub mod topology;
 pub mod traffic;
 pub mod transport;
@@ -24,6 +25,7 @@ pub mod wire;
 
 pub use error::CommError;
 pub use predict::StaticLedger;
+pub use protocheck::{SessionSpec, SessionValidator};
 pub use topology::{Topology, WorkerId};
 pub use traffic::{TrafficClass, TrafficSnapshot, TrafficStats};
 pub use transport::{Endpoint, Payload, PeerHealth, Router, DEFAULT_RECV_DEADLINE};

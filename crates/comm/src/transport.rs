@@ -273,6 +273,7 @@ impl Router {
                 traffic: Arc::clone(&traffic),
                 health: Arc::clone(&health),
                 faults: faults.clone(),
+                validator: None,
                 deadline: DEFAULT_RECV_DEADLINE,
             })
             .collect();
@@ -300,6 +301,7 @@ pub struct Endpoint {
     traffic: Arc<TrafficStats>,
     health: Arc<PeerHealth>,
     faults: Option<Arc<FaultInjector>>,
+    validator: Option<Arc<crate::protocheck::SessionValidator>>,
     deadline: Duration,
 }
 
@@ -354,6 +356,16 @@ impl Endpoint {
         self.deadline = deadline;
     }
 
+    /// Installs a session-machine validator on the send path: every
+    /// subsequent [`Endpoint::send`] must be accepted by the machine or
+    /// it fails with [`CommError::Protocol`] *before* anything is
+    /// enqueued or charged. The validator is stateless (membership +
+    /// boundary gate only), so fault-injected duplicates and
+    /// recovery-replayed iterations are never false positives.
+    pub fn set_validator(&mut self, validator: Arc<crate::protocheck::SessionValidator>) {
+        self.validator = Some(validator);
+    }
+
     /// Sends `payload` to worker `to` under `tag`, charging traffic.
     ///
     /// When a fault injector is installed, the message may be dropped,
@@ -364,6 +376,13 @@ impl Endpoint {
     pub fn send(&self, to: usize, tag: u64, payload: Payload) -> Result<()> {
         if self.senders.get(to).is_none() {
             return Err(CommError::UnknownRank(to));
+        }
+        if let Some(v) = &self.validator {
+            let header = match &payload {
+                Payload::Packet { header, .. } => Some(*header),
+                _ => None,
+            };
+            v.check(self.rank, to, tag, header)?;
         }
         let src = self.machine()?;
         let dst = self.topology.machine_of(to)?;

@@ -147,6 +147,13 @@ pub struct ParallaxConfig {
     /// the last checkpoint and resume) before giving up and returning
     /// the error. Recovery requires `checkpoint_path`.
     pub max_recoveries: usize,
+    /// Install the session-machine validator
+    /// ([`parallax_comm::protocheck::SessionValidator`]) on every
+    /// endpoint, so any routed message outside the verified plan's
+    /// protocol surfaces as a typed `CommError::Protocol` at the sender.
+    /// Debug builds always install it; this flag extends the runtime
+    /// assertion to release builds (`repro protocheck` / `repro check`).
+    pub validate_protocol: bool,
 }
 
 impl Default for ParallaxConfig {
@@ -177,6 +184,7 @@ impl Default for ParallaxConfig {
             fault_plan: parallax_fault::FaultPlan::new(),
             recv_deadline: None,
             max_recoveries: 1,
+            validate_protocol: false,
         }
     }
 }

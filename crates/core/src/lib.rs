@@ -39,6 +39,7 @@ pub mod error;
 pub mod hybrid;
 pub mod partition;
 pub mod plancheck;
+pub mod protocheck;
 pub mod runner;
 pub mod snapshot;
 pub mod sparsity;
@@ -48,6 +49,7 @@ pub mod transform;
 pub use config::{ArchChoice, OptimizerKind, ParallaxConfig};
 pub use error::CoreError;
 pub use plancheck::{check_plan, predict_iteration_traffic};
+pub use protocheck::{check_fault_plan, check_session, derive_session};
 pub use runner::{get_runner, get_runner_from_spec, shard_range, RunReport, Runner};
 pub use transform::DistributedPlan;
 

@@ -70,8 +70,9 @@ fn ancestors_of(graph: &Graph, node: NodeId) -> HashSet<usize> {
 }
 
 /// `(machine, partition)` shard coordinates of a placement, in the order
-/// the client addresses them.
-fn shard_coords(placement: &VarPlacement) -> Vec<(usize, usize)> {
+/// the client addresses them. Shared with [`crate::protocheck`], whose
+/// session derivation must address shards in exactly this order.
+pub(crate) fn shard_coords(placement: &VarPlacement) -> Vec<(usize, usize)> {
     match placement {
         VarPlacement::AllReduce => vec![],
         VarPlacement::PsDense { server } => vec![(*server, 0)],
@@ -966,6 +967,13 @@ pub fn build_verified_plan(
     )?;
     let mut report = verify_graph(graph, Some(loss), None);
     report.merge(check_plan(graph, Some(loss), profile, config, topo, &plan));
+    // The protocol session machine is derived from the plan and checked
+    // alongside it (`C...` codes): a plan whose wire choreography cannot
+    // complete an iteration is as unusable as a mistiled one.
+    let spec = crate::protocheck::derive_session(graph, config, topo, &plan)?;
+    report.merge(crate::protocheck::check_session(
+        graph, config, topo, &plan, &spec,
+    ));
     if report.has_errors() {
         return Err(CoreError::Verify(report.render()));
     }

@@ -541,6 +541,23 @@ impl Runner {
                 ep.set_recv_deadline(d);
             }
         }
+        // Runtime half of the protocol checker: debug builds (and any
+        // run with `validate_protocol`) assert every routed message
+        // against the session machine derived from the verified plan.
+        // The validator is stateless, so fault-injected duplicates and
+        // recovery replays are never false positives.
+        if cfg!(debug_assertions) || self.config.validate_protocol {
+            let spec = crate::protocheck::derive_session(
+                &self.graph,
+                &self.config,
+                &self.topo,
+                &self.plan,
+            )?;
+            let validator = parallax_comm::protocheck::SessionValidator::from_spec(&spec);
+            for ep in endpoints.iter_mut() {
+                ep.set_validator(Arc::clone(&validator));
+            }
+        }
         let mut by_rank: Vec<Option<Endpoint>> = endpoints.drain(..).map(Some).collect();
 
         let workers = self.topo.num_workers();
@@ -750,12 +767,7 @@ impl Runner {
     /// at every boundary iteration and servers count those messages into
     /// their synchronization barrier.
     fn ckpt_interval(&self) -> usize {
-        let persists = self.config.checkpoint_path.is_some() || self.config.snapshot_path.is_some();
-        if persists && self.config.synchronous {
-            self.config.checkpoint_interval
-        } else {
-            0
-        }
+        crate::protocheck::effective_checkpoint_interval(&self.config)
     }
 
     /// Publishes the chief's persistence artifacts at the end of

@@ -173,7 +173,11 @@ impl Backing {
     fn bytes(&self) -> &[u8] {
         match self {
             #[cfg(unix)]
+            // SAFETY: ptr/len describe a live PROT_READ MAP_PRIVATE
+            // mapping held until Drop; no writer exists.
             Backing::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            // SAFETY: reinterprets the owned u32 buffer as bytes; `len`
+            // never exceeds `buf.len() * 4` (see `read_owned`).
             Backing::Owned { buf, len } => unsafe {
                 std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), *len)
             },
@@ -185,6 +189,8 @@ impl Drop for Backing {
     fn drop(&mut self) {
         #[cfg(unix)]
         if let Backing::Mmap { ptr, len } = *self {
+            // SAFETY: exactly the region returned by mmap in
+            // `map_file`, unmapped once (Drop runs once).
             unsafe {
                 sys::munmap(ptr.cast(), len);
             }
@@ -192,9 +198,11 @@ impl Drop for Backing {
     }
 }
 
-// The mapping is immutable (PROT_READ, MAP_PRIVATE) for the lifetime
-// of the value, so sharing it across threads is sound.
+// SAFETY: the mapping is immutable (PROT_READ, MAP_PRIVATE) for the
+// lifetime of the value, so moving it across threads is sound.
 unsafe impl Send for Backing {}
+// SAFETY: as above — concurrent readers of an immutable private
+// mapping (or of the owned buffer) never race.
 unsafe impl Sync for Backing {}
 
 #[cfg(unix)]
@@ -222,6 +230,16 @@ mod sys {
 #[cfg(unix)]
 fn map_file(file: &std::fs::File, len: usize) -> Option<Backing> {
     use std::os::unix::io::AsRawFd;
+    // Miri cannot interpret the raw mmap extern call; fall back to the
+    // owned-buffer backing so the snapshot suite runs under `cargo
+    // miri test` (the CI unsafe-memory job).
+    if cfg!(miri) {
+        return None;
+    }
+    // SAFETY: mmap with a null hint allocates fresh address space; the
+    // fd is open and `len` matches the file length probed by the
+    // caller. Failure is reported via the sentinel return, checked
+    // below before the pointer is ever used.
     let ptr = unsafe {
         sys::mmap(
             std::ptr::null_mut(),
@@ -245,6 +263,8 @@ fn read_owned(file: &mut std::fs::File, len: usize) -> Result<Backing> {
     use std::io::Read as _;
     // A u32 buffer keeps the fallback 4-byte aligned like the mapping.
     let mut buf = vec![0u32; len.div_ceil(4)];
+    // SAFETY: the buffer holds `len.div_ceil(4) * 4 >= len` bytes, and
+    // any byte pattern is a valid u32.
     let dst = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
     file.read_exact(dst).map_err(io_err)?;
     Ok(Backing::Owned { buf, len })
@@ -461,9 +481,11 @@ impl Snapshot {
             .get(idx)
             .ok_or_else(|| CoreError::Config(format!("snapshot has no entry {idx}")))?;
         let raw = &self.backing.bytes()[entry.offset..entry.offset + entry.len];
-        // Alignment was validated at open (offset % 4 == 0 over a
-        // page-aligned mapping / u32-aligned buffer), so the reinterpret
-        // cannot produce head/tail remainders.
+        // SAFETY: any bit pattern is a valid f32, so reinterpreting
+        // immutable bytes is sound. Alignment was validated at open
+        // (offset % 4 == 0 over a page-aligned mapping / u32-aligned
+        // buffer), so the reinterpret cannot produce head/tail
+        // remainders — and a corrupt index fails the check below.
         let (head, floats, tail) = unsafe { raw.align_to::<f32>() };
         if !head.is_empty() || !tail.is_empty() {
             return Err(corrupt(format!(

@@ -71,6 +71,8 @@ fn sharded_dense(
         // SAFETY: [lo, hi) ranges are disjoint across chunks and lie
         // within buffers that outlive the batch (run_batch blocks).
         let p = unsafe { std::slice::from_raw_parts_mut((p_addr as *mut f32).add(lo), hi - lo) };
+        // SAFETY: same disjoint [lo, hi) range, on the state buffer,
+        // which is the same length as the gradient (asserted above).
         let s = s_addr
             .map(|a| unsafe { std::slice::from_raw_parts_mut((a as *mut f32).add(lo), hi - lo) });
         body(p, s, &grad[lo..hi]);
@@ -131,6 +133,8 @@ fn sharded_sparse(
             let prow = unsafe {
                 std::slice::from_raw_parts_mut((p_addr as *mut f32).add(row * cols), cols)
             };
+            // SAFETY: same distinct row, on the state buffer, whose
+            // dimensions were checked against the parameter above.
             let srow = s_addr.map(|a| unsafe {
                 std::slice::from_raw_parts_mut((a as *mut f32).add(row * cols), cols)
             });

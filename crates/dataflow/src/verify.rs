@@ -48,7 +48,8 @@ impl fmt::Display for Severity {
 /// Stable, documented diagnostic codes. `G` codes come from the
 /// structural/kind passes, `S` codes from shape inference, `P` codes
 /// from the distributed-plan checker, `B001` from the exchange-plan
-/// byte-conservation crosscheck.
+/// byte-conservation crosscheck, and `C` codes from the communication
+/// session-machine checker (`parallax_core::protocheck`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiagCode {
     /// A node references a later (or its own) node: the graph is not in
@@ -103,6 +104,42 @@ pub enum DiagCode {
     /// The statically predicted per-class traffic does not match the
     /// independent closed-form byte accounting.
     B001,
+    /// Send/receive pairing mismatch: the sender-side message count of a
+    /// session-machine link disagrees with the receiver-side quota
+    /// derived independently from the server's synchronization
+    /// arithmetic (or a blocking receive has no sender at all).
+    C001,
+    /// A reply obligation is not discharged: a request kind that owes a
+    /// response has no (or a mis-paired) response event — wrong
+    /// direction, wrong variable/partition, wrong multiplicity, or a
+    /// dangling `reply_of` reference.
+    C002,
+    /// Cross-phase message leakage: two distinct session events share
+    /// the same wire identity (link, tag namespace, kind, variable,
+    /// partition), so one phase could consume a message belonging to
+    /// another.
+    C003,
+    /// Deadlock hazard: the per-iteration wait-for graph (worker program
+    /// order plus server reply dependencies) contains a cycle — some set
+    /// of peers would block on each other forever.
+    C004,
+    /// Dedup-unsafety: a non-idempotent request kind is not covered by
+    /// the server's at-most-once guard (or the exact-count pull guard is
+    /// disabled), so a duplicated message would silently corrupt state
+    /// instead of being dropped or surfacing a typed error.
+    C005,
+    /// Fault-readiness violation: the fault plan can drop messages but
+    /// receive deadlines are disarmed, so a drop would hang the run
+    /// instead of surfacing `PeerTimeout`/`PeerDead` and recovering.
+    C006,
+    /// Out-of-phase artifact publish: a `FetchShard` exchange that is
+    /// not restricted to checkpoint boundaries, not issued by the chief,
+    /// or not ordered after the iteration's update apply.
+    C007,
+    /// Malformed session event: rank out of range, self-loop,
+    /// variable/partition index outside the wire header space, zero
+    /// multiplicity, or a dangling dependency reference.
+    C008,
 }
 
 impl DiagCode {
@@ -126,6 +163,14 @@ impl DiagCode {
             DiagCode::P007 => "P007",
             DiagCode::P008 => "P008",
             DiagCode::B001 => "B001",
+            DiagCode::C001 => "C001",
+            DiagCode::C002 => "C002",
+            DiagCode::C003 => "C003",
+            DiagCode::C004 => "C004",
+            DiagCode::C005 => "C005",
+            DiagCode::C006 => "C006",
+            DiagCode::C007 => "C007",
+            DiagCode::C008 => "C008",
         }
     }
 }

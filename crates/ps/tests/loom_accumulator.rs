@@ -1,0 +1,50 @@
+//! Loom model check for server-side gradient fan-in: N workers pushing
+//! into one accumulator (externally synchronized, as the server loop
+//! does) must release the aggregate exactly once — on the final push —
+//! in every interleaving.
+//!
+//! Build with `RUSTFLAGS="--cfg loom" cargo test -p parallax-ps
+//! --test loom_accumulator`.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+use parallax_ps::accumulator::DenseAccumulator;
+use parallax_tensor::Tensor;
+
+/// Two racing pushers: exactly one observes the released aggregate, and
+/// it carries both contributions.
+#[test]
+fn aggregate_releases_exactly_once() {
+    loom::model(|| {
+        let acc = Arc::new(Mutex::new(DenseAccumulator::new(2)));
+        let releases = Arc::new(AtomicUsize::new(0));
+        let pushers: Vec<_> = [1.0f32, 2.0]
+            .into_iter()
+            .map(|v| {
+                let acc = Arc::clone(&acc);
+                let releases = Arc::clone(&releases);
+                thread::spawn(move || {
+                    let out = acc
+                        .lock()
+                        .unwrap()
+                        .push(Tensor::full([2], v))
+                        .expect("push within expected count");
+                    if let Some(sum) = out {
+                        releases.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(sum.data(), &[3.0, 3.0]);
+                    }
+                })
+            })
+            .collect();
+        for p in pushers {
+            p.join().unwrap();
+        }
+        assert_eq!(releases.load(Ordering::SeqCst), 1);
+        // The accumulator reset after releasing: no residue leaks into
+        // the next synchronous step.
+        assert!(!acc.lock().unwrap().is_pending());
+    });
+}

@@ -7,7 +7,30 @@
 //! coalesce whatever has accumulated since its last forward pass
 //! instead of paying one wakeup per request.
 
+//! # Shutdown ordering guarantee
+//!
+//! Every successful push strictly precedes `close`'s observation or
+//! strictly follows it — `try_push`/`push` and [`Bounded::close`]
+//! serialize on the one queue mutex, so there is no window where a push
+//! returns `Ok` yet its item is lost. Combined with
+//! [`Bounded::pop_batch`] returning `None` only when `closed && empty`,
+//! this yields the drain-on-shutdown guarantee the serving engine's
+//! latency accounting relies on: **every request whose push returned
+//! `Ok` before `close` is delivered to some consumer**, and consumers
+//! observe end-of-stream only after the last such request was handed
+//! out. Producers blocked in `push` at close time get their value back
+//! (`Err`) rather than enqueueing into a closing queue. This invariant
+//! is model-checked over every interleaving (within the preemption
+//! bound) by `tests/loom_queue.rs`.
+
 use std::collections::VecDeque;
+
+// Under `--cfg loom` the queue compiles against the vendored loom's
+// primitives so the shutdown/drain protocol can be model-checked;
+// ordinary builds use std.
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex};
+#[cfg(not(loom))]
 use std::sync::{Condvar, Mutex};
 
 /// Rejection reasons from [`Bounded::try_push`]; carries the value back.
@@ -163,6 +186,38 @@ mod tests {
         assert_eq!(q.pop_batch(1).unwrap(), vec![0]);
         assert!(producer.join().unwrap());
         assert_eq!(q.pop_batch(1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn every_acked_push_survives_concurrent_close() {
+        // Stress the shutdown ordering guarantee: race producers
+        // against close; every push that returned Ok must be drained by
+        // the consumer, no matter where close landed.
+        for _ in 0..50 {
+            let q: Arc<Bounded<usize>> = Arc::new(Bounded::new(16));
+            let producers: Vec<_> = (0..3)
+                .map(|p| {
+                    let q2 = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        (0..4).filter(|i| q2.try_push(p * 10 + i).is_ok()).count()
+                    })
+                })
+                .collect();
+            let closer = {
+                let q2 = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    std::thread::yield_now();
+                    q2.close();
+                })
+            };
+            let acked: usize = producers.into_iter().map(|h| h.join().unwrap()).sum();
+            closer.join().unwrap();
+            let mut drained = 0;
+            while let Some(batch) = q.pop_batch(8) {
+                drained += batch.len();
+            }
+            assert_eq!(drained, acked);
+        }
     }
 
     #[test]

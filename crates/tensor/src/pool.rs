@@ -16,7 +16,15 @@ use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock};
+
+// The batch completion gate compiles against loom's primitives under
+// `--cfg loom` so the dispatch protocol can be model-checked
+// exhaustively (tests/loom_pool.rs); ordinary builds use std.
+#[cfg(loom)]
+use loom::sync::{Condvar, Mutex as GateMutex};
+#[cfg(not(loom))]
+use std::sync::{Condvar, Mutex as GateMutex};
 
 /// Requested worker count; 0 means "use the default".
 static DESIRED: AtomicUsize = AtomicUsize::new(0);
@@ -68,11 +76,55 @@ struct Task {
 // including unwinding).
 unsafe impl Send for Task {}
 
+/// Completion gate for one dispatched batch: the owner [`wait`]s until
+/// every outstanding chunk has [`arrive`]d. This is the whole
+/// synchronization protocol between `run_batch` and the pool workers,
+/// factored out so the loom suite can model-check it (all
+/// interleavings of N arrivals against one waiter) in isolation.
+///
+/// [`wait`]: BatchGate::wait
+/// [`arrive`]: BatchGate::arrive
+#[doc(hidden)]
+pub struct BatchGate {
+    remaining: GateMutex<usize>,
+    done: Condvar,
+}
+
+impl BatchGate {
+    /// A gate that opens after `n` arrivals.
+    pub fn new(n: usize) -> Self {
+        BatchGate {
+            remaining: GateMutex::new(n),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Records one chunk completion; the arrival that brings the count
+    /// to zero wakes the waiting owner.
+    pub fn arrive(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every arrival has been recorded. The count can only
+    /// decrease, so a wakeup observed at zero is final — there is no
+    /// window where the owner returns while a worker still holds a
+    /// reference to the batch.
+    pub fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
 struct Batch {
     /// Lifetime-erased chunk body; valid for the duration of the batch.
     f: *const (dyn Fn(usize) + Sync),
-    remaining: Mutex<usize>,
-    done: Condvar,
+    gate: BatchGate,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
@@ -115,20 +167,18 @@ fn ensure_workers(n: usize) {
 }
 
 fn run_task(task: Task) {
-    // SAFETY: the batch outlives the task (run_batch blocks until
-    // `remaining` hits zero before returning).
+    // SAFETY: the batch outlives the task (run_batch blocks on the gate
+    // until every chunk arrived before returning).
     let batch = unsafe { &*task.batch };
+    // SAFETY: `f` points at a closure borrowed for the whole batch; the
+    // same gate keeps the borrow alive until after the last arrival.
     let f = unsafe { &*batch.f };
     let result = catch_unwind(AssertUnwindSafe(|| f(task.index)));
     if let Err(payload) = result {
         let mut slot = batch.panic.lock().unwrap_or_else(|e| e.into_inner());
         slot.get_or_insert(payload);
     }
-    let mut remaining = batch.remaining.lock().unwrap_or_else(|e| e.into_inner());
-    *remaining -= 1;
-    if *remaining == 0 {
-        batch.done.notify_all();
-    }
+    batch.gate.arrive();
 }
 
 /// Runs `f(0), f(1), …, f(chunks - 1)`, possibly concurrently on pool
@@ -152,8 +202,7 @@ pub fn run_batch(chunks: usize, f: &(dyn Fn(usize) + Sync)) {
         unsafe { std::mem::transmute(f as *const (dyn Fn(usize) + Sync + '_)) };
     let batch = Batch {
         f: f_erased,
-        remaining: Mutex::new(chunks - 1),
-        done: Condvar::new(),
+        gate: BatchGate::new(chunks - 1),
         panic: Mutex::new(None),
     };
     let s = shared();
@@ -165,14 +214,7 @@ pub fn run_batch(chunks: usize, f: &(dyn Fn(usize) + Sync)) {
         .expect("compute pool channel closed");
     }
     let mine = catch_unwind(AssertUnwindSafe(|| f(0)));
-    let mut remaining = batch.remaining.lock().unwrap_or_else(|e| e.into_inner());
-    while *remaining > 0 {
-        remaining = batch
-            .done
-            .wait(remaining)
-            .unwrap_or_else(|e| e.into_inner());
-    }
-    drop(remaining);
+    batch.gate.wait();
     if let Err(payload) = mine {
         resume_unwind(payload);
     }

@@ -1,0 +1,52 @@
+//! Loom model check for the compute pool's batch completion gate: the
+//! owner's `wait` must not return until every worker `arrive`d, in
+//! every interleaving — the memory-safety linchpin of `run_batch`'s
+//! lifetime-erased dispatch (workers hold raw pointers into the
+//! owner's stack frame until the gate opens).
+//!
+//! Build with `RUSTFLAGS="--cfg loom" cargo test -p parallax-tensor
+//! --test loom_pool`.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+use parallax_tensor::pool::BatchGate;
+
+/// `wait` returns only after both workers arrived: at that point every
+/// chunk's side effects are visible to the owner.
+#[test]
+fn gate_opens_only_after_every_arrival() {
+    loom::model(|| {
+        let gate = Arc::new(BatchGate::new(2));
+        let work = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let work = Arc::clone(&work);
+                thread::spawn(move || {
+                    // The "chunk body" runs strictly before the arrival.
+                    work.fetch_add(1, Ordering::SeqCst);
+                    gate.arrive();
+                })
+            })
+            .collect();
+        gate.wait();
+        // If any schedule let wait() return early, this read would see
+        // a partial count — i.e. a worker still using the batch.
+        assert_eq!(work.load(Ordering::SeqCst), 2);
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+}
+
+/// A gate with no outstanding arrivals never blocks (the single-chunk
+/// fast path of `run_batch`).
+#[test]
+fn empty_gate_never_blocks() {
+    loom::model(|| {
+        BatchGate::new(0).wait();
+    });
+}

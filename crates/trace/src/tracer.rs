@@ -2,7 +2,15 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+
+// Counter and histogram cells compile against loom's atomics under
+// `--cfg loom` so concurrent metric aggregation can be model-checked
+// (tests/loom_metrics.rs); ordinary builds use std.
+#[cfg(loom)]
+use loom::sync::atomic::AtomicU64;
+#[cfg(not(loom))]
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -230,6 +238,13 @@ impl HistogramInner {
 pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
+    /// Fresh unregistered counter. For the loom model-check suite,
+    /// which needs per-execution state the global registry can't give.
+    #[doc(hidden)]
+    pub fn standalone() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
@@ -253,6 +268,12 @@ impl std::fmt::Debug for Counter {
 pub struct HistogramHandle(Arc<HistogramInner>);
 
 impl HistogramHandle {
+    /// Fresh unregistered histogram; see [`Counter::standalone`].
+    #[doc(hidden)]
+    pub fn standalone() -> HistogramHandle {
+        HistogramHandle(Arc::new(HistogramInner::new()))
+    }
+
     /// Records one value.
     #[inline]
     pub fn record(&self, value: u64) {

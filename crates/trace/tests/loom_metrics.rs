@@ -1,0 +1,56 @@
+//! Loom model checks for the tracer's concurrent metric cells: counter
+//! adds and histogram records from racing threads must never lose an
+//! update, and a drain-time snapshot must be internally consistent
+//! with the happens-before edges the test establishes.
+//!
+//! Build with `RUSTFLAGS="--cfg loom" cargo test -p parallax-trace
+//! --test loom_metrics`.
+
+#![cfg(loom)]
+
+use loom::thread;
+use parallax_trace::{Counter, HistogramHandle};
+
+/// Concurrent `add`s are never lost (the fetch_add path), and a read
+/// after joining both writers sees the full total.
+#[test]
+fn counter_adds_are_never_lost() {
+    loom::model(|| {
+        let c = Counter::standalone();
+        let handles: Vec<_> = [1u64, 2]
+            .into_iter()
+            .map(|n| {
+                let c = c.clone();
+                thread::spawn(move || c.add(n))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 3);
+    });
+}
+
+/// A histogram records three cells (bucket, count, sum) non-atomically;
+/// after joining the writers every cell must agree on the number of
+/// recorded values.
+#[test]
+fn histogram_cells_agree_after_join() {
+    loom::model(|| {
+        let h = HistogramHandle::standalone();
+        let writers: Vec<_> = [3u64, 5]
+            .into_iter()
+            .map(|v| {
+                let h = h.clone();
+                thread::spawn(move || h.record(v))
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 8);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 2);
+    });
+}

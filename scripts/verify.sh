@@ -16,6 +16,46 @@ cargo fmt --all --check
 cargo run --release -q -p parallax-bench --bin repro -- check --model lm
 cargo run --release -q -p parallax-bench --bin repro -- check --model nmt
 
+# Protocol verification gate: derive the per-link session machine from
+# the verified plan, prove it clean (C001-C008), require every seeded
+# protocol defect to be caught, then run clean/duplicate/drop/delay
+# training with the runtime session validator live on every endpoint
+# (exits nonzero on any missed defect or validator false positive).
+cargo run --release -q -p parallax-bench --bin repro -- protocheck --model lm
+cargo run --release -q -p parallax-bench --bin repro -- protocheck --model nmt
+
+# Loom model checking: exhaustive interleaving exploration (within the
+# preemption bound) of the serving queue shutdown protocol, the compute
+# pool's batch gate, tracer metric cells, and PS accumulator fan-in.
+RUSTFLAGS="--cfg loom" cargo test -q \
+  -p parallax-serve --test loom_queue \
+  -p parallax-tensor --test loom_pool \
+  -p parallax-trace --test loom_metrics \
+  -p parallax-ps --test loom_accumulator
+
+# Unsafe-memory gate (skipped when the miri component is unavailable,
+# e.g. offline containers; CI always runs it): interpret the
+# unsafe-bearing tensor kernels/pool and snapshot mmap-path tests.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  cargo +nightly miri test -q -p parallax-tensor --lib
+  cargo +nightly miri test -q -p parallax-core --lib snapshot
+else
+  echo "verify: skipping miri (component not installed)"
+fi
+
+# ThreadSanitizer smoke (nightly + build-std so std's happens-before
+# edges are visible — without it every std Mutex/channel edge is a
+# false positive): the end-to-end distributed run with every real
+# worker/server/chief thread racing under TSan. Skipped when rust-src
+# is unavailable (offline containers); CI always runs it.
+if rustup component list --toolchain nightly --installed 2>/dev/null | grep -q rust-src; then
+  RUSTFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -q -Zbuild-std --target x86_64-unknown-linux-gnu \
+    -p parallax-repro --test end_to_end -- --test-threads=1
+else
+  echo "verify: skipping ThreadSanitizer smoke (nightly rust-src not installed)"
+fi
+
 # Sim-vs-measured conformance gate: the calibrated IterationSim must
 # predict real injected-straggler runs within the documented tolerance
 # bands (exits nonzero on any band violation; runs in well under a

@@ -1,0 +1,104 @@
+//! Offline drop-in subset of [`loom`] used by this workspace.
+//!
+//! [`model`] runs a closure repeatedly, exploring every distinct thread
+//! interleaving reachable within a preemption bound (CHESS-style
+//! stateless model checking). Threads are real OS threads serialized
+//! through a cooperative scheduler: exactly one thread runs at a time,
+//! and every synchronization operation ([`sync::Mutex`] acquire and
+//! release, [`sync::Condvar`] wait/notify, atomic access, spawn, yield)
+//! is a scheduling point where the explorer may switch threads. A
+//! depth-first search over the tree of scheduling decisions replays a
+//! recorded prefix and branches at the deepest unexplored choice, so
+//! successive executions enumerate schedules exhaustively.
+//!
+//! Scope relative to upstream loom:
+//!
+//! - Interleavings are explored under sequential consistency; relaxed
+//!   memory-order reorderings are **not** modeled (every atomic op is
+//!   executed `SeqCst`). This finds lock-ordering, lost-wakeup and
+//!   protocol races, not fence omissions.
+//! - Context switches at blocking points are unbounded; *preemptions*
+//!   (switching away from a runnable thread) are bounded by
+//!   `LOOM_MAX_PREEMPTIONS` (default 2), the CHESS result that most
+//!   concurrency bugs manifest within two preemptions.
+//! - Deadlocks (every live thread blocked) abort the model with a
+//!   panic naming the blocked threads.
+//! - Outside [`model`], every primitive degrades to its `std`
+//!   equivalent, so code shimmed onto these types keeps working in
+//!   ordinary builds of the same cfg.
+//!
+//! Create the state under test *inside* the model closure: each
+//! execution must start from fresh state for replay to be meaningful.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Default preemption bound when `LOOM_MAX_PREEMPTIONS` is unset.
+const DEFAULT_MAX_PREEMPTIONS: u32 = 2;
+
+/// Safety cap on explored executions when `LOOM_MAX_ITERATIONS` is
+/// unset. With the default preemption bound the explorer exhausts the
+/// schedule space of the tests in this workspace well below the cap.
+const DEFAULT_MAX_ITERATIONS: u64 = 40_000;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Explores every schedule of `f` within the preemption bound, running
+/// it once per schedule. Panics (with the original payload) on the
+/// first failing execution, after printing how many schedules were
+/// explored; detects and reports deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let f = Arc::new(f);
+    let max_preemptions = env_u64("LOOM_MAX_PREEMPTIONS", DEFAULT_MAX_PREEMPTIONS as u64) as u32;
+    let max_iterations = env_u64("LOOM_MAX_ITERATIONS", DEFAULT_MAX_ITERATIONS);
+
+    let mut path = Vec::new();
+    let mut iterations = 0u64;
+    loop {
+        iterations += 1;
+        let sched = Arc::new(rt::Sched::new(std::mem::take(&mut path), max_preemptions));
+
+        let sc = Arc::clone(&sched);
+        let body = Arc::clone(&f);
+        let main = std::thread::spawn(move || {
+            rt::enter(&sc, rt::MAIN_THREAD);
+            let result = catch_unwind(AssertUnwindSafe(|| body()));
+            rt::finish(&sc, rt::MAIN_THREAD, result.err());
+        });
+        let _ = main.join();
+        for handle in sched.take_os_handles() {
+            let _ = handle.join();
+        }
+
+        let mut st = sched.state();
+        if let Some(payload) = st.failure.take() {
+            drop(st);
+            eprintln!("loom: failing schedule found after {iterations} execution(s)");
+            resume_unwind(payload);
+        }
+        path = std::mem::take(&mut st.path);
+        drop(st);
+
+        if iterations >= max_iterations {
+            eprintln!("loom: stopping after {iterations} executions (LOOM_MAX_ITERATIONS)");
+            break;
+        }
+        if !rt::backtrack(&mut path) {
+            break;
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Cooperative scheduler + DFS schedule explorer.
+//!
+//! One execution = one pass through the model closure with every
+//! managed thread serialized behind a single "active" token. At each
+//! scheduling point the running thread consults the recorded path: a
+//! prefix still being replayed dictates the switch; past the prefix a
+//! new choice node is appended, preferring the current thread (no
+//! preemption). Between executions [`backtrack`] advances the deepest
+//! node with an untried alternative, pruning alternatives that would
+//! exceed the preemption bound.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Thread id of the model closure's own thread.
+pub(crate) const MAIN_THREAD: usize = 0;
+
+/// Resource namespace for joins: `JOIN_BASE + tid`. Other resources are
+/// object addresses, which can never be this large on any supported
+/// target.
+const JOIN_BASE: usize = usize::MAX / 2;
+
+/// Panic payload used to unwind threads of an abandoned execution;
+/// never reported as a model failure.
+pub(crate) struct Abandon;
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Run {
+    Runnable,
+    /// Blocked on a resource (mutex / condvar address, or join slot).
+    Blocked(usize),
+    Finished,
+}
+
+/// One explored decision: which thread to run next, among `order`.
+/// `order[0]` is the preferred (non-preempting) pick; `pos` indexes the
+/// alternative currently being explored.
+pub(crate) struct Choice {
+    order: Vec<usize>,
+    pos: usize,
+    /// Whether the deciding thread was itself runnable: alternatives
+    /// then cost a preemption.
+    was_enabled: bool,
+    /// Whether alternatives stay within the preemption bound.
+    can_branch: bool,
+}
+
+pub(crate) struct State {
+    threads: Vec<Run>,
+    active: usize,
+    /// Abandon flag: threads unwind at their next scheduling point.
+    failed: bool,
+    /// First real failure (panic payload or deadlock report).
+    pub(crate) failure: Option<PanicPayload>,
+    pub(crate) path: Vec<Choice>,
+    depth: usize,
+    preemptions: u32,
+}
+
+pub(crate) struct Sched {
+    lock: Mutex<State>,
+    cv: Condvar,
+    max_preemptions: u32,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler + thread id of the calling managed thread, or `None`
+/// outside a model.
+pub(crate) fn current() -> Option<(Arc<Sched>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Sched {
+    pub(crate) fn new(path: Vec<Choice>, max_preemptions: u32) -> Self {
+        Sched {
+            lock: Mutex::new(State {
+                threads: vec![Run::Runnable],
+                active: MAIN_THREAD,
+                failed: false,
+                failure: None,
+                path,
+                depth: 0,
+                preemptions: 0,
+            }),
+            cv: Condvar::new(),
+            max_preemptions,
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Locks the state, transparently recovering from poisoning (a
+    /// panicking managed thread may unwind while a sibling holds it).
+    pub(crate) fn state(&self) -> MutexGuard<'_, State> {
+        self.lock.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub(crate) fn track_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(h);
+    }
+
+    pub(crate) fn take_os_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut *self.os_handles.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+fn enabled_threads(st: &State) -> Vec<usize> {
+    st.threads
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r, Run::Runnable))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Picks the next thread to run, consuming one node of the explored
+/// path (replaying it, or appending a fresh preferred choice).
+fn choose(st: &mut State, me: usize, enabled: &[usize], max_preemptions: u32) -> usize {
+    if enabled.len() == 1 {
+        return enabled[0];
+    }
+    let depth = st.depth;
+    st.depth += 1;
+    if depth < st.path.len() {
+        let c = &st.path[depth];
+        debug_assert_eq!(
+            {
+                let mut o = c.order.clone();
+                o.sort_unstable();
+                o
+            },
+            enabled,
+            "loom: non-deterministic enabled set during replay"
+        );
+        if c.was_enabled && c.pos != 0 {
+            st.preemptions += 1;
+        }
+        return c.order[c.pos];
+    }
+    let was_enabled = enabled.contains(&me);
+    let preferred = if was_enabled { me } else { enabled[0] };
+    let mut order = Vec::with_capacity(enabled.len());
+    order.push(preferred);
+    order.extend(enabled.iter().copied().filter(|&t| t != preferred));
+    let can_branch = !was_enabled || st.preemptions < max_preemptions;
+    st.path.push(Choice {
+        order,
+        pos: 0,
+        was_enabled,
+        can_branch,
+    });
+    preferred
+}
+
+/// Advances `path` to the next unexplored schedule; false when the
+/// space (within the preemption bound) is exhausted.
+pub(crate) fn backtrack(path: &mut Vec<Choice>) -> bool {
+    while let Some(c) = path.last_mut() {
+        if c.can_branch && c.pos + 1 < c.order.len() {
+            c.pos += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Core scheduling point: records `me`'s new state, picks the next
+/// thread, and blocks until `me` is active and runnable again. With
+/// `may_panic` false (drop paths) an abandoned execution returns
+/// instead of unwinding.
+fn switch(sc: &Sched, me: usize, new_state: Run, may_panic: bool) {
+    let mut st = sc.state();
+    if st.failed {
+        drop(st);
+        abandon(may_panic);
+        return;
+    }
+    st.threads[me] = new_state;
+    let enabled = enabled_threads(&st);
+    if enabled.is_empty() {
+        let report = deadlock_report(&st);
+        st.failed = true;
+        if st.failure.is_none() {
+            st.failure = Some(Box::new(report.clone()));
+        }
+        sc.cv.notify_all();
+        drop(st);
+        if may_panic {
+            panic!("{report}");
+        }
+        return;
+    }
+    let next = choose(&mut st, me, &enabled, sc.max_preemptions);
+    st.active = next;
+    sc.cv.notify_all();
+    if next == me && st.threads[me] == Run::Runnable {
+        return;
+    }
+    loop {
+        if st.failed {
+            drop(st);
+            abandon(may_panic);
+            return;
+        }
+        if st.active == me && st.threads[me] == Run::Runnable {
+            return;
+        }
+        st = sc.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+fn abandon(may_panic: bool) {
+    if may_panic {
+        std::panic::panic_any(Abandon);
+    }
+}
+
+fn deadlock_report(st: &State) -> String {
+    let blocked: Vec<String> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| match r {
+            Run::Blocked(res) if *res >= JOIN_BASE => {
+                Some(format!("thread {i} joining thread {}", res - JOIN_BASE))
+            }
+            Run::Blocked(res) => Some(format!("thread {i} blocked on resource {res:#x}")),
+            _ => None,
+        })
+        .collect();
+    format!(
+        "loom: deadlock detected — every live thread is blocked: {}",
+        blocked.join(", ")
+    )
+}
+
+/// Plain scheduling point (thread stays runnable).
+pub(crate) fn point(sc: &Sched, me: usize) {
+    switch(sc, me, Run::Runnable, true);
+}
+
+/// Scheduling point from a drop path: never unwinds.
+pub(crate) fn point_in_drop(sc: &Sched, me: usize) {
+    switch(sc, me, Run::Runnable, false);
+}
+
+/// Blocks `me` on `resource` until a [`wake`] makes it runnable and the
+/// explorer hands it the token.
+pub(crate) fn block_on(sc: &Sched, me: usize, resource: usize) {
+    switch(sc, me, Run::Blocked(resource), true);
+}
+
+/// Makes threads blocked on `resource` runnable (all of them, or just
+/// the lowest-id one). Does not yield; callers follow with a scheduling
+/// point where appropriate.
+pub(crate) fn wake(sc: &Sched, resource: usize, all: bool) {
+    let mut st = sc.state();
+    for i in 0..st.threads.len() {
+        if st.threads[i] == Run::Blocked(resource) {
+            st.threads[i] = Run::Runnable;
+            if !all {
+                break;
+            }
+        }
+    }
+}
+
+pub(crate) fn join_resource(tid: usize) -> usize {
+    JOIN_BASE + tid
+}
+
+/// Registers a new managed thread (runnable, not yet active).
+pub(crate) fn register_thread(sc: &Sched) -> usize {
+    let mut st = sc.state();
+    st.threads.push(Run::Runnable);
+    st.threads.len() - 1
+}
+
+/// Binds the calling OS thread to managed thread `tid` and waits for
+/// the token. The main thread starts active; spawned threads park here
+/// until first scheduled.
+pub(crate) fn enter(sc: &Arc<Sched>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(sc), tid)));
+    let mut st = sc.state();
+    loop {
+        if st.failed {
+            return;
+        }
+        if st.active == tid && st.threads[tid] == Run::Runnable {
+            return;
+        }
+        st = sc.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+/// Marks `me` finished, records a real panic as the model failure,
+/// wakes joiners, and hands the token on (or reports a deadlock left
+/// behind).
+pub(crate) fn finish(sc: &Sched, me: usize, panicked: Option<PanicPayload>) {
+    let mut st = sc.state();
+    if let Some(payload) = panicked {
+        if payload.downcast_ref::<Abandon>().is_none() && st.failure.is_none() {
+            st.failure = Some(payload);
+            st.failed = true;
+        }
+    }
+    st.threads[me] = Run::Finished;
+    for i in 0..st.threads.len() {
+        if st.threads[i] == Run::Blocked(JOIN_BASE + me) {
+            st.threads[i] = Run::Runnable;
+        }
+    }
+    if st.failed {
+        sc.cv.notify_all();
+        return;
+    }
+    let enabled = enabled_threads(&st);
+    if enabled.is_empty() {
+        if st.threads.iter().all(|r| *r == Run::Finished) {
+            sc.cv.notify_all();
+            return;
+        }
+        let report = deadlock_report(&st);
+        st.failed = true;
+        if st.failure.is_none() {
+            st.failure = Some(Box::new(report));
+        }
+        sc.cv.notify_all();
+        return;
+    }
+    let next = choose(&mut st, me, &enabled, sc.max_preemptions);
+    st.active = next;
+    sc.cv.notify_all();
+}

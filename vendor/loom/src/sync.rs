@@ -1,0 +1,217 @@
+//! Modeled synchronization primitives with `std`-compatible APIs.
+//!
+//! In-model, acquisition order is decided by the explorer and blocking
+//! is virtualized through the scheduler (the underlying `std` lock is
+//! only ever taken uncontended). Outside a model every type behaves
+//! like its `std` counterpart.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, TryLockError};
+
+use crate::rt;
+
+pub use std::sync::Arc;
+
+pub mod atomic;
+
+/// A mutual exclusion primitive; drop-in for [`std::sync::Mutex`]
+/// (poisoning is never reported — a panicking model execution aborts
+/// the whole model instead).
+pub struct Mutex<T: ?Sized> {
+    /// Modeled owner: 0 = free, otherwise thread id + 1. Only mutated
+    /// by the single active thread, so plain SeqCst atomics suffice.
+    owner: std::sync::atomic::AtomicUsize,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            owner: std::sync::atomic::AtomicUsize::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self
+            .inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn resource(&self) -> usize {
+        self as *const _ as *const u8 as usize
+    }
+
+    fn take_std(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("loom: modeled mutex free but std lock contended")
+            }
+        }
+    }
+
+    /// Acquires the lock, blocking (in-model: a scheduling point, then
+    /// a virtualized wait) until it is free. Never returns `Err`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            None => {
+                let std_guard = match self.inner.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                Ok(MutexGuard {
+                    mutex: self,
+                    std_guard: Some(std_guard),
+                })
+            }
+            Some((sc, me)) => {
+                rt::point(&sc, me);
+                loop {
+                    if self.owner.load(atomic::Ordering::SeqCst) == 0 {
+                        self.owner.store(me + 1, atomic::Ordering::SeqCst);
+                        return Ok(MutexGuard {
+                            mutex: self,
+                            std_guard: Some(self.take_std()),
+                        });
+                    }
+                    rt::block_on(&sc, me, self.resource());
+                }
+            }
+        }
+    }
+
+    /// Releases the modeled lock and lets every waiter re-race for it.
+    fn unlock(&self) {
+        self.owner.store(0, atomic::Ordering::SeqCst);
+        if let Some((sc, me)) = rt::current() {
+            rt::wake(&sc, self.resource(), true);
+            rt::point_in_drop(&sc, me);
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    std_guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std_guard.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std_guard.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.std_guard.take().is_some() {
+            self.mutex.unlock();
+        }
+    }
+}
+
+/// Condition variable; drop-in for [`std::sync::Condvar`]. In-model,
+/// release-and-wait is atomic with respect to scheduling (no window for
+/// a lost wakeup that real condvars don't also have) and there are no
+/// spurious wakeups.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn resource(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    /// Atomically releases `guard` and waits for a notification, then
+    /// re-acquires the lock. Never returns `Err`.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match rt::current() {
+            None => {
+                let std_guard = guard.std_guard.take().expect("guard already released");
+                let mutex = guard.mutex;
+                drop(guard); // no-op: the std guard was already taken
+                let reacquired = match self.inner.wait(std_guard) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                Ok(MutexGuard {
+                    mutex,
+                    std_guard: Some(reacquired),
+                })
+            }
+            Some((sc, me)) => {
+                let mutex = guard.mutex;
+                // Scheduling point while still holding the lock (wait is
+                // a sync op), then release + block with no point in
+                // between so the unlock-and-wait itself is atomic.
+                rt::point(&sc, me);
+                drop(guard.std_guard.take());
+                mutex.owner.store(0, atomic::Ordering::SeqCst);
+                drop(guard); // no-op: released manually just above
+                rt::wake(&sc, mutex.resource(), true);
+                rt::block_on(&sc, me, self.resource());
+                loop {
+                    if mutex.owner.load(atomic::Ordering::SeqCst) == 0 {
+                        mutex.owner.store(me + 1, atomic::Ordering::SeqCst);
+                        return Ok(MutexGuard {
+                            mutex,
+                            std_guard: Some(mutex.take_std()),
+                        });
+                    }
+                    rt::block_on(&sc, me, mutex.resource());
+                }
+            }
+        }
+    }
+
+    /// Wakes one waiter (the lowest-id blocked thread, keeping replay
+    /// deterministic).
+    pub fn notify_one(&self) {
+        match rt::current() {
+            None => self.inner.notify_one(),
+            Some((sc, me)) => {
+                rt::wake(&sc, self.resource(), false);
+                rt::point(&sc, me);
+            }
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        match rt::current() {
+            None => self.inner.notify_all(),
+            Some((sc, me)) => {
+                rt::wake(&sc, self.resource(), true);
+                rt::point(&sc, me);
+            }
+        }
+    }
+}

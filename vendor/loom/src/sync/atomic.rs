@@ -1,0 +1,124 @@
+//! Modeled atomics. Every operation is a scheduling point and executes
+//! `SeqCst` regardless of the ordering the caller requested: the model
+//! explores interleavings, not weak-memory reorderings.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+fn sync_point() {
+    if let Some((sc, me)) = rt::current() {
+        rt::point(&sc, me);
+    }
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $std:ty, $val:ty) => {
+        /// Modeled counterpart of the std atomic of the same name.
+        #[derive(Default, Debug)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $val) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            /// Loads the value (scheduling point in-model).
+            pub fn load(&self, _order: Ordering) -> $val {
+                sync_point();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// Stores `v` (scheduling point in-model).
+            pub fn store(&self, v: $val, _order: Ordering) {
+                sync_point();
+                self.inner.store(v, Ordering::SeqCst)
+            }
+
+            /// Swaps in `v`, returning the previous value.
+            pub fn swap(&self, v: $val, _order: Ordering) -> $val {
+                sync_point();
+                self.inner.swap(v, Ordering::SeqCst)
+            }
+
+            /// Adds `v`, returning the previous value.
+            pub fn fetch_add(&self, v: $val, _order: Ordering) -> $val {
+                sync_point();
+                self.inner.fetch_add(v, Ordering::SeqCst)
+            }
+
+            /// Subtracts `v`, returning the previous value.
+            pub fn fetch_sub(&self, v: $val, _order: Ordering) -> $val {
+                sync_point();
+                self.inner.fetch_sub(v, Ordering::SeqCst)
+            }
+
+            /// Bitwise-ors in `v`, returning the previous value.
+            pub fn fetch_or(&self, v: $val, _order: Ordering) -> $val {
+                sync_point();
+                self.inner.fetch_or(v, Ordering::SeqCst)
+            }
+
+            /// Compare-and-exchange with std semantics.
+            pub fn compare_exchange(
+                &self,
+                current: $val,
+                new: $val,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$val, $val> {
+                sync_point();
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// Returns the value without a scheduling point; only safe
+            /// from contexts that already own the data exclusively.
+            pub fn into_inner(self) -> $val {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+/// Modeled counterpart of [`std::sync::atomic::AtomicBool`].
+#[derive(Default, Debug)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    /// Loads the value (scheduling point in-model).
+    pub fn load(&self, _order: Ordering) -> bool {
+        sync_point();
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    /// Stores `v` (scheduling point in-model).
+    pub fn store(&self, v: bool, _order: Ordering) {
+        sync_point();
+        self.inner.store(v, Ordering::SeqCst)
+    }
+
+    /// Swaps in `v`, returning the previous value.
+    pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+        sync_point();
+        self.inner.swap(v, Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,92 @@
+//! Managed threads: real OS threads serialized by the model scheduler.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+/// Handle to a spawned thread; `join` returns the closure's result like
+/// [`std::thread::JoinHandle::join`].
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Managed {
+        sc: Arc<rt::Sched>,
+        tid: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish (a scheduling point in-model) and
+    /// returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Managed { sc, tid, result } => {
+                let me = rt::current().expect("join of a managed thread outside its model").1;
+                loop {
+                    if result.lock().unwrap_or_else(|p| p.into_inner()).is_some() {
+                        break;
+                    }
+                    rt::block_on(&sc, me, rt::join_resource(tid));
+                }
+                result
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take()
+                    .expect("joined thread left no result")
+            }
+        }
+    }
+}
+
+/// Spawns a thread. In-model it becomes a managed thread that runs only
+/// when the explorer schedules it; outside a model it is a plain
+/// [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+        Some((sc, me)) => {
+            let tid = rt::register_thread(&sc);
+            let result = Arc::new(Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let sc2 = Arc::clone(&sc);
+            let os = std::thread::spawn(move || {
+                rt::enter(&sc2, tid);
+                let out = catch_unwind(AssertUnwindSafe(f));
+                let err = match out {
+                    Ok(v) => {
+                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(Ok(v));
+                        None
+                    }
+                    Err(payload) => Some(payload),
+                };
+                rt::finish(&sc2, tid, err);
+            });
+            sc.track_os_handle(os);
+            // Spawn is a scheduling point: the child may run first.
+            rt::point(&sc, me);
+            JoinHandle {
+                inner: Inner::Managed { sc, tid, result },
+            }
+        }
+    }
+}
+
+/// Scheduling point in-model; [`std::thread::yield_now`] otherwise.
+pub fn yield_now() {
+    match rt::current() {
+        Some((sc, me)) => rt::point(&sc, me),
+        None => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,125 @@
+//! Self-checks for the vendored model checker: it must find classic
+//! interleaving bugs, prove the fixed versions, and report deadlocks.
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::thread;
+
+#[test]
+fn mutex_protected_increment_is_proven() {
+    loom::model(|| {
+        let counter = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    *c.lock().unwrap() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock().unwrap(), 2);
+    });
+}
+
+#[test]
+#[should_panic]
+fn lost_update_is_found() {
+    loom::model(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    // Racy read-modify-write: two loads can both see 0.
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn lock_order_inversion_deadlocks() {
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _g1 = a2.lock().unwrap();
+            let _g2 = b2.lock().unwrap();
+        });
+        let _g1 = b.lock().unwrap();
+        let _g2 = a.lock().unwrap();
+        drop(_g2);
+        drop(_g1);
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn condvar_handoff_is_proven() {
+    loom::model(|| {
+        let slot = Arc::new((Mutex::new(None::<u32>), Condvar::new()));
+        let producer = {
+            let s = Arc::clone(&slot);
+            thread::spawn(move || {
+                let (m, cv) = &*s;
+                *m.lock().unwrap() = Some(7);
+                cv.notify_one();
+            })
+        };
+        let (m, cv) = &*slot;
+        let mut g = m.lock().unwrap();
+        while g.is_none() {
+            g = cv.wait(g).unwrap();
+        }
+        assert_eq!(*g, Some(7));
+        drop(g);
+        producer.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn missed_notify_is_found() {
+    loom::model(|| {
+        // Broken handoff: the flag is set without holding the mutex, so
+        // the notify can land between the waiter's check and its wait.
+        let slot = Arc::new((Mutex::new(()), Condvar::new(), AtomicUsize::new(0)));
+        let producer = {
+            let s = Arc::clone(&slot);
+            thread::spawn(move || {
+                let (_m, cv, flag) = &*s;
+                flag.store(1, Ordering::SeqCst);
+                cv.notify_one();
+            })
+        };
+        let (m, cv, flag) = &*slot;
+        let mut g = m.lock().unwrap();
+        while flag.load(Ordering::SeqCst) == 0 {
+            g = cv.wait(g).unwrap();
+        }
+        drop(g);
+        producer.join().unwrap();
+    });
+}
+
+#[test]
+fn primitives_degrade_to_std_outside_a_model() {
+    let m = Mutex::new(5usize);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+    let a = AtomicUsize::new(1);
+    assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+    let t = thread::spawn(|| 42usize);
+    assert_eq!(t.join().unwrap(), 42);
+}
