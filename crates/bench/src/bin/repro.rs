@@ -3,6 +3,7 @@
 //! ```text
 //! repro [table1|..|table6|fig7|fig8|fig9|ablations|traffic|kernels|all]
 //! repro check [--model lm|nmt]
+//! repro plan [--model lm|nmt] [--calibrate TRACE.cal.json]
 //! repro trace [--model lm|nmt] [--iters N]
 //! repro trace-overhead
 //! repro straggler [--model lm|nmt] [--iters N] [--factors 1,2,3]
@@ -16,6 +17,13 @@
 //! the prediction on one executed iteration, and exits nonzero if any
 //! pass reports an error. It is excluded from `all` (it is a
 //! verification gate, not a paper figure).
+//!
+//! `plan` runs the deterministic placement-strategy search: scores the
+//! five fixed strategies plus a greedy per-variable search, prints the
+//! decision table, writes `PLAN_<model>.json`, and exits nonzero if the
+//! searched plan is predicted slower than any fixed strategy.
+//! `--calibrate` refines the timing model with a `repro trace` profile.
+//! Excluded from `all` (a gate, like `check`).
 //!
 //! `kernels` measures the blocked/pooled compute kernels against the
 //! scalar reference kernels and writes `BENCH_kernels.json`.
@@ -71,6 +79,7 @@ const KNOWN: &[&str] = &[
     "traffic",
     "kernels",
     "check",
+    "plan",
     "protocheck",
     "trace",
     "trace-overhead",
@@ -86,6 +95,7 @@ fn main() {
         eprintln!("repro: unknown subcommand `{which}`");
         eprintln!("usage: repro [{}]", KNOWN.join("|"));
         eprintln!("       repro check [--model lm|nmt]");
+        eprintln!("       repro plan [--model lm|nmt] [--calibrate TRACE.cal.json]");
         eprintln!("       repro protocheck [--model lm|nmt]");
         eprintln!("       repro trace [--model lm|nmt] [--iters N]");
         eprintln!("       repro trace-overhead");
@@ -135,6 +145,15 @@ fn main() {
     if which == "check" {
         let model = flag_value("--model").unwrap_or_else(|| "lm".to_string());
         let (report, ok) = parallax_bench::check::run(&model);
+        print!("{report}");
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+    if which == "plan" {
+        let model = flag_value("--model").unwrap_or_else(|| "lm".to_string());
+        let calibrate = flag_value("--calibrate");
+        let (report, ok) = parallax_bench::plan::run(&model, calibrate.as_deref(), "");
         print!("{report}");
         if !ok {
             std::process::exit(1);

@@ -18,9 +18,11 @@
 
 use std::fmt::Write as _;
 
+use parallax_cluster::ResourceSpec;
 use parallax_core::plancheck::predict_iteration_traffic;
 use parallax_core::runner::TrafficReport;
 use parallax_core::sparsity::{estimate_profile, SparsityProfile};
+use parallax_core::strategy::decision_label;
 use parallax_core::{check_plan, get_runner, CoreError, ParallaxConfig};
 use parallax_dataflow::verify::{verify_graph, VerifyReport};
 use parallax_dataflow::{Feed, Graph, NodeId};
@@ -156,6 +158,17 @@ where
     report_section(&mut out, "plan passes", &plan_report);
     ok &= !plan_report.has_errors();
 
+    // The verified placement, as a topology listing naming the active
+    // strategy per variable.
+    let spec = ResourceSpec::uniform(MACHINES, 1).expect("uniform spec");
+    let rows: Vec<(String, String)> = graph
+        .variables()
+        .iter()
+        .zip(&runner.plan().decisions)
+        .map(|(def, d)| (def.name.clone(), decision_label(d)))
+        .collect();
+    out.push_str(&spec.topology_listing(&rows));
+
     // Stage 3: static traffic prediction + conservation crosscheck,
     // validated against one executed iteration on the same feeds.
     let workers = MACHINES;
@@ -248,6 +261,15 @@ mod tests {
         assert!(report.contains("LM (tiny): PASS"), "report:\n{report}");
         assert!(report.contains("graph passes: 0 error(s)"), "{report}");
         assert!(report.contains("plan passes: 0 error(s)"), "{report}");
+        // The topology listing names the active strategy per variable:
+        // the LM embedding syncs through the sparse PS, dense layers
+        // through AllReduce (the hybrid rule).
+        assert!(
+            report.contains("topology: 4 machine(s), 4 GPU(s)"),
+            "{report}"
+        );
+        assert!(report.contains("PS/sparse"), "{report}");
+        assert!(report.contains("AllReduce"), "{report}");
     }
 
     #[test]

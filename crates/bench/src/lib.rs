@@ -15,6 +15,7 @@ pub mod check;
 pub mod compress;
 pub mod experiments;
 pub mod kernels;
+pub mod plan;
 pub mod protocheck;
 pub mod report;
 pub mod serve;

@@ -67,6 +67,15 @@ pub const EXCHANGE_BAND: (f64, f64) = (0.1, 10.0);
 /// apply cost silently balloons (e.g. a sharding regression) and a
 /// calibration that stops seeing apply spans.
 pub const APPLY_BAND: (f64, f64) = (0.2, 5.0);
+/// Absolute noise floor on the apply band: when prediction and
+/// measurement are within this many seconds of each other the
+/// multiplicative band is waived. On the tiny presets the per-iteration
+/// apply total is single-digit microseconds, where one OS scheduling
+/// stall inside an `optimizer.apply` moves the measurement by more than
+/// the whole quantity; a multiplicative band cannot be honest at that
+/// scale (the same reasoning as [`RATIO_ABS_TOL`]). A real apply
+/// regression shows up milliseconds wide and still trips the band.
+pub const APPLY_ABS_TOL_S: f64 = 100e-6;
 
 /// One traced execution: the run report plus its frozen trace.
 pub struct TracedRun {
@@ -289,9 +298,13 @@ impl ConformanceCase {
     }
 
     /// Whether the apply prediction is inside the multiplicative
-    /// [`APPLY_BAND`] of the measured per-iteration `ps.apply` total.
+    /// [`APPLY_BAND`] of the measured per-iteration `ps.apply` total, or
+    /// within the [`APPLY_ABS_TOL_S`] noise floor of it.
     pub fn apply_ok(&self) -> bool {
         if self.measured_apply_s <= 0.0 {
+            return true;
+        }
+        if (self.predicted_apply_s - self.measured_apply_s).abs() <= APPLY_ABS_TOL_S {
             return true;
         }
         let q = self.predicted_apply_s / self.measured_apply_s;
@@ -410,7 +423,8 @@ pub fn run(preset: &str, factors: &[f64], iters: usize) -> Result<(String, bool)
         out,
         "bands: |ratio err| <= {RATIO_REL_TOL}*measured + {RATIO_ABS_TOL}; \
          wait pred/meas in [{:.2}, {:.2}]; p99 pred/meas in [{:.2}, {:.2}]; \
-         exchange pred/meas in [{:.2}, {:.2}]; apply pred/meas in [{:.2}, {:.2}]",
+         exchange pred/meas in [{:.2}, {:.2}]; apply pred/meas in [{:.2}, {:.2}] \
+         or |err| <= {:.0} us",
         WAIT_BAND.0,
         WAIT_BAND.1,
         P99_BAND.0,
@@ -418,7 +432,8 @@ pub fn run(preset: &str, factors: &[f64], iters: usize) -> Result<(String, bool)
         EXCHANGE_BAND.0,
         EXCHANGE_BAND.1,
         APPLY_BAND.0,
-        APPLY_BAND.1
+        APPLY_BAND.1,
+        APPLY_ABS_TOL_S * 1e6
     );
     let _ = writeln!(
         out,
@@ -516,6 +531,16 @@ mod tests {
         };
         assert!(!bad_apply.apply_ok());
         assert!(!bad_apply.ok());
+        // Microsecond-scale apply totals sit inside the absolute noise
+        // floor even when the ratio is far outside the band: a 4us
+        // prediction against a 27us measurement is one scheduler stall,
+        // not a model error.
+        let tiny_apply = ConformanceCase {
+            predicted_apply_s: 4e-6,
+            measured_apply_s: 27e-6,
+            ..good
+        };
+        assert!(tiny_apply.apply_ok());
         // Unmeasurable wait never fails the band.
         let no_wait = ConformanceCase {
             measured_wait_s: 0.0,

@@ -10,7 +10,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use parallax_cluster::ClusterModel;
+use parallax_cluster::{CalibrationProfile, ClusterModel};
 use parallax_core::sparsity::estimate_profile;
 use parallax_core::{get_runner, ParallaxConfig};
 use parallax_models::data::ZipfCorpus;
@@ -141,13 +141,21 @@ pub fn run(preset: &str, iters: usize, out_dir: &str) -> std::io::Result<String>
     export::validate_json(&chrome).expect("chrome trace is valid JSON");
     let summary = export::summary_json(&dump);
     export::validate_json(&summary).expect("trace summary is valid JSON");
+    let cal = CalibrationProfile::from_dump(&dump, MACHINES, iters as u64).to_json();
+    export::validate_json(&cal).expect("calibration profile is valid JSON");
     let chrome_path = format!("{out_dir}TRACE_{preset}.chrome.json");
     let summary_path = format!("{out_dir}TRACE_{preset}.json");
+    let cal_path = format!("{out_dir}TRACE_{preset}.cal.json");
     std::fs::write(&chrome_path, chrome)?;
     std::fs::write(&summary_path, summary)?;
+    std::fs::write(&cal_path, cal)?;
     let _ = writeln!(
         out,
         "wrote {chrome_path} (load in chrome://tracing or Perfetto) and {summary_path}"
+    );
+    let _ = writeln!(
+        out,
+        "wrote {cal_path} (feed to `repro plan --calibrate` to refine the search's timing model)"
     );
     out.push('\n');
     Ok(out)
@@ -340,5 +348,9 @@ mod tests {
         let summary = std::fs::read_to_string(format!("{dir}TRACE_lm.json")).expect("summary");
         export::validate_json(&summary).expect("summary validates");
         assert!(summary.contains("parallax-trace-summary-v1"));
+        let cal = std::fs::read_to_string(format!("{dir}TRACE_lm.cal.json")).expect("calibration");
+        let parsed = CalibrationProfile::from_json(&cal).expect("calibration parses");
+        assert_eq!(parsed.machines, MACHINES);
+        assert!(parsed.compute_per_iter.iter().all(|&c| c >= 0.0));
     }
 }

@@ -276,6 +276,101 @@ impl CalibrationProfile {
         sim.server_cpu = vec![0.0; self.machines];
         sim.ps_queue = Some(self.queue_model());
     }
+
+    /// Serializes the profile's simulation inputs as JSON
+    /// (`parallax-calibration-v1`) — what `repro trace` writes next to
+    /// its trace dump and `repro plan --calibrate` reads back. The
+    /// histogram snapshots and per-op self times are observability
+    /// extras, not simulation inputs, and are not serialized.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let arr = |v: &[f64]| -> String {
+            let items: Vec<String> = v.iter().map(|x| format!("{x}")).collect();
+            format!("[{}]", items.join(","))
+        };
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"parallax-calibration-v1\",\"machines\":{},\"iterations\":{}",
+            self.machines, self.iterations
+        );
+        for (key, v) in [
+            ("compute_per_iter", &self.compute_per_iter),
+            ("server_busy_per_iter", &self.server_busy_per_iter),
+            ("apply_per_iter", &self.apply_per_iter),
+            ("early_requests_per_iter", &self.early_requests_per_iter),
+            ("late_requests_per_iter", &self.late_requests_per_iter),
+            ("service_mean_s", &self.service_mean_s),
+        ] {
+            let _ = write!(out, ",\"{key}\":{}", arr(v));
+        }
+        let _ = write!(out, ",\"wait_mean_s\":{}}}", self.wait_mean_s);
+        out
+    }
+
+    /// Parses a profile serialized by [`CalibrationProfile::to_json`].
+    /// Every per-machine vector must have exactly `machines` entries.
+    pub fn from_json(text: &str) -> crate::Result<Self> {
+        let bad = |what: &str| crate::SpecError::Invalid(format!("calibration JSON: {what}"));
+        if !text.contains("\"schema\":\"parallax-calibration-v1\"") {
+            return Err(bad("missing schema parallax-calibration-v1"));
+        }
+        let machines = scan_number(text, "machines").ok_or_else(|| bad("missing machines"))?;
+        let machines = machines as usize;
+        let iterations =
+            scan_number(text, "iterations").ok_or_else(|| bad("missing iterations"))? as u64;
+        let vec_field = |key: &str| -> crate::Result<Vec<f64>> {
+            let v = scan_array(text, key).ok_or_else(|| bad(&format!("missing {key}")))?;
+            if v.len() != machines {
+                return Err(bad(&format!(
+                    "{key} has {} entries, expected {machines}",
+                    v.len()
+                )));
+            }
+            Ok(v)
+        };
+        Ok(CalibrationProfile {
+            machines,
+            iterations: iterations.max(1),
+            compute_per_iter: vec_field("compute_per_iter")?,
+            server_busy_per_iter: vec_field("server_busy_per_iter")?,
+            apply_per_iter: vec_field("apply_per_iter")?,
+            early_requests_per_iter: vec_field("early_requests_per_iter")?,
+            late_requests_per_iter: vec_field("late_requests_per_iter")?,
+            service_mean_s: vec_field("service_mean_s")?,
+            wait_mean_s: scan_number(text, "wait_mean_s").unwrap_or(0.0),
+            wait_hist: None,
+            service_hist: None,
+            op_self_s: BTreeMap::new(),
+        })
+    }
+}
+
+/// Scans `"key":<number>` out of flat JSON text (the fixed
+/// `parallax-calibration-v1` schema; no nested objects share key names).
+fn scan_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Scans `"key":[n,n,...]` out of flat JSON text.
+fn scan_array(text: &str, key: &str) -> Option<Vec<f64>> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = text[start..].trim_start().strip_prefix('[')?;
+    let body = &rest[..rest.find(']')?];
+    let mut out = Vec::new();
+    for item in body.split(',') {
+        let t = item.trim();
+        if t.is_empty() {
+            continue;
+        }
+        out.push(t.parse().ok()?);
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -471,6 +566,58 @@ mod tests {
         assert_eq!(sim.server_cpu, vec![0.0; 2]);
         assert!(sim.ps_queue.is_some());
         assert!(sim.predicted_mean_ps_wait().is_some());
+    }
+
+    #[test]
+    fn calibration_json_round_trips() {
+        let cal = CalibrationProfile {
+            machines: 2,
+            iterations: 3,
+            compute_per_iter: vec![0.3, 0.6],
+            server_busy_per_iter: vec![0.008, 0.0],
+            apply_per_iter: vec![0.001, 0.0],
+            early_requests_per_iter: vec![2.0, 0.0],
+            late_requests_per_iter: vec![2.0, 0.0],
+            service_mean_s: vec![0.002, 0.0],
+            wait_mean_s: 0.04,
+            wait_hist: None,
+            service_hist: None,
+            op_self_s: BTreeMap::new(),
+        };
+        let text = cal.to_json();
+        assert!(text.contains("parallax-calibration-v1"));
+        let back = CalibrationProfile::from_json(&text).unwrap();
+        assert_eq!(back.machines, cal.machines);
+        assert_eq!(back.iterations, cal.iterations);
+        assert_eq!(back.compute_per_iter, cal.compute_per_iter);
+        assert_eq!(back.server_busy_per_iter, cal.server_busy_per_iter);
+        assert_eq!(back.apply_per_iter, cal.apply_per_iter);
+        assert_eq!(back.early_requests_per_iter, cal.early_requests_per_iter);
+        assert_eq!(back.late_requests_per_iter, cal.late_requests_per_iter);
+        assert_eq!(back.service_mean_s, cal.service_mean_s);
+        assert_eq!(back.wait_mean_s, cal.wait_mean_s);
+        // Both profiles drive the sim identically.
+        let mut a = IterationSim::new(crate::ClusterModel::paper_testbed(), 2);
+        let mut b = IterationSim::new(crate::ClusterModel::paper_testbed(), 2);
+        cal.apply(&mut a);
+        back.apply(&mut b);
+        assert_eq!(a.compute, b.compute);
+        assert_eq!(a.iteration_time(), b.iteration_time());
+    }
+
+    #[test]
+    fn calibration_json_rejects_malformed_input() {
+        // Wrong/missing schema.
+        assert!(CalibrationProfile::from_json("{}").is_err());
+        assert!(CalibrationProfile::from_json("{\"schema\":\"other\"}").is_err());
+        // Array length disagrees with machines.
+        let text = "{\"schema\":\"parallax-calibration-v1\",\"machines\":2,\
+                    \"iterations\":1,\"compute_per_iter\":[0.1],\
+                    \"server_busy_per_iter\":[0,0],\"apply_per_iter\":[0,0],\
+                    \"early_requests_per_iter\":[0,0],\"late_requests_per_iter\":[0,0],\
+                    \"service_mean_s\":[0,0],\"wait_mean_s\":0}";
+        let err = CalibrationProfile::from_json(text).unwrap_err();
+        assert!(err.to_string().contains("compute_per_iter"));
     }
 
     #[test]

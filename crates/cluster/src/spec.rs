@@ -244,6 +244,45 @@ impl ResourceSpec {
         Topology::new(self.machines.iter().map(|m| m.gpu_ids.len()).collect())
             .expect("spec validated non-empty machines and GPUs")
     }
+
+    /// Renders the cluster topology plus a per-variable placement
+    /// table: each `(name, strategy)` row names a variable and the
+    /// synchronization strategy active for it (e.g. `AllReduce`,
+    /// `PS/sparse(p=4)`). The strategy labels come from the caller —
+    /// this crate knows machines and links, not placement — so the same
+    /// listing serves `repro check`, `repro plan`, and spec dumps.
+    pub fn topology_listing(&self, variables: &[(String, String)]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "topology: {} machine(s), {} GPU(s)\n",
+            self.num_machines(),
+            self.num_gpus()
+        ));
+        for m in &self.machines {
+            let ids: Vec<String> = m.gpu_ids.iter().map(|g| g.to_string()).collect();
+            out.push_str(&format!("  {}: gpus [{}]", m.hostname, ids.join(",")));
+            if m.compute_scale != 1.0 || m.network_scale != 1.0 {
+                out.push_str(&format!(
+                    " (compute x{}, net x{})",
+                    m.compute_scale, m.network_scale
+                ));
+            }
+            out.push('\n');
+        }
+        if !variables.is_empty() {
+            let width = variables
+                .iter()
+                .map(|(name, _)| name.len())
+                .max()
+                .unwrap_or(0)
+                .max("variable".len());
+            out.push_str(&format!("  {:<width$}  strategy\n", "variable"));
+            for (name, strategy) in variables {
+                out.push_str(&format!("  {name:<width$}  {strategy}\n"));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +374,25 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(spec, loaded);
         assert!(ResourceSpec::from_file(std::path::Path::new("/nonexistent/x")).is_err());
+    }
+
+    #[test]
+    fn topology_listing_names_strategies_per_variable() {
+        let spec = ResourceSpec::uniform_with_straggler(2, 1, 1, 2.0).unwrap();
+        let rows = vec![
+            ("emb".to_string(), "PS/sparse(p=4)".to_string()),
+            ("w".to_string(), "AllReduce".to_string()),
+        ];
+        let listing = spec.topology_listing(&rows);
+        assert!(listing.contains("topology: 2 machine(s), 2 GPU(s)"));
+        assert!(listing.contains("worker-0: gpus [0]"));
+        assert!(listing.contains("compute x2"));
+        assert!(listing.contains("emb"));
+        assert!(listing.contains("PS/sparse(p=4)"));
+        assert!(listing.contains("AllReduce"));
+        // No variable rows: just the machines.
+        let bare = spec.topology_listing(&[]);
+        assert!(!bare.contains("strategy"));
     }
 
     #[test]

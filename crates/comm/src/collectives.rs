@@ -42,6 +42,43 @@ pub(crate) fn chunk_range(len: usize, n: usize, i: usize) -> std::ops::Range<usi
     start..start + size
 }
 
+/// The exact sum [`ring_allreduce`] produces, computed locally from the
+/// per-participant contributions (indexed by ring position).
+///
+/// The ring fixes the fold association per chunk: chunk `c` starts at
+/// position `c` and accumulates `w_c + w_{c+1} + … + w_{c+n-1}` in
+/// ascending position order (wrapping mod `n`). Any aggregator that
+/// must be bitwise interchangeable with the ring — in particular the
+/// Parameter Server's dense accumulator — replays that exact schedule
+/// through this function instead of summing in arrival order.
+pub fn ring_reduce_reference(parts: &[&[f32]]) -> Result<Vec<f32>> {
+    let n = parts.len();
+    if n == 0 {
+        return Err(CommError::InvalidConfig("empty participant list".into()));
+    }
+    let len = parts[0].len();
+    for p in parts {
+        if p.len() != len {
+            return Err(CommError::LengthMismatch {
+                expected: len,
+                actual: p.len(),
+            });
+        }
+    }
+    let mut out = vec![0.0f32; len];
+    for c in 0..n {
+        let range = chunk_range(len, n, c);
+        let acc = &mut out[range.clone()];
+        acc.copy_from_slice(&parts[c][range.clone()]);
+        for k in 1..n {
+            for (a, d) in acc.iter_mut().zip(&parts[(c + k) % n][range.clone()]) {
+                *a += *d;
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Ring AllReduce (sum) in place: after the call every participant's
 /// `data` holds the elementwise sum over all participants.
 pub fn ring_allreduce(
@@ -253,15 +290,19 @@ pub fn allgatherv(
         .collect())
 }
 
-/// Ring AllGatherv over [`IndexedSlices`] — the sparse-gradient exchange of
-/// the AR architecture (Figure 2(d)): every participant ends up with the
-/// concatenation of all contributions in group order.
-pub fn allgatherv_slices(
+/// Ring AllGatherv over [`IndexedSlices`], returning the per-participant
+/// contributions in group-position order instead of concatenating them.
+///
+/// Callers that need a machine-blocked aggregation order (the canonical
+/// two-level sparse fold shared with the Parameter Server accumulators)
+/// group these parts themselves; [`allgatherv_slices`] is the
+/// concatenating convenience wrapper.
+pub fn allgatherv_slices_parts(
     ep: &mut Endpoint,
     ranks: &[usize],
     tag: u64,
     local: IndexedSlices,
-) -> Result<IndexedSlices> {
+) -> Result<Vec<Arc<IndexedSlices>>> {
     let _span = span(SpanCat::Collective, "allgatherv_slices");
     let pos = position(ep, ranks)?;
     let n = ranks.len();
@@ -281,8 +322,19 @@ pub fn allgatherv_slices(
             parts[recv_idx] = Some(ep.recv(prev, tag)?.into_shared_slices()?);
         }
     }
-    let shared: Vec<Arc<IndexedSlices>> =
-        parts.into_iter().map(|p| p.expect("all filled")).collect();
+    Ok(parts.into_iter().map(|p| p.expect("all filled")).collect())
+}
+
+/// Ring AllGatherv over [`IndexedSlices`] — the sparse-gradient exchange of
+/// the AR architecture (Figure 2(d)): every participant ends up with the
+/// concatenation of all contributions in group order.
+pub fn allgatherv_slices(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    local: IndexedSlices,
+) -> Result<IndexedSlices> {
+    let shared = allgatherv_slices_parts(ep, ranks, tag, local)?;
     IndexedSlices::concat(&shared).map_err(|_| CommError::LengthMismatch {
         expected: 0,
         actual: 0,
@@ -302,14 +354,35 @@ pub fn allgatherv_slices_wire(
     local: IndexedSlices,
     wire: WireFormat,
 ) -> Result<IndexedSlices> {
+    let parts = allgatherv_slices_parts_wire(ep, ranks, tag, local, wire)?;
+    IndexedSlices::concat(&parts).map_err(|_| CommError::LengthMismatch {
+        expected: 0,
+        actual: 0,
+    })
+}
+
+/// [`allgatherv_slices_parts`] with a selectable [`WireFormat`]; the
+/// per-participant parts come back in group-position order and the index
+/// packing is lossless, so results are bitwise identical to the raw
+/// format.
+pub fn allgatherv_slices_parts_wire(
+    ep: &mut Endpoint,
+    ranks: &[usize],
+    tag: u64,
+    local: IndexedSlices,
+    wire: WireFormat,
+) -> Result<Vec<IndexedSlices>> {
     if !wire.compresses() {
-        return allgatherv_slices(ep, ranks, tag, local);
+        return Ok(allgatherv_slices_parts(ep, ranks, tag, local)?
+            .into_iter()
+            .map(unwrap_shared)
+            .collect());
     }
     let _span = span(SpanCat::Collective, "allgatherv_slices");
     let pos = position(ep, ranks)?;
     let n = ranks.len();
     if n == 1 {
-        return Ok(local);
+        return Ok(vec![local]);
     }
     let mut parts: Vec<Option<Arc<PackedSlices>>> = vec![None; n];
     parts[pos] = Some(Arc::new(PackedSlices::pack(&local)));
@@ -323,7 +396,7 @@ pub fn allgatherv_slices_wire(
         ep.send(next, tag, Payload::Packed(outgoing))?;
         parts[recv_idx] = Some(ep.recv(prev, tag)?.into_shared_packed()?);
     }
-    let unpacked: Vec<IndexedSlices> = parts
+    Ok(parts
         .into_iter()
         .enumerate()
         .map(|(i, p)| {
@@ -335,11 +408,7 @@ pub fn allgatherv_slices_wire(
                 p.expect("all filled").unpack()
             }
         })
-        .collect();
-    IndexedSlices::concat(&unpacked).map_err(|_| CommError::LengthMismatch {
-        expected: 0,
-        actual: 0,
-    })
+        .collect())
 }
 
 /// Broadcast from `root`: the root's tensor is delivered to every
@@ -729,6 +798,53 @@ mod tests {
             packed_traffic.total_network_bytes(),
             raw_traffic.total_network_bytes()
         );
+    }
+
+    #[test]
+    fn ring_reduce_reference_matches_ring_bitwise() {
+        // Values chosen so the fold association matters: f32 addition is
+        // not associative, and the reference must pick the ring's exact
+        // association per chunk.
+        for (machines, gpus, len) in [(1, 1, 5), (2, 1, 7), (4, 1, 10), (2, 2, 13), (3, 2, 9)] {
+            let topo = Topology::uniform(machines, gpus).unwrap();
+            let n = topo.num_workers();
+            let contrib = |r: usize, i: usize| {
+                (1.0 + r as f32) * 0.101 + (i as f32) * 0.037 + 1e-6 * ((r * 31 + i) as f32)
+            };
+            let (results, _) = run_all(topo, |ep, ranks| {
+                let mut data: Vec<f32> = (0..len).map(|i| contrib(ep.rank(), i)).collect();
+                ring_allreduce(ep, ranks, 1, &mut data).unwrap();
+                data
+            });
+            let parts: Vec<Vec<f32>> = (0..n)
+                .map(|r| (0..len).map(|i| contrib(r, i)).collect())
+                .collect();
+            let views: Vec<&[f32]> = parts.iter().map(|p| p.as_slice()).collect();
+            let reference = ring_reduce_reference(&views).unwrap();
+            for r in &results {
+                let got: Vec<u32> = r.iter().map(|f| f.to_bits()).collect();
+                let want: Vec<u32> = reference.iter().map(|f| f.to_bits()).collect();
+                assert_eq!(got, want, "{machines}x{gpus} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_slices_parts_orders_by_group_position() {
+        use parallax_tensor::Tensor;
+        let topo = Topology::uniform(3, 1).unwrap();
+        let (results, _) = run_all(topo, |ep, ranks| {
+            let r = ep.rank();
+            let local = IndexedSlices::new(vec![r], Tensor::full([1, 2], r as f32), 8).unwrap();
+            allgatherv_slices_parts(ep, ranks, 3, local).unwrap()
+        });
+        for parts in &results {
+            assert_eq!(parts.len(), 3);
+            for (r, part) in parts.iter().enumerate() {
+                assert_eq!(part.indices(), &[r]);
+                assert_eq!(part.values().data(), &[r as f32, r as f32]);
+            }
+        }
     }
 
     #[test]

@@ -295,13 +295,16 @@ pub fn throughput(
                     transfer::VarTraffic::default(),
                     transfer::VarTraffic::default(),
                 ));
-                let (host, other) = transfer::ps_dense_traffic(w, n, g, setup.local_aggregation);
+                // Local aggregation is sparse-only (dense PS pushes are
+                // always per-worker so the server replays the ring fold
+                // order), so dense traffic never takes the machine
+                // pre-sum discount.
+                let (host, other) = transfer::ps_dense_traffic(w, n, g, false);
                 let slot = dense_host_loads.last_mut().expect("just pushed");
                 slot.1 = host;
                 slot.2 = other;
                 // Dense aggregation on the server: pushers x elements.
-                let pushers = if setup.local_aggregation { n } else { workers };
-                server_cpu += pushers * var.elements / cluster.cpu.dense_agg_rate / n;
+                server_cpu += workers * var.elements / cluster.cpu.dense_agg_rate / n;
             }
         } else if var.sparse && setup.arch == ArchChoice::ArOnly {
             // Horovod: raw sparse gradients travel as AllGatherv over MPI.

@@ -2,6 +2,7 @@
 
 use parallax_dataflow::optimizer::{Adagrad, LrSchedule, Momentum, Sgd};
 use parallax_dataflow::Optimizer;
+use parallax_ps::placement::SyncDecision;
 use parallax_ps::PlacementStrategy;
 
 /// Which update rule replicas and servers apply.
@@ -80,6 +81,17 @@ pub struct ParallaxConfig {
     pub arch: ArchChoice,
     /// Fixed sparse partition count; `None` runs the partition search.
     pub sparse_partitions: Option<usize>,
+    /// Per-variable decision overrides applied *after* the architecture
+    /// rule: `(variable index, decision)` pairs — the mechanism
+    /// placement strategies and the plan search use to pin individual
+    /// variables. Validated in [`crate::hybrid::decide`]: indices must
+    /// be in range and unique; a dense variable may only move between
+    /// `AllReduce` and `PsDense` (hosting a dense variable on the PS
+    /// additionally requires `average_dense == average_sparse`, because
+    /// the server applies one averaging flag to everything it hosts);
+    /// a sparse variable may use `PsSparse` with at least one partition
+    /// or `AllReduce` (densify, the alpha-escape path).
+    pub decision_overrides: Vec<(usize, SyncDecision)>,
     /// Per-partitioner-group overrides: `group_partitions[g]` fixes the
     /// count for variables declared in partitioner group `g` (the
     /// paper's "multiple partitioners ... applied independently" for
@@ -172,6 +184,7 @@ impl Default for ParallaxConfig {
             placement: PlacementStrategy::Balanced,
             arch: ArchChoice::Hybrid,
             sparse_partitions: None,
+            decision_overrides: Vec::new(),
             group_partitions: Vec::new(),
             alpha_dense_threshold: 0.95,
             compute_threads: None,

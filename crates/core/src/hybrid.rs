@@ -38,7 +38,7 @@ pub fn decide(
             .unwrap_or(sparse_partitions)
             .max(1)
     };
-    Ok(profile
+    let mut decisions: Vec<SyncDecision> = profile
         .vars
         .iter()
         .map(|v| match config.arch {
@@ -62,7 +62,67 @@ pub fn decide(
                 }
             }
         })
-        .collect())
+        .collect();
+    apply_overrides(graph, config, &mut decisions)?;
+    Ok(decisions)
+}
+
+/// Applies `config.decision_overrides` onto the architecture rule's
+/// output, validating each override. The plan verifier re-derives
+/// decisions through [`decide`] with the same config, so an override
+/// accepted here is consistent by construction with the `P...` checks.
+fn apply_overrides(
+    graph: &Graph,
+    config: &ParallaxConfig,
+    decisions: &mut [SyncDecision],
+) -> Result<()> {
+    let mut seen = std::collections::HashSet::new();
+    for &(idx, d) in &config.decision_overrides {
+        if idx >= decisions.len() {
+            return Err(CoreError::Config(format!(
+                "decision override names variable {idx}, graph has {}",
+                decisions.len()
+            )));
+        }
+        if !seen.insert(idx) {
+            return Err(CoreError::Config(format!(
+                "duplicate decision override for variable {idx}"
+            )));
+        }
+        let sparse = graph.is_sparse_variable(parallax_dataflow::VarId::from_index(idx));
+        match d {
+            SyncDecision::AllReduce => {}
+            SyncDecision::PsDense => {
+                if sparse {
+                    return Err(CoreError::Config(format!(
+                        "variable {idx} is sparse: it must use PsSparse or AllReduce \
+                         (densify), not the dense PS path"
+                    )));
+                }
+                if config.average_dense != config.average_sparse {
+                    return Err(CoreError::Config(format!(
+                        "variable {idx}: hosting a dense variable on the PS requires \
+                         average_dense == average_sparse (the server applies one \
+                         averaging flag to everything it hosts)"
+                    )));
+                }
+            }
+            SyncDecision::PsSparse { partitions } => {
+                if !sparse {
+                    return Err(CoreError::Config(format!(
+                        "variable {idx} is dense: it cannot take the sparse PS path"
+                    )));
+                }
+                if partitions == 0 {
+                    return Err(CoreError::Config(format!(
+                        "variable {idx}: PsSparse override needs at least one partition"
+                    )));
+                }
+            }
+        }
+        decisions[idx] = d;
+    }
+    Ok(())
 }
 
 /// Predicted per-machine bottleneck bytes for synchronizing one variable
@@ -174,6 +234,52 @@ mod tests {
         assert!(matches!(d[1], SyncDecision::PsSparse { partitions: 32 }));
         // Ungrouped variables fall back to the global count.
         assert!(matches!(d[2], SyncDecision::PsSparse { partitions: 16 }));
+    }
+
+    #[test]
+    fn decision_overrides_pin_variables_after_the_arch_rule() {
+        let g = graph();
+        let config = ParallaxConfig {
+            decision_overrides: vec![
+                (0, SyncDecision::PsSparse { partitions: 7 }),
+                (1, SyncDecision::PsDense),
+            ],
+            ..ParallaxConfig::default()
+        };
+        let d = decide(&g, &profile(0.99), &config, 16).unwrap();
+        // The alpha escape would send var 0 to AllReduce; the override wins.
+        assert!(matches!(d[0], SyncDecision::PsSparse { partitions: 7 }));
+        assert!(matches!(d[1], SyncDecision::PsDense));
+    }
+
+    #[test]
+    fn invalid_overrides_are_rejected() {
+        let g = graph();
+        let reject = |overrides: Vec<(usize, SyncDecision)>, extra: fn(&mut ParallaxConfig)| {
+            let mut config = ParallaxConfig {
+                decision_overrides: overrides,
+                ..ParallaxConfig::default()
+            };
+            extra(&mut config);
+            decide(&g, &profile(0.01), &config, 4).unwrap_err()
+        };
+        // Out of range.
+        reject(vec![(9, SyncDecision::AllReduce)], |_| {});
+        // Duplicate.
+        reject(
+            vec![(0, SyncDecision::AllReduce), (0, SyncDecision::AllReduce)],
+            |_| {},
+        );
+        // Sparse variable on the dense PS path.
+        reject(vec![(0, SyncDecision::PsDense)], |_| {});
+        // Dense variable on the sparse PS path.
+        reject(vec![(1, SyncDecision::PsSparse { partitions: 2 })], |_| {});
+        // Zero partitions.
+        reject(vec![(0, SyncDecision::PsSparse { partitions: 0 })], |_| {});
+        // Dense-on-PS with mismatched averaging flags.
+        reject(vec![(1, SyncDecision::PsDense)], |c| {
+            c.average_dense = false;
+        });
     }
 
     #[test]

@@ -25,6 +25,15 @@
 //!   synchronization schedule, and statically predicts one iteration's
 //!   per-class traffic by replaying the exchange plan into a
 //!   [`parallax_comm::StaticLedger`] — all before any thread spawns.
+//! * [`strategy`] — the placement-strategy abstraction: five fixed
+//!   recipes (pure AR, pure PS, load-balanced PS, partitioned PS, the
+//!   Parallax hybrid) that each plan a verified placement for a graph
+//!   on a topology, plus the searched-strategy wrapper.
+//! * [`strategize`] — the deterministic greedy/local-search planner:
+//!   scores candidate per-variable assignments with the static traffic
+//!   replay and an (optionally trace-calibrated) `IterationSim`
+//!   timing model, returns the argmin plan and a machine-readable
+//!   search report (`repro plan`).
 //! * [`runner`] — the `shard` / `get_runner` user API (Figure 3) and the
 //!   executed-mode distributed training loop over worker threads and
 //!   per-machine servers.
@@ -43,6 +52,8 @@ pub mod protocheck;
 pub mod runner;
 pub mod snapshot;
 pub mod sparsity;
+pub mod strategize;
+pub mod strategy;
 pub mod transfer;
 pub mod transform;
 
@@ -50,7 +61,11 @@ pub use config::{ArchChoice, OptimizerKind, ParallaxConfig};
 pub use error::CoreError;
 pub use plancheck::{check_plan, predict_iteration_traffic};
 pub use protocheck::{check_fault_plan, check_session, derive_session};
-pub use runner::{get_runner, get_runner_from_spec, shard_range, RunReport, Runner};
+pub use runner::{
+    get_runner, get_runner_from_spec, get_runner_with_plan, shard_range, RunReport, Runner,
+};
+pub use strategize::{plan_search, SearchReport};
+pub use strategy::{fixed_strategies, Strategy, StrategyPlan};
 pub use transform::DistributedPlan;
 
 /// Crate-wide result type.

@@ -427,7 +427,9 @@ pub fn check_plan(
 /// plan — exactly one collective per AllReduce variable (AllGatherv only
 /// for graph-sparse variables under pure-AR), one `GlobalAgg` + `Update`
 /// per shard on the shard's own server, and `LocalAgg` if and only if
-/// the configuration enables local aggregation.
+/// the configuration enables local aggregation and the variable is
+/// graph-sparse (dense PS gradients always push per worker so the
+/// server can replay the ring fold order).
 fn check_sync_ops(
     graph: &Graph,
     config: &ParallaxConfig,
@@ -508,7 +510,8 @@ fn check_sync_ops(
                         .for_var(idx),
                     );
                 }
-                let want_lagg = usize::from(config.local_aggregation);
+                let want_lagg =
+                    usize::from(config.local_aggregation && graph.is_sparse_variable(var));
                 if local_agg != want_lagg {
                     report.push(
                         Diagnostic::error(
@@ -791,7 +794,9 @@ pub fn predict_iteration_traffic(
             }
         }
         let placement = plan.plan.placement(var).map_err(CoreError::Ps)?.clone();
-        if local_agg {
+        // Local aggregation applies to sparse variables only; dense PS
+        // gradients always push per worker (ring-ordered accumulator).
+        if local_agg && graph.is_sparse_variable(var) {
             for m in 0..machines {
                 let peers = topo.workers_of(m);
                 let chief = topo.local_chief(m);

@@ -304,8 +304,13 @@ pub fn derive_session(
     }
 
     // ---- Local aggregation --------------------------------------------
+    // Sparse variables only: dense PS gradients always push per worker
+    // so the server can replay the ring fold order.
     if local_agg {
         for &var in &ps_vars {
+            if !graph.is_sparse_variable(var) {
+                continue;
+            }
             let v = var.index();
             for m in 0..machines {
                 let lchief = topo.local_chief(m);
@@ -334,11 +339,9 @@ pub fn derive_session(
     }
 
     // ---- Push phase ---------------------------------------------------
-    let pushers: Vec<usize> = if local_agg {
-        (0..machines).map(|m| topo.local_chief(m)).collect()
-    } else {
-        workers.clone()
-    };
+    // Pusher set per variable: machine chiefs for locally-aggregated
+    // (sparse) variables, every worker otherwise.
+    let chief_pushers: Vec<usize> = (0..machines).map(|m| topo.local_chief(m)).collect();
     for &var in &ps_vars {
         let placement = plan.plan.placement(var).map_err(CoreError::Ps)?;
         let v = var.index();
@@ -347,9 +350,14 @@ pub fn derive_session(
             VarPlacement::PsSparse { .. } => KIND_PUSH_SPARSE,
             VarPlacement::AllReduce => continue,
         };
+        let pushers: &[usize] = if local_agg && graph.is_sparse_variable(var) {
+            &chief_pushers
+        } else {
+            &workers
+        };
         for (m, p) in shard_coords(placement) {
             let srv = topo.server_rank(m);
-            for &pusher in &pushers {
+            for &pusher in pushers {
                 let mut e = base_event(
                     Phase::Push,
                     pusher,
@@ -577,7 +585,13 @@ fn expected_server_requests(
         } else {
             KIND_PUSH_DENSE
         };
-        let pushes = if local_agg { machines } else { workers };
+        // Local aggregation is sparse-only: dense shards always take one
+        // push per worker (ring-ordered accumulator).
+        let pushes = if local_agg && graph.is_sparse_variable(var) {
+            machines
+        } else {
+            workers
+        };
         for (m, p) in shard_coords(placement) {
             let srv = topo.server_rank(m);
             expected.insert((srv, pull_kind, v, p), pulls);

@@ -318,6 +318,36 @@ pub fn get_runner(
     })
 }
 
+/// Builds a [`Runner`] that executes a strategy's verified plan (see
+/// [`crate::strategy::Strategy::plan`]). The runner re-derives and
+/// re-verifies the plan from the strategy's configuration — planning is
+/// deterministic, so the rebuilt plan must equal the one the strategy
+/// verified; any disagreement (e.g. a topology mismatch, or a plan
+/// edited after verification) is rejected before any thread spawns.
+pub fn get_runner_with_plan(
+    graph: Graph,
+    loss: NodeId,
+    gpus_per_machine: Vec<usize>,
+    strategy_plan: &crate::strategy::StrategyPlan,
+    profile: SparsityProfile,
+) -> Result<Runner> {
+    let runner = get_runner(
+        graph,
+        loss,
+        gpus_per_machine,
+        strategy_plan.config.clone(),
+        profile,
+    )?;
+    if *runner.plan() != strategy_plan.plan {
+        return Err(CoreError::Config(format!(
+            "strategy '{}': the verified plan does not match the plan re-derived for this \
+             topology (was it planned for a different cluster, or edited after verification?)",
+            strategy_plan.name
+        )));
+    }
+    Ok(runner)
+}
+
 /// Builds a [`Runner`] from a parsed resource specification (the
 /// `resource_info_file` of Figure 3's `get_runner`).
 pub fn get_runner_from_spec(
@@ -857,6 +887,15 @@ impl Runner {
     {
         let workers = self.topo.num_workers();
         let worker_ranks = self.topo.worker_ranks();
+        // Machine of each worker position, for the machine-blocked
+        // sparse fold (worker_ranks is machine-major).
+        let worker_machines: Vec<usize> = {
+            let mut ms = Vec::with_capacity(workers);
+            for &r in &worker_ranks {
+                ms.push(self.topo.machine_of(r).map_err(CoreError::Ps)?);
+            }
+            ms
+        };
         let is_global_chief = rank == self.topo.chief();
         let machine = self.topo.machine_of(rank).map_err(CoreError::Ps)?;
         parallax_trace::set_thread_track(
@@ -994,8 +1033,13 @@ impl Runner {
                             self.config.wire_format,
                         )?;
                         if self.config.average_dense {
+                            // Multiply by the reciprocal, matching the
+                            // server's `Grad::scale(1.0 / workers)`, so a
+                            // variable moved between AR and PS averages
+                            // to identical bits.
+                            let inv = 1.0 / workers as f32;
                             for v in agg.data_mut() {
-                                *v /= workers as f32;
+                                *v *= inv;
                             }
                         }
                         if self.config.trace_gradients {
@@ -1008,14 +1052,20 @@ impl Runner {
                         }
                     }
                     Grad::Sparse(s) => {
-                        let gathered = collectives::allgatherv_slices_wire(
+                        let parts = collectives::allgatherv_slices_parts_wire(
                             endpoint,
                             &worker_ranks,
                             mpi_tag(var.index(), iter as u64),
                             s.clone(),
                             self.config.wire_format,
                         )?;
-                        let mut agg = gathered.coalesce();
+                        // Canonical machine-blocked fold shared with the
+                        // PS accumulators (parts arrive in worker_ranks
+                        // order, which is machine-major).
+                        let mut agg = parallax_tensor::IndexedSlices::coalesce_grouped(
+                            &parts,
+                            &worker_machines,
+                        )?;
                         if self.config.average_sparse {
                             agg = agg.scale(1.0 / workers as f32);
                         }
@@ -1052,7 +1102,11 @@ impl Runner {
                         "PS variable '{name}' received no gradient; servers would stall"
                     ))
                 })?;
-                if self.config.local_aggregation && sync {
+                // Local aggregation is sparse-only: a dense machine
+                // pre-sum would fold in the wrong association for the
+                // ring-ordered dense accumulator, so dense PS gradients
+                // always push per worker.
+                if self.config.local_aggregation && sync && grad.is_sparse() {
                     if let Some(agg) =
                         locally_aggregate(endpoint, &self.topo, iter as u64, var, grad)
                             .map_err(CoreError::Ps)?

@@ -148,7 +148,11 @@ pub fn transform(
                 }
             }
             SyncDecision::PsDense | SyncDecision::PsSparse { .. } => {
-                if config.local_aggregation {
+                // Local aggregation is sparse-only: dense gradients keep
+                // one push per worker so the server can replay the
+                // ring-AllReduce fold order (a machine pre-sum has the
+                // wrong association).
+                if config.local_aggregation && sparse {
                     sync_ops.push(SyncOpDesc::LocalAgg { var });
                 }
                 match plan.placement(var).map_err(crate::CoreError::Ps)? {

@@ -32,8 +32,12 @@ pub struct ServerConfig {
     /// Divide aggregated gradients by the worker count (averaging) before
     /// the update; otherwise apply the sum.
     pub average_gradients: bool,
-    /// Per-machine local aggregation: only each machine's local chief
-    /// pushes, so a shard expects `machines` pushes instead of `workers`.
+    /// Per-machine local aggregation of *sparse* gradients: only each
+    /// machine's local chief pushes to sparse shards, which then expect
+    /// `machines` pushes instead of `workers`. Dense shards always take
+    /// one push per worker — a machine pre-sum would change the fold
+    /// association away from the ring-AllReduce order dense aggregation
+    /// replays.
     pub local_aggregation: bool,
     /// Gate each shard's update on a `ChiefUpdate` trigger from the chief
     /// worker (the paper's exact mechanism). When false the update fires
@@ -168,10 +172,22 @@ impl Server {
         let store = VarStore::init(graph, &mut DetRng::seed(config.seed));
         let workers = topo.num_workers();
         let machines = topo.num_machines();
-        let pushers = if config.local_aggregation {
-            machines
+        // Accumulator shapes. Dense shards always take one push per
+        // worker (positional, released in ring-fold order so PS-dense is
+        // bitwise interchangeable with AllReduce; local aggregation is
+        // sparse-only because a machine pre-sum has the wrong
+        // association for the ring). Sparse shards take one push per
+        // machine under local aggregation, or one per worker grouped by
+        // machine otherwise — the release folds machine-blocked either
+        // way, so both arrangements produce identical bits.
+        let sparse_acc = if config.local_aggregation {
+            SparseAccumulator::new(machines)
         } else {
-            workers
+            let mut machine_of = Vec::with_capacity(workers);
+            for r in topo.worker_ranks() {
+                machine_of.push(topo.machine_of(r)?);
+            }
+            SparseAccumulator::grouped(machine_of)
         };
 
         let mut shards = Vec::new();
@@ -194,8 +210,8 @@ impl Server {
                 value,
                 sparse,
                 pulls_expected,
-                dense_acc: DenseAccumulator::new(pushers),
-                sparse_acc: SparseAccumulator::new(pushers),
+                dense_acc: DenseAccumulator::new(workers),
+                sparse_acc: sparse_acc.clone(),
                 pending: None,
                 last_aggregate: None,
                 chief_seen: false,
@@ -335,7 +351,11 @@ impl Server {
             .iter()
             .map(|s| {
                 let pushes = if sync {
-                    s.dense_acc.expected().max(s.sparse_acc.expected())
+                    if s.sparse {
+                        s.sparse_acc.expected()
+                    } else {
+                        s.dense_acc.expected()
+                    }
                 } else {
                     // Async: every worker pushes individually.
                     self.topo.num_workers()
@@ -460,6 +480,10 @@ impl Server {
             }
             ReqKind::PushDense => {
                 let grad = body.into_tensor()?;
+                // The pusher's worker position doubles as its ring
+                // position, fixing the fold slot regardless of arrival
+                // order.
+                let position = self.topo.worker_position(from)?;
                 let shard = &mut self.shards[idx];
                 if shard.sparse {
                     return Err(PsError::Protocol("dense push to a sparse shard".into()));
@@ -468,7 +492,7 @@ impl Server {
                 if !self.config.synchronous {
                     self.apply_async(idx, Grad::Dense(grad))?;
                 } else {
-                    if let Some(sum) = shard.dense_acc.push(grad)? {
+                    if let Some(sum) = shard.dense_acc.push(position, grad)? {
                         shard.pending = Some(Grad::Dense(sum));
                     }
                     self.maybe_apply(idx, iter)?;
@@ -476,6 +500,14 @@ impl Server {
             }
             ReqKind::PushSparse => {
                 let grad = body.into_slices()?;
+                // Under local aggregation the pusher is a machine's local
+                // chief and fills that machine's slot; otherwise each
+                // worker fills its own (machine-grouped) slot.
+                let position = if self.config.local_aggregation && self.config.synchronous {
+                    self.topo.machine_of(from)?
+                } else {
+                    self.topo.worker_position(from)?
+                };
                 let shard = &mut self.shards[idx];
                 if !shard.sparse {
                     return Err(PsError::Protocol("sparse push to a dense shard".into()));
@@ -484,7 +516,7 @@ impl Server {
                 if !self.config.synchronous {
                     self.apply_async(idx, Grad::Sparse(grad))?;
                 } else {
-                    if let Some(agg) = shard.sparse_acc.push(grad)? {
+                    if let Some(agg) = shard.sparse_acc.push(position, grad)? {
                         shard.pending = Some(Grad::Sparse(agg));
                     }
                     self.maybe_apply(idx, iter)?;

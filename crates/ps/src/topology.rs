@@ -91,6 +91,21 @@ impl PsTopology {
         self.comm.machine_of(rank).map_err(PsError::Comm)
     }
 
+    /// The position of a worker rank in [`PsTopology::worker_ranks`]
+    /// order (machine-major). This is the slot index accumulators use,
+    /// and the ring position for the AllReduce fold.
+    pub fn worker_position(&self, rank: usize) -> Result<usize> {
+        let machine = self.machine_of(rank)?;
+        let off = self.offsets[machine];
+        if rank >= off + self.gpus_per_machine[machine] {
+            return Err(PsError::Protocol(format!(
+                "rank {rank} is not a worker rank"
+            )));
+        }
+        let before: usize = self.gpus_per_machine[..machine].iter().sum();
+        Ok(before + (rank - off))
+    }
+
     /// The *local chief* worker of a machine — the lowest worker rank,
     /// responsible for local aggregation.
     pub fn local_chief(&self, machine: usize) -> usize {
@@ -145,5 +160,16 @@ mod tests {
         assert_eq!(t.server_rank(0), 1);
         assert_eq!(t.worker_ranks(), vec![0, 2, 3, 4, 5]);
         assert_eq!(t.server_rank(1), 6);
+    }
+
+    #[test]
+    fn worker_positions_follow_worker_ranks_order() {
+        let t = PsTopology::new(vec![2, 3]).unwrap();
+        for (i, r) in t.worker_ranks().into_iter().enumerate() {
+            assert_eq!(t.worker_position(r).unwrap(), i);
+        }
+        // Server ranks are not worker positions.
+        assert!(t.worker_position(t.server_rank(0)).is_err());
+        assert!(t.worker_position(t.server_rank(1)).is_err());
     }
 }

@@ -23,14 +23,15 @@ fn aggregate_releases_exactly_once() {
         let releases = Arc::new(AtomicUsize::new(0));
         let pushers: Vec<_> = [1.0f32, 2.0]
             .into_iter()
-            .map(|v| {
+            .enumerate()
+            .map(|(pos, v)| {
                 let acc = Arc::clone(&acc);
                 let releases = Arc::clone(&releases);
                 thread::spawn(move || {
                     let out = acc
                         .lock()
                         .unwrap()
-                        .push(Tensor::full([2], v))
+                        .push(pos, Tensor::full([2], v))
                         .expect("push within expected count");
                     if let Some(sum) = out {
                         releases.fetch_add(1, Ordering::SeqCst);

@@ -152,7 +152,10 @@ fn distributed_ps(
                     } = &mut ctx;
                     for &var in &ps_vars {
                         let grad = grads.get(&var).expect("all vars used");
-                        if local_aggregation {
+                        // Local aggregation is sparse-only: dense gradients
+                        // keep one push per worker so the server can replay
+                        // the ring fold order.
+                        if local_aggregation && grad.is_sparse() {
                             let agg =
                                 locally_aggregate(endpoint, &topo, iter as u64, var, grad).unwrap();
                             if let Some(agg) = agg {
@@ -327,7 +330,7 @@ fn local_aggregation_reduces_network_traffic() {
                         } = &mut ctx;
                         for &var in &ps_vars {
                             let grad = grads.get(&var).unwrap();
-                            if local_agg {
+                            if local_agg && grad.is_sparse() {
                                 if let Some(agg) =
                                     locally_aggregate(endpoint, &topo, iter as u64, var, grad)
                                         .unwrap()

@@ -220,6 +220,46 @@ impl IndexedSlices {
         })
     }
 
+    /// The canonical two-level (machine-blocked) coalesce: parts whose
+    /// `group_of` entries match coalesce first, in slot order; the
+    /// per-group subtotals then coalesce in group order. `group_of` must
+    /// be non-decreasing (parts arranged group-major).
+    ///
+    /// This is the one association every aggregator — Parameter Server
+    /// accumulators, AllGatherv workers, local-aggregation chiefs —
+    /// folds sparse gradients in, so placement never changes the bits.
+    /// A flat [`IndexedSlices::coalesce_parts`] over the same parts
+    /// differs whenever a non-leading group contributes two slices to
+    /// one row; pre-aggregated group subtotals are sorted-unique, on
+    /// which coalescing is idempotent, so they pass through the inner
+    /// level unchanged.
+    pub fn coalesce_grouped(parts: &[IndexedSlices], group_of: &[usize]) -> Result<IndexedSlices> {
+        if parts.len() != group_of.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "coalesce_grouped: {} parts but {} group ids",
+                parts.len(),
+                group_of.len()
+            )));
+        }
+        if group_of.windows(2).any(|w| w[0] > w[1]) {
+            return Err(TensorError::InvalidArgument(
+                "coalesce_grouped: parts must be group-major".into(),
+            ));
+        }
+        let mut subtotals: Vec<IndexedSlices> = Vec::new();
+        let mut start = 0;
+        while start < parts.len() {
+            let group = group_of[start];
+            let mut end = start + 1;
+            while end < parts.len() && group_of[end] == group {
+                end += 1;
+            }
+            subtotals.push(IndexedSlices::coalesce_parts(&parts[start..end])?);
+            start = end;
+        }
+        IndexedSlices::coalesce_parts(&subtotals)
+    }
+
     /// Concatenates several slice sets (the `AllGatherv` aggregation of the
     /// AR architecture): indices and values are appended in argument order.
     ///

@@ -16,6 +16,15 @@ cargo fmt --all --check
 cargo run --release -q -p parallax-bench --bin repro -- check --model lm
 cargo run --release -q -p parallax-bench --bin repro -- check --model nmt
 
+# Strategy-search gate: score the five fixed placement strategies plus
+# the greedy per-variable search on both presets; exits nonzero if the
+# searched plan's predicted iteration time is slower than any fixed
+# strategy's (the search must never lose to a recipe it subsumes). The
+# cross-strategy equivalence suite (bitwise-identical weights under
+# every strategy) runs as part of `cargo test` above.
+cargo run --release -q -p parallax-bench --bin repro -- plan --model lm
+cargo run --release -q -p parallax-bench --bin repro -- plan --model nmt
+
 # Protocol verification gate: derive the per-link session machine from
 # the verified plan, prove it clean (C001-C008), require every seeded
 # protocol defect to be caught, then run clean/duplicate/drop/delay

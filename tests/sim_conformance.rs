@@ -17,6 +17,9 @@
 //! (`parallax_bench::straggler::{RATIO_REL_TOL, RATIO_ABS_TOL,
 //! WAIT_BAND, P99_BAND, EXCHANGE_BAND, APPLY_BAND}`).
 //!
+//! Band checks allow one full-matrix retry with a fresh baseline (see
+//! `conformance_matrix`); run-health invariants never retry.
+//!
 //! The tracer is process-global, so every test takes one lock.
 
 use std::sync::{Mutex, MutexGuard};
@@ -36,51 +39,16 @@ const ITERS: usize = 4;
 /// The slowdown matrix every preset is checked against.
 const FACTORS: [f64; 3] = [1.0, 2.0, 3.0];
 
-/// Runs the factor matrix for one preset against a shared baseline,
-/// asserting the conformance bands plus the run-health invariants
-/// (classified traffic, paired push flows).
-fn conformance_matrix(preset: &str) {
+/// Runs the factor matrix for one preset against a shared baseline.
+/// Run-health invariants (classified traffic, paired push flows) are
+/// timing-independent and assert immediately; band violations are
+/// returned so the caller can retry the whole matrix once.
+fn matrix_attempt(preset: &str) -> Result<(), String> {
     let baseline = traced_run(preset, MACHINES, ITERS, &[]).expect("baseline run");
     let cal = CalibrationProfile::from_dump(&baseline.dump, MACHINES, ITERS as u64).homogenized();
     for factor in FACTORS {
         let (case, run) = conformance_case(preset, MACHINES, ITERS, factor, &baseline, &cal)
             .expect("conformance case");
-        assert!(
-            case.ok(),
-            "{preset} factor {factor}: prediction outside bands \
-             (ratio {:.3} vs {:.3}, wait {:.6}s vs {:.6}s, \
-             p99 {:.6}s vs {:.6}s)",
-            case.predicted_ratio,
-            case.measured_ratio,
-            case.predicted_wait_s,
-            case.measured_wait_s,
-            case.predicted_p99_s,
-            case.measured_p99_s,
-        );
-        // The p99 and per-phase bands are checked inside `case.ok()`;
-        // assert them separately too so a single-band regression names
-        // itself.
-        assert!(
-            case.p99_ok(),
-            "{preset} factor {factor}: p99 wait outside band \
-             ({:.6}s predicted vs {:.6}s measured bound)",
-            case.predicted_p99_s,
-            case.measured_p99_s,
-        );
-        assert!(
-            case.exchange_ok(),
-            "{preset} factor {factor}: exchange phase outside band \
-             ({:.6}s predicted vs {:.6}s measured)",
-            case.predicted_exchange_s,
-            case.measured_exchange_s,
-        );
-        assert!(
-            case.apply_ok(),
-            "{preset} factor {factor}: apply phase outside band \
-             ({:.6}s predicted vs {:.6}s measured)",
-            case.predicted_apply_s,
-            case.measured_apply_s,
-        );
         // No bytes may escape transport classification when delays are
         // injected: the straggler knob changes timing, never routing.
         let other = &run.report.traffic.other;
@@ -101,6 +69,45 @@ fn conformance_matrix(preset: &str) {
             measured.flow_pairs > 0,
             "{preset} factor {factor}: no push->serve flows recorded"
         );
+        if !case.ok() {
+            return Err(format!(
+                "{preset} factor {factor}: prediction outside bands \
+                 (ratio {:.3} vs {:.3} [{}], wait {:.6}s vs {:.6}s [{}], \
+                 p99 {:.6}s vs {:.6}s [{}], exchange {:.6}s vs {:.6}s [{}], \
+                 apply {:.6}s vs {:.6}s [{}])",
+                case.predicted_ratio,
+                case.measured_ratio,
+                if case.ratio_ok() { "ok" } else { "FAIL" },
+                case.predicted_wait_s,
+                case.measured_wait_s,
+                if case.wait_ok() { "ok" } else { "FAIL" },
+                case.predicted_p99_s,
+                case.measured_p99_s,
+                if case.p99_ok() { "ok" } else { "FAIL" },
+                case.predicted_exchange_s,
+                case.measured_exchange_s,
+                if case.exchange_ok() { "ok" } else { "FAIL" },
+                case.predicted_apply_s,
+                case.measured_apply_s,
+                if case.apply_ok() { "ok" } else { "FAIL" },
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Asserts the conformance matrix, allowing one full retry with a
+/// fresh baseline. On a 1-vCPU time-shared host a single contended
+/// scheduling window (stalls of tens of ms have been observed) can
+/// corrupt either the calibration baseline or a measured straggler
+/// run; a genuine model error is persistent and fails both attempts,
+/// while a transient stall cannot plausibly strike twice. The
+/// run-health invariants inside `matrix_attempt` are never retried.
+fn conformance_matrix(preset: &str) {
+    if let Err(first) = matrix_attempt(preset) {
+        if let Err(second) = matrix_attempt(preset) {
+            panic!("conformance failed twice:\n  first:  {first}\n  second: {second}");
+        }
     }
 }
 
@@ -122,23 +129,34 @@ fn nmt_conformance_across_slowdown_factors() {
 #[test]
 fn three_machine_topology_conforms() {
     let _g = tracer_lock();
-    let machines = 3;
-    let baseline = traced_run("lm", machines, ITERS, &[]).expect("baseline run");
-    let cal = CalibrationProfile::from_dump(&baseline.dump, machines, ITERS as u64).homogenized();
-    for factor in [1.0, 2.5] {
-        let (case, _run) = conformance_case("lm", machines, ITERS, factor, &baseline, &cal)
-            .expect("conformance case");
-        assert!(
-            case.ok(),
-            "3-machine factor {factor}: prediction outside bands \
-             (ratio {:.3} vs {:.3}, wait {:.6}s vs {:.6}s, \
-             p99 {:.6}s vs {:.6}s)",
-            case.predicted_ratio,
-            case.measured_ratio,
-            case.predicted_wait_s,
-            case.measured_wait_s,
-            case.predicted_p99_s,
-            case.measured_p99_s,
-        );
+    let attempt = || -> Result<(), String> {
+        let machines = 3;
+        let baseline = traced_run("lm", machines, ITERS, &[]).expect("baseline run");
+        let cal =
+            CalibrationProfile::from_dump(&baseline.dump, machines, ITERS as u64).homogenized();
+        for factor in [1.0, 2.5] {
+            let (case, _run) = conformance_case("lm", machines, ITERS, factor, &baseline, &cal)
+                .expect("conformance case");
+            if !case.ok() {
+                return Err(format!(
+                    "3-machine factor {factor}: prediction outside bands \
+                     (ratio {:.3} vs {:.3}, wait {:.6}s vs {:.6}s, \
+                     p99 {:.6}s vs {:.6}s)",
+                    case.predicted_ratio,
+                    case.measured_ratio,
+                    case.predicted_wait_s,
+                    case.measured_wait_s,
+                    case.predicted_p99_s,
+                    case.measured_p99_s,
+                ));
+            }
+        }
+        Ok(())
+    };
+    // Same one-retry policy as `conformance_matrix` (see its docs).
+    if let Err(first) = attempt() {
+        if let Err(second) = attempt() {
+            panic!("conformance failed twice:\n  first:  {first}\n  second: {second}");
+        }
     }
 }

@@ -1,0 +1,147 @@
+//! Cross-strategy equivalence: every placement strategy — pure PS,
+//! pure AllReduce, load-balanced PS, partitioned PS, the Parallax
+//! hybrid, and the searched plan — runs the same synchronous SGD, so
+//! training the same graph from the same seed must produce *bitwise*
+//! identical loss trajectories and final weights. This is the
+//! contract the canonical aggregation order (ring-fold replay on the
+//! dense PS path, machine-blocked two-level sparse coalesce) exists
+//! to uphold.
+
+use parallax_repro::cluster::ClusterModel;
+use parallax_repro::core::sparsity::estimate_profile;
+use parallax_repro::core::strategy::SearchedStrategy;
+use parallax_repro::core::{
+    fixed_strategies, get_runner_with_plan, plan_search, shard_range, ParallaxConfig, Strategy,
+};
+use parallax_repro::dataflow::builder::{linear, Act};
+use parallax_repro::dataflow::graph::{Init, Op, PhKind};
+use parallax_repro::dataflow::{Feed, Graph, NodeId, VariableDef};
+use parallax_repro::ps::PsTopology;
+use parallax_repro::tensor::DetRng;
+
+const MACHINES: usize = 4;
+const GPUS: usize = 1;
+const WORKERS: usize = MACHINES * GPUS;
+const VOCAB: usize = 48;
+const CLASSES: usize = 4;
+const PER_WORKER: usize = 3;
+const ITERS: usize = 5;
+
+/// Embedding -> linear -> softmax: one genuinely sparse variable
+/// (alpha well under the 0.95 escape) plus dense layers.
+fn build_model() -> (Graph, NodeId) {
+    let mut g = Graph::new();
+    let emb = g
+        .variable(VariableDef::new("emb", [VOCAB, 6], Init::Normal(0.2)))
+        .unwrap();
+    let ids = g.placeholder("ids", PhKind::Ids).unwrap();
+    let labels = g.placeholder("labels", PhKind::Ids).unwrap();
+    let x = g.add(Op::Gather { table: emb, ids }).unwrap();
+    let (logits, _, _) = linear(&mut g, x, "fc", 6, CLASSES, Act::Tanh).unwrap();
+    let loss = g.add(Op::SoftmaxXent { logits, labels }).unwrap();
+    (g, loss)
+}
+
+fn batch(iter: usize, total: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = DetRng::seed(31 + iter as u64);
+    let ids: Vec<usize> = (0..total).map(|_| rng.below(VOCAB)).collect();
+    let labels: Vec<usize> = ids.iter().map(|&t| (t * 7) % CLASSES).collect();
+    (ids, labels)
+}
+
+fn worker_feed(w: usize, iter: usize) -> Feed {
+    let (ids, labels) = batch(iter, WORKERS * PER_WORKER);
+    let r = shard_range(ids.len(), WORKERS, w);
+    Feed::new()
+        .with("ids", ids[r.clone()].to_vec())
+        .with("labels", labels[r].to_vec())
+}
+
+/// Bitwise fingerprint of a run: per-iteration loss bits + final
+/// weight bits per variable.
+type Fingerprint = (Vec<u32>, Vec<Vec<u32>>);
+
+fn run_strategy(strategy: &dyn Strategy) -> Fingerprint {
+    let (graph, loss) = build_model();
+    let profile = estimate_profile(&graph, &[worker_feed(0, 0)], 1).unwrap();
+    let base = ParallaxConfig {
+        seed: 11,
+        learning_rate: 0.2,
+        ..ParallaxConfig::default()
+    };
+    let topo = PsTopology::uniform(MACHINES, GPUS).unwrap();
+    let sp = strategy
+        .plan(&graph, loss, &profile, &base, &topo)
+        .unwrap_or_else(|e| panic!("{} fails to plan: {e}", strategy.name()));
+    let runner = get_runner_with_plan(graph.clone(), loss, vec![GPUS; MACHINES], &sp, profile)
+        .unwrap_or_else(|e| panic!("{} plan rejected by the runner: {e}", strategy.name()));
+    let report = runner.run(ITERS, worker_feed).unwrap();
+    let losses: Vec<u32> = report.losses.iter().map(|l| l.to_bits()).collect();
+    let mut keys: Vec<usize> = report.final_model.keys().copied().collect();
+    keys.sort();
+    let weights = keys
+        .iter()
+        .map(|k| {
+            report.final_model[k]
+                .data()
+                .iter()
+                .map(|f| f.to_bits())
+                .collect()
+        })
+        .collect();
+    (losses, weights)
+}
+
+/// The searched strategy, materialized by running the planner on the
+/// same graph/profile the equivalence runs use.
+fn searched_strategy() -> SearchedStrategy {
+    let (graph, loss) = build_model();
+    let feeds: Vec<Feed> = (0..WORKERS).map(|w| worker_feed(w, 0)).collect();
+    let profile = estimate_profile(&graph, &feeds[..1], 1).unwrap();
+    let base = ParallaxConfig {
+        seed: 11,
+        learning_rate: 0.2,
+        ..ParallaxConfig::default()
+    };
+    let topo = PsTopology::uniform(MACHINES, GPUS).unwrap();
+    let cluster = ClusterModel::paper_testbed();
+    let (plan, report) =
+        plan_search(&graph, loss, &profile, &base, &topo, &cluster, &feeds, None).unwrap();
+    assert!(report.beats_fixed(), "search report: {}", report.to_json());
+    SearchedStrategy {
+        config: plan.config,
+    }
+}
+
+#[test]
+fn all_strategies_train_bitwise_identically() {
+    let searched = searched_strategy();
+    let mut strategies: Vec<Box<dyn Strategy>> = fixed_strategies();
+    strategies.push(Box::new(searched));
+
+    let mut results: Vec<(String, Fingerprint)> = Vec::new();
+    for s in &strategies {
+        results.push((s.name().to_string(), run_strategy(s.as_ref())));
+    }
+    let (ref_name, reference) = &results[0];
+    assert_eq!(reference.0.len(), ITERS);
+    for (name, fp) in &results[1..] {
+        assert_eq!(
+            fp.0, reference.0,
+            "{name} loss trajectory diverged from {ref_name}"
+        );
+        assert_eq!(
+            fp.1, reference.1,
+            "{name} final weights diverged from {ref_name}"
+        );
+    }
+}
+
+#[test]
+fn strategies_are_run_to_run_deterministic() {
+    for s in fixed_strategies() {
+        let a = run_strategy(s.as_ref());
+        let b = run_strategy(s.as_ref());
+        assert_eq!(a, b, "{} is not run-to-run deterministic", s.name());
+    }
+}

@@ -1,0 +1,241 @@
+//! Property tests over the placement-strategy layer: for random
+//! topologies × model architectures × sparsity levels, every fixed
+//! strategy must
+//!
+//! * produce a plan that survives the full verification pipeline
+//!   (`build_verified_plan`, via `Strategy::plan`),
+//! * pass `check_plan` with zero `P...` errors,
+//! * pass `derive_session` + `check_session` with zero `C...` errors,
+//! * and have its `StaticLedger` traffic prediction match the measured
+//!   `TrafficReport` of one executed iteration exactly, per class and
+//!   per link.
+//!
+//! Plus: the strategy search itself is deterministic across runs *and*
+//! across `compute_threads` settings.
+
+use proptest::prelude::*;
+
+use parallax_repro::cluster::ClusterModel;
+use parallax_repro::core::plancheck::predict_iteration_traffic;
+use parallax_repro::core::sparsity::estimate_profile;
+use parallax_repro::core::{
+    check_plan, check_session, derive_session, fixed_strategies, get_runner_with_plan, plan_search,
+    ParallaxConfig,
+};
+use parallax_repro::dataflow::builder::{linear, Act};
+use parallax_repro::dataflow::graph::{Init, Op, PhKind};
+use parallax_repro::dataflow::VariableDef;
+use parallax_repro::dataflow::{Feed, Graph, NodeId};
+use parallax_repro::ps::PsTopology;
+use parallax_repro::tensor::pool::configure_threads;
+use parallax_repro::tensor::DetRng;
+
+/// The model architectures the properties sweep.
+#[derive(Debug, Clone, Copy)]
+enum Arch {
+    /// One embedding table -> linear -> softmax (one sparse variable).
+    Embedding,
+    /// Two embedding tables, summed -> linear (two sparse variables
+    /// of different sizes).
+    TwoEmbeddings,
+    /// Embedding -> hidden layer -> output (one sparse variable, more
+    /// dense ones).
+    DeepEmbedding,
+}
+
+struct Case {
+    graph: Graph,
+    loss: NodeId,
+    vocab: usize,
+    classes: usize,
+}
+
+fn build_case(arch: Arch, vocab: usize, dim: usize, classes: usize) -> Case {
+    let mut g = Graph::new();
+    let ids = g.placeholder("ids", PhKind::Ids).unwrap();
+    let labels = g.placeholder("labels", PhKind::Ids).unwrap();
+    let (hidden, in_dim) = match arch {
+        Arch::Embedding => {
+            let emb = g
+                .variable(VariableDef::new("emb", [vocab, dim], Init::Normal(0.2)))
+                .unwrap();
+            (g.add(Op::Gather { table: emb, ids }).unwrap(), dim)
+        }
+        Arch::TwoEmbeddings => {
+            let emb_a = g
+                .variable(VariableDef::new("emb_a", [vocab, dim], Init::Normal(0.2)))
+                .unwrap();
+            let emb_b = g
+                .variable(VariableDef::new(
+                    "emb_b",
+                    [vocab * 2, dim],
+                    Init::Normal(0.1),
+                ))
+                .unwrap();
+            let xa = g.add(Op::Gather { table: emb_a, ids }).unwrap();
+            let xb = g.add(Op::Gather { table: emb_b, ids }).unwrap();
+            (g.add(Op::Add(xa, xb)).unwrap(), dim)
+        }
+        Arch::DeepEmbedding => {
+            let emb = g
+                .variable(VariableDef::new("proj", [vocab, dim], Init::Normal(0.2)))
+                .unwrap();
+            let x = g.add(Op::Gather { table: emb, ids }).unwrap();
+            let (h, _, _) = linear(&mut g, x, "fc0", dim, dim, Act::Tanh).unwrap();
+            (h, dim)
+        }
+    };
+    let (logits, _, _) = linear(&mut g, hidden, "fc", in_dim, classes, Act::Tanh).unwrap();
+    let loss = g.add(Op::SoftmaxXent { logits, labels }).unwrap();
+    Case {
+        graph: g,
+        loss,
+        vocab,
+        classes,
+    }
+}
+
+/// One worker's mini-batch; `id_range` (≤ vocab) bounds the touched
+/// rows, controlling the sparse variables' alpha.
+fn feed(case: &Case, worker: usize, id_range: usize, per_worker: usize, seed: u64) -> Feed {
+    let mut rng = DetRng::seed(seed ^ (worker as u64).wrapping_mul(0x9e37));
+    let range = id_range.clamp(1, case.vocab);
+    let ids: Vec<usize> = (0..per_worker).map(|_| rng.below(range)).collect();
+    let labels: Vec<usize> = ids.iter().map(|&t| (t * 7) % case.classes).collect();
+    Feed::new().with("ids", ids).with("labels", labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Every fixed strategy's plan verifies cleanly and predicts its
+    /// own one-iteration traffic exactly, for any topology ×
+    /// architecture × sparsity level.
+    #[test]
+    fn every_strategy_plan_verifies_and_predicts_traffic(
+        machines in 2usize..5,
+        gpus in 1usize..3,
+        arch_pick in 0usize..3,
+        vocab in 16usize..48,
+        id_range_frac in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let arch = [Arch::Embedding, Arch::TwoEmbeddings, Arch::DeepEmbedding][arch_pick];
+        let case = build_case(arch, vocab, 4, 3);
+        let workers = machines * gpus;
+        // id_range_frac 1 → dense-ish access, 3 → very sparse.
+        let id_range = (vocab / id_range_frac).max(1);
+        let feeds: Vec<Feed> = (0..workers)
+            .map(|w| feed(&case, w, id_range, 3, seed))
+            .collect();
+        let profile = estimate_profile(&case.graph, &feeds[..1], 1).unwrap();
+        let base = ParallaxConfig { seed: 5, ..ParallaxConfig::default() };
+        let topo = PsTopology::uniform(machines, gpus).unwrap();
+
+        for s in fixed_strategies() {
+            // build_verified_plan (inside Strategy::plan) must accept.
+            let sp = s.plan(&case.graph, case.loss, &profile, &base, &topo)
+                .unwrap_or_else(|e| panic!("{}: planning failed: {e}", s.name()));
+
+            // P-codes clean.
+            let plan_report = check_plan(
+                &case.graph, Some(case.loss), &profile, &sp.config, &topo, &sp.plan,
+            );
+            prop_assert!(
+                !plan_report.has_errors(),
+                "{}: plan errors:\n{}", s.name(), plan_report.render()
+            );
+
+            // C-codes clean.
+            let session = derive_session(&case.graph, &sp.config, &topo, &sp.plan)
+                .unwrap_or_else(|e| panic!("{}: session derivation failed: {e}", s.name()));
+            let session_report =
+                check_session(&case.graph, &sp.config, &topo, &sp.plan, &session);
+            prop_assert!(
+                !session_report.has_errors(),
+                "{}: session errors:\n{}", s.name(), session_report.render()
+            );
+
+            // Static prediction == measurement, per class and per link.
+            let (predicted, conservation) = predict_iteration_traffic(
+                &case.graph, case.loss, &sp.plan, &topo, &sp.config, &feeds,
+            ).unwrap_or_else(|e| panic!("{}: prediction failed: {e}", s.name()));
+            prop_assert!(
+                !conservation.has_errors(),
+                "{}: conservation errors:\n{}", s.name(), conservation.render()
+            );
+            let runner = get_runner_with_plan(
+                case.graph.clone(), case.loss, vec![gpus; machines], &sp, profile.clone(),
+            ).unwrap_or_else(|e| panic!("{}: runner rejected the verified plan: {e}", s.name()));
+            let case_ref = &case;
+            let report = runner
+                .run(1, move |w, _| feed(case_ref, w, id_range, 3, seed))
+                .unwrap();
+            for (class, p, m) in [
+                ("nccl", &predicted.nccl, &report.traffic.nccl),
+                ("mpi", &predicted.mpi, &report.traffic.mpi),
+                ("ps", &predicted.ps, &report.traffic.ps),
+                ("local_agg", &predicted.local_agg, &report.traffic.local_agg),
+                ("other", &predicted.other, &report.traffic.other),
+            ] {
+                prop_assert!(
+                    p == m,
+                    "{}: {class} predicted != measured:\n{p:#?}\nvs\n{m:#?}",
+                    s.name(),
+                );
+            }
+        }
+    }
+}
+
+/// The search must return the identical plan and report no matter how
+/// many compute threads the kernels use: scoring is static replay, not
+/// measurement.
+#[test]
+fn search_is_deterministic_across_compute_threads() {
+    let case = build_case(Arch::TwoEmbeddings, 32, 4, 3);
+    let machines = 4;
+    let feeds: Vec<Feed> = (0..machines).map(|w| feed(&case, w, 8, 3, 77)).collect();
+    let profile = estimate_profile(&case.graph, &feeds[..1], 1).unwrap();
+    let base = ParallaxConfig::default();
+    let topo = PsTopology::uniform(machines, 1).unwrap();
+    let cluster = ClusterModel::paper_testbed();
+
+    let mut outcomes = Vec::new();
+    for threads in [1usize, 2, 4] {
+        configure_threads(threads);
+        let (plan, report) = plan_search(
+            &case.graph,
+            case.loss,
+            &profile,
+            &base,
+            &topo,
+            &cluster,
+            &feeds,
+            None,
+        )
+        .unwrap();
+        outcomes.push((threads, plan, report));
+    }
+    configure_threads(0);
+    let (_, ref_plan, ref_report) = &outcomes[0];
+    for (threads, plan, report) in &outcomes[1..] {
+        assert_eq!(
+            report, ref_report,
+            "search report differs at compute_threads={threads}"
+        );
+        assert_eq!(
+            report.to_json(),
+            ref_report.to_json(),
+            "rendered report differs at compute_threads={threads}"
+        );
+        assert_eq!(
+            plan.plan, ref_plan.plan,
+            "chosen plan differs at compute_threads={threads}"
+        );
+        assert_eq!(
+            plan.config.decision_overrides, ref_plan.config.decision_overrides,
+            "chosen overrides differ at compute_threads={threads}"
+        );
+    }
+}
