@@ -10,6 +10,9 @@
 //! repro chaos [--scenarios name,name,...]
 //! repro compress
 //! repro serve-bench [--model lm|nmt]
+//! repro dist --role chief|worker|server --index N --spec CLUSTER.json
+//! repro dist --launch --spec CLUSTER.json
+//! repro dist-check
 //! ```
 //!
 //! `check` runs the static plan verifier (graph passes, distributed-plan
@@ -59,6 +62,16 @@
 //! latency, and writes `BENCH_serving.json`; exits nonzero if the
 //! load-time or bitwise gate fails. Excluded from `all` (a gate, like
 //! `check`).
+//!
+//! `dist` runs one role of a multi-process socket cluster described by
+//! a `CLUSTER.json` spec (normally spawned by the launcher, one process
+//! per role over `parallax-net`'s TCP mesh); `dist --launch` spawns the
+//! whole fleet locally and prints the merged run. `dist-check` is the
+//! equivalence gate: for both presets it runs the same seed and plan
+//! in-process and over sockets and exits nonzero unless losses and
+//! final weights are bitwise identical and per-class traffic is
+//! byte-identical (predicted == traced == measured). Excluded from
+//! `all` (a gate, like `check`).
 
 use parallax_bench::experiments::{self, Framework};
 use parallax_bench::report::{fmt_speedup, fmt_throughput, render_table};
@@ -87,6 +100,8 @@ const KNOWN: &[&str] = &[
     "chaos",
     "compress",
     "serve-bench",
+    "dist",
+    "dist-check",
 ];
 
 fn main() {
@@ -103,6 +118,9 @@ fn main() {
         eprintln!("       repro chaos [--scenarios name,name,...]");
         eprintln!("       repro compress");
         eprintln!("       repro serve-bench [--model lm|nmt]");
+        eprintln!("       repro dist --role chief|worker|server --index N --spec CLUSTER.json");
+        eprintln!("       repro dist --launch --spec CLUSTER.json");
+        eprintln!("       repro dist-check");
         std::process::exit(2);
     }
     let all = which == "all";
@@ -251,6 +269,94 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if which == "dist" {
+        dist();
+    }
+    if which == "dist-check" {
+        let exe = std::env::current_exe().expect("current_exe");
+        let (report, ok) = parallax_bench::dist::run(&exe);
+        print!("{report}");
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro dist`: one role of a socket cluster (or, with `--launch`,
+/// the whole local fleet).
+fn dist() {
+    let usage = || {
+        eprintln!("usage: repro dist --role chief|worker|server --index N --spec CLUSTER.json");
+        eprintln!("       repro dist --launch --spec CLUSTER.json");
+        std::process::exit(2);
+    };
+    let spec_path = match flag_value("--spec") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            eprintln!("repro dist: --spec CLUSTER.json is required");
+            usage();
+            unreachable!()
+        }
+    };
+    if std::env::args().any(|a| a == "--launch") {
+        let text = std::fs::read_to_string(&spec_path).unwrap_or_else(|e| {
+            eprintln!("repro dist: read {}: {e}", spec_path.display());
+            std::process::exit(1);
+        });
+        let mut spec = parallax_net::ClusterSpec::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("repro dist: {e}");
+            std::process::exit(1);
+        });
+        let exe = std::env::current_exe().expect("current_exe");
+        match parallax_bench::dist::launch(
+            &exe,
+            &mut spec,
+            parallax_bench::dist::GENERATION_DEADLINE,
+        ) {
+            Ok(merged) => {
+                println!(
+                    "dist: {} iterations over {} process(es), {} generation(s)",
+                    merged.losses.len(),
+                    spec.num_endpoints(),
+                    merged.generations
+                );
+                println!(
+                    "dist: final loss {:.6}, network traffic {} B (traced {} B)",
+                    merged.losses.last().copied().unwrap_or(0.0),
+                    merged.traffic.total_network_bytes(),
+                    merged.traced_span_bytes
+                );
+            }
+            Err(e) => {
+                eprintln!("repro dist: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let role_name = match flag_value("--role") {
+        Some(r) => r,
+        None => {
+            eprintln!("repro dist: --role is required (or pass --launch)");
+            usage();
+            unreachable!()
+        }
+    };
+    let index: usize = flag_value("--index")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let role = match parallax_net::Role::parse(&role_name, index) {
+        Some(role) => role,
+        None => {
+            eprintln!("repro dist: unknown role `{role_name}` (known: chief, worker, server)");
+            usage();
+            unreachable!()
+        }
+    };
+    if let Err(e) = parallax_bench::dist::role_main(&spec_path, role) {
+        eprintln!("repro dist [{role}]: {e}");
+        std::process::exit(1);
     }
 }
 

@@ -13,6 +13,7 @@
 pub mod chaos;
 pub mod check;
 pub mod compress;
+pub mod dist;
 pub mod experiments;
 pub mod kernels;
 pub mod plan;

@@ -28,7 +28,10 @@ pub use predict::StaticLedger;
 pub use protocheck::{SessionSpec, SessionValidator};
 pub use topology::{Topology, WorkerId};
 pub use traffic::{TrafficClass, TrafficSnapshot, TrafficStats};
-pub use transport::{Endpoint, Payload, PeerHealth, Router, DEFAULT_RECV_DEADLINE};
+pub use transport::{
+    ChannelTransport, Endpoint, Envelope, Payload, PeerHealth, RecvError, Router, Transport,
+    DEFAULT_RECV_DEADLINE,
+};
 pub use wire::{PackedSlices, WireFormat};
 
 /// Crate-wide result type.

@@ -222,11 +222,89 @@ pub(crate) fn unwrap_shared<T: Clone>(a: Arc<T>) -> T {
     Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone())
 }
 
+/// A routed message as the transport layer sees it: sender rank, tag,
+/// payload. Public so alternative [`Transport`] implementations (the
+/// socket mesh in `parallax-net`) can produce them.
 #[derive(Debug)]
-struct Envelope {
-    from: usize,
-    tag: u64,
-    payload: Payload,
+pub struct Envelope {
+    /// Sending rank.
+    pub from: usize,
+    /// Message tag (protocol-defined).
+    pub tag: u64,
+    /// The payload.
+    pub payload: Payload,
+}
+
+/// Why a blocking [`Transport::recv`] returned without a message.
+///
+/// `peer == usize::MAX` in [`RecvError::Disconnected`] means the
+/// transport cannot attribute the disconnect to a specific rank (the
+/// in-process channel, for example, only observes that every sender is
+/// gone); the [`Endpoint`] substitutes the rank it was waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The timeout expired with no message available.
+    Timeout,
+    /// The underlying link is gone; no further messages can arrive.
+    Disconnected {
+        /// The rank the disconnect is attributed to, or `usize::MAX`.
+        peer: usize,
+    },
+}
+
+/// The byte-moving half of an [`Endpoint`]: deliver a payload to a rank,
+/// surface the next arrival within a deadline. Everything above this
+/// seam — tag matching, traffic accounting, fault injection, protocol
+/// validation, failure classification — lives in [`Endpoint`] and is
+/// identical for every implementation, which is what makes the
+/// in-process and multi-process modes byte-for-byte equivalent.
+///
+/// Implementations: [`ChannelTransport`] (crossbeam channels, one
+/// process) and `parallax_net::TcpTransport` (length-prefixed frames
+/// over TCP, one process per rank).
+pub trait Transport: Send {
+    /// Delivers `payload` to rank `to` under `tag`. Errors are typed
+    /// [`CommError`]s; [`CommError::Disconnected`] marks the peer dead
+    /// in the caller's health registry.
+    fn send(&self, to: usize, tag: u64, payload: Payload) -> Result<()>;
+
+    /// Blocks up to `timeout` for the next arrival, in delivery order.
+    fn recv(&mut self, timeout: Duration) -> std::result::Result<Envelope, RecvError>;
+
+    /// Releases transport resources gracefully (the TCP transport sends
+    /// FIN frames; the channel transport has nothing to do). Called from
+    /// [`Endpoint`]'s `Drop`; must be idempotent.
+    fn shutdown(&mut self) {}
+}
+
+/// The in-process transport: one unbounded crossbeam channel per rank,
+/// sends move `Arc`-backed payloads by reference count.
+pub struct ChannelTransport {
+    rank: usize,
+    senders: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+}
+
+impl Transport for ChannelTransport {
+    fn send(&self, to: usize, tag: u64, payload: Payload) -> Result<()> {
+        let tx = self.senders.get(to).ok_or(CommError::UnknownRank(to))?;
+        tx.send(Envelope {
+            from: self.rank,
+            tag,
+            payload,
+        })
+        .map_err(|_| CommError::Disconnected { peer: to })
+    }
+
+    fn recv(&mut self, timeout: Duration) -> std::result::Result<Envelope, RecvError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Ok(env),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(RecvError::Disconnected { peer: usize::MAX })
+            }
+        }
+    }
 }
 
 /// Builds the mesh of endpoints for a topology.
@@ -246,14 +324,12 @@ impl Router {
     }
 
     /// Like [`Router::build`], with an optional fault injector installed
-    /// on every endpoint's send path.
+    /// on every endpoint's send path. Backed by [`ChannelTransport`]s.
     pub fn build_with(
         topology: Topology,
         faults: Option<Arc<FaultInjector>>,
     ) -> (Vec<Endpoint>, Arc<TrafficStats>) {
         let n = topology.num_workers();
-        let traffic = TrafficStats::new(topology.num_machines());
-        let health = Arc::new(PeerHealth::default());
         let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -261,14 +337,39 @@ impl Router {
             senders.push(tx);
             receivers.push(rx);
         }
-        let endpoints = receivers
+        let transports: Vec<Box<dyn Transport>> = receivers
             .into_iter()
             .enumerate()
-            .map(|(rank, rx)| Endpoint {
+            .map(|(rank, rx)| {
+                Box::new(ChannelTransport {
+                    rank,
+                    senders: senders.clone(),
+                    rx,
+                }) as Box<dyn Transport>
+            })
+            .collect();
+        Self::build_over(topology, faults, transports)
+    }
+
+    /// The transport-generic mesh builder: one endpoint per rank, each
+    /// wrapping the caller-provided transport at its index. All ranks
+    /// share one traffic accumulator and one health registry (the
+    /// in-process configuration; multi-process ranks instead build
+    /// single endpoints with [`Endpoint::from_transport`]).
+    pub fn build_over(
+        topology: Topology,
+        faults: Option<Arc<FaultInjector>>,
+        transports: Vec<Box<dyn Transport>>,
+    ) -> (Vec<Endpoint>, Arc<TrafficStats>) {
+        let traffic = TrafficStats::new(topology.num_machines());
+        let health = Arc::new(PeerHealth::default());
+        let endpoints = transports
+            .into_iter()
+            .enumerate()
+            .map(|(rank, transport)| Endpoint {
                 rank,
                 topology: topology.clone(),
-                senders: senders.clone(),
-                rx,
+                transport,
                 pending: HashMap::new(),
                 traffic: Arc::clone(&traffic),
                 health: Arc::clone(&health),
@@ -295,8 +396,7 @@ impl Router {
 pub struct Endpoint {
     rank: usize,
     topology: Topology,
-    senders: Vec<Sender<Envelope>>,
-    rx: Receiver<Envelope>,
+    transport: Box<dyn Transport>,
     pending: HashMap<(usize, u64), VecDeque<Payload>>,
     traffic: Arc<TrafficStats>,
     health: Arc<PeerHealth>,
@@ -310,6 +410,7 @@ impl Drop for Endpoint {
         // Drop runs on normal exit *and* on panic unwind, so a crashed
         // worker thread is always observable in the health registry.
         self.health.mark_dead(self.rank);
+        self.transport.shutdown();
     }
 }
 
@@ -322,6 +423,38 @@ impl std::fmt::Debug for Endpoint {
 }
 
 impl Endpoint {
+    /// Builds a single endpoint over an external [`Transport`] — the
+    /// multi-process entry point, where each OS process owns exactly one
+    /// rank. The caller supplies the health registry because the
+    /// transport's reader threads share it (a socket EOF marks the peer
+    /// dead there, and this endpoint's deadline classification observes
+    /// it here). Traffic accounting is sender-side only, so each
+    /// process's accumulator covers exactly its own rank's sends and
+    /// per-process snapshots merge disjointly.
+    pub fn from_transport(
+        topology: Topology,
+        rank: usize,
+        transport: Box<dyn Transport>,
+        traffic: Arc<TrafficStats>,
+        health: Arc<PeerHealth>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Endpoint> {
+        if rank >= topology.num_workers() {
+            return Err(CommError::UnknownRank(rank));
+        }
+        Ok(Endpoint {
+            rank,
+            topology,
+            transport,
+            pending: HashMap::new(),
+            traffic,
+            health,
+            faults,
+            validator: None,
+            deadline: DEFAULT_RECV_DEADLINE,
+        })
+    }
+
     /// This endpoint's worker rank.
     pub fn rank(&self) -> usize {
         self.rank
@@ -374,7 +507,7 @@ impl Endpoint {
     /// message is charged once (it went onto the wire, the receiver
     /// never saw it), a duplicated message twice.
     pub fn send(&self, to: usize, tag: u64, payload: Payload) -> Result<()> {
-        if self.senders.get(to).is_none() {
+        if to >= self.topology.num_workers() {
             return Err(CommError::UnknownRank(to));
         }
         if let Some(v) = &self.validator {
@@ -427,16 +560,11 @@ impl Endpoint {
     }
 
     fn enqueue(&self, to: usize, tag: u64, payload: Payload) -> Result<()> {
-        self.senders[to]
-            .send(Envelope {
-                from: self.rank,
-                tag,
-                payload,
-            })
-            .map_err(|_| {
-                self.health.mark_dead(to);
-                CommError::Disconnected { peer: to }
-            })
+        self.transport.send(to, tag, payload).inspect_err(|e| {
+            if let CommError::Disconnected { peer } = e {
+                self.health.mark_dead(*peer);
+            }
+        })
     }
 
     /// Classifies an expired receive deadline: a peer registered dead is
@@ -472,11 +600,12 @@ impl Endpoint {
         let deadline = Instant::now() + self.deadline;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            let env = match self.rx.recv_timeout(remaining) {
+            let env = match self.transport.recv(remaining) {
                 Ok(env) => env,
-                Err(RecvTimeoutError::Timeout) => return Err(self.timeout_error(from)),
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::Disconnected { peer: from })
+                Err(RecvError::Timeout) => return Err(self.timeout_error(from)),
+                Err(RecvError::Disconnected { peer }) => {
+                    let peer = if peer == usize::MAX { from } else { peer };
+                    return Err(CommError::Disconnected { peer });
                 }
             };
             if env.from == from && env.tag == tag {
@@ -518,11 +647,11 @@ impl Endpoint {
         let deadline = Instant::now() + self.deadline;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            let env = match self.rx.recv_timeout(remaining) {
+            let env = match self.transport.recv(remaining) {
                 Ok(env) => env,
-                Err(RecvTimeoutError::Timeout) => return Err(self.timeout_error(usize::MAX)),
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::Disconnected { peer: usize::MAX })
+                Err(RecvError::Timeout) => return Err(self.timeout_error(usize::MAX)),
+                Err(RecvError::Disconnected { peer }) => {
+                    return Err(CommError::Disconnected { peer })
                 }
             };
             if env.tag == tag {

@@ -262,6 +262,41 @@ pub fn decode_indices(bytes: &[u8], count: usize) -> Vec<usize> {
     out
 }
 
+/// Fallible [`decode_indices`]: returns `None` instead of panicking on
+/// a truncated stream, trailing bytes, an over-long varint, or a delta
+/// run that goes negative. The frame codec in `parallax-net` decodes
+/// *untrusted* bytes (a socket peer, possibly corrupted), where
+/// malformed input is an input condition, not a bug.
+pub fn checked_decode_indices(bytes: &[u8], count: usize) -> Option<Vec<usize>> {
+    let mut out = Vec::with_capacity(count);
+    let mut prev = 0i64;
+    let mut it = bytes.iter();
+    for _ in 0..count {
+        let mut z = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = *it.next()?;
+            if shift >= 64 {
+                return None;
+            }
+            z |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        prev = prev.checked_add(unzigzag(z))?;
+        if prev < 0 {
+            return None;
+        }
+        out.push(prev as usize);
+    }
+    if it.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
 /// The exact byte length [`encode_indices`] produces, computed without
 /// allocating. The static traffic predictor uses this so predicted
 /// bytes equal measured bytes by construction.
@@ -318,6 +353,52 @@ impl PackedSlices {
             count: s.indices().len(),
             dense_rows: s.dense_rows(),
         }
+    }
+
+    /// Reassembles a packed slice set from its wire fields (the frame
+    /// codec's decode path), validating that `index_bytes` decodes to
+    /// exactly `count` in-bounds indices for `values`' row count —
+    /// untrusted input must produce a typed error, never a panic.
+    pub fn from_wire(
+        values: Tensor,
+        index_bytes: Vec<u8>,
+        count: usize,
+        dense_rows: usize,
+    ) -> crate::Result<PackedSlices> {
+        let indices = checked_decode_indices(&index_bytes, count).ok_or_else(|| {
+            crate::CommError::InvalidConfig("malformed packed index stream".into())
+        })?;
+        // Delegate shape/bounds validation, then keep the *original*
+        // bytes so byte_size (and thus traffic accounting) is identical
+        // on both sides of the wire.
+        IndexedSlices::new(indices, values.clone(), dense_rows)
+            .map_err(|e| crate::CommError::InvalidConfig(format!("packed slices: {e}")))?;
+        Ok(PackedSlices {
+            values,
+            index_bytes,
+            count,
+            dense_rows,
+        })
+    }
+
+    /// The packed values (raw f32 rows, one per index).
+    pub fn values(&self) -> &Tensor {
+        &self.values
+    }
+
+    /// The varint-packed index bytes, exactly as they travel.
+    pub fn index_bytes(&self) -> &[u8] {
+        &self.index_bytes
+    }
+
+    /// How many indices are packed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The dense row space the indices address.
+    pub fn dense_rows(&self) -> usize {
+        self.dense_rows
     }
 
     /// Restores the original slice set (exact: the index codec is

@@ -5,6 +5,39 @@ use parallax_dataflow::Optimizer;
 use parallax_ps::placement::SyncDecision;
 use parallax_ps::PlacementStrategy;
 
+/// A non-fatal advisory produced when a [`ParallaxConfig`] is
+/// interpreted for one role of a multi-process (`repro dist`) job.
+/// Warnings never change behavior — they name behavior that differs
+/// from what a single-process reading of the config might suggest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigWarning {
+    /// Persistence paths are configured but this role is not the global
+    /// chief. The paths deliberately stay in the config — every role
+    /// must derive the same effective checkpoint interval (the servers
+    /// fold the chief's per-boundary fetches into their synchronization
+    /// barrier), and recovery respawns read the chief's checkpoint —
+    /// but this role never writes either artifact.
+    NonChiefPersistence {
+        /// The role the config was interpreted for (e.g. `worker:1`).
+        role: String,
+        /// The configured paths this role will read but never write.
+        paths: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for ConfigWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigWarning::NonChiefPersistence { role, paths } => write!(
+                f,
+                "role {role} is not the chief: {} will be read for recovery \
+                 but only the chief publishes",
+                paths.join(", ")
+            ),
+        }
+    }
+}
+
 /// Which update rule replicas and servers apply.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OptimizerKind {
@@ -229,6 +262,34 @@ impl ParallaxConfig {
             ..Self::default()
         }
     }
+
+    /// Advisories for executing this config as one role of a
+    /// multi-process job. `role` is the role's display name (e.g.
+    /// `worker:1` or `server:0`); `is_chief` is whether that role is
+    /// the global chief. Non-chief roles with persistence paths get a
+    /// [`ConfigWarning::NonChiefPersistence`]: publishing is
+    /// suppressed at the role level, never by stripping the paths (the
+    /// checkpoint interval derived from them feeds the servers' fetch
+    /// barrier, so removing them would desynchronize the protocol).
+    pub fn role_warnings(&self, is_chief: bool, role: &str) -> Vec<ConfigWarning> {
+        let mut out = Vec::new();
+        if !is_chief {
+            let mut paths = Vec::new();
+            if let Some(p) = &self.checkpoint_path {
+                paths.push(format!("checkpoint_path={}", p.display()));
+            }
+            if let Some(p) = &self.snapshot_path {
+                paths.push(format!("snapshot_path={}", p.display()));
+            }
+            if !paths.is_empty() {
+                out.push(ConfigWarning::NonChiefPersistence {
+                    role: role.to_string(),
+                    paths,
+                });
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +309,33 @@ mod tests {
             opt.apply_dense(0, &mut p, &Tensor::full([2], 1.0)).unwrap();
             assert!(p.data()[0] < 0.0, "{kind:?} moved the parameter");
         }
+    }
+
+    #[test]
+    fn non_chief_roles_warn_about_persistence_paths() {
+        let mut config = ParallaxConfig {
+            checkpoint_path: Some("ckpt.bin".into()),
+            snapshot_path: Some("snap.bin".into()),
+            checkpoint_interval: 2,
+            ..ParallaxConfig::default()
+        };
+        // The chief publishes; no warning.
+        assert!(config.role_warnings(true, "chief").is_empty());
+        // Non-chief roles get exactly one typed warning naming both paths.
+        let warnings = config.role_warnings(false, "worker:1");
+        assert_eq!(warnings.len(), 1);
+        match &warnings[0] {
+            ConfigWarning::NonChiefPersistence { role, paths } => {
+                assert_eq!(role, "worker:1");
+                assert_eq!(paths.len(), 2);
+                assert!(paths[0].contains("ckpt.bin"), "{paths:?}");
+            }
+        }
+        assert!(warnings[0].to_string().contains("only the chief publishes"));
+        // No persistence configured: nothing to warn about.
+        config.checkpoint_path = None;
+        config.snapshot_path = None;
+        assert!(config.role_warnings(false, "server:0").is_empty());
     }
 
     #[test]

@@ -54,10 +54,84 @@ pub fn shard_range(total: usize, workers: usize, worker: usize) -> std::ops::Ran
 /// A loaded checkpoint a recovery attempt resumes from: the variable
 /// values plus any optimizer slot state (velocity/accum) the save
 /// captured, so Momentum/Adagrad resume bitwise, not just SGD.
+///
+/// Public because multi-process roles (`repro dist`) load the chief's
+/// checkpoint themselves at respawn and hand it to
+/// [`Runner::run_role`] — the same type the in-process recovery loop
+/// threads through `run`.
 #[derive(Debug, Clone)]
-struct RestorePoint {
-    store: VarStore,
-    slots: checkpoint::SlotMap,
+pub struct RestorePoint {
+    /// The checkpointed variable values.
+    pub store: VarStore,
+    /// Checkpointed optimizer slot state, keyed `(variable name, slot
+    /// kind)`.
+    pub slots: checkpoint::SlotMap,
+}
+
+impl RestorePoint {
+    /// Loads a checkpoint file into a restore point, returning the step
+    /// it was saved at (the iteration training resumes from).
+    pub fn load(graph: &Graph, path: &std::path::Path) -> Result<(RestorePoint, u64)> {
+        let (store, state, slots) = checkpoint::load_full(graph, path)?;
+        Ok((RestorePoint { store, slots }, state.step))
+    }
+}
+
+/// Which single role one OS process (or one thread of the in-process
+/// runner) executes. Worker indices are positions in
+/// [`PsTopology::worker_ranks`]; index 0 is the global chief.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoleAssignment {
+    /// The `index`-th worker replica.
+    Worker {
+        /// Position in `worker_ranks` (0 = chief).
+        index: usize,
+    },
+    /// The parameter-server shard host of `machine`.
+    Server {
+        /// Machine index in the topology.
+        machine: usize,
+    },
+}
+
+/// What one executed role produced — the per-process half of a
+/// [`RunReport`], merged by the launcher (or by `run_attempt`'s thread
+/// scope) with [`mean_worker_losses`] and
+/// [`Runner::stitch_final_model`].
+#[derive(Debug)]
+pub enum RoleOutput {
+    /// A worker's training series and its final replica state.
+    Worker {
+        /// Per-iteration training loss for `start_iter..iterations`.
+        losses: Vec<f32>,
+        /// Per-iteration global gradient norms (chief only, and only
+        /// under `trace_gradients`).
+        norms: Vec<f32>,
+        /// Total measured forward+backward seconds.
+        compute_secs: f64,
+        /// The replica's final variable values.
+        store: VarStore,
+    },
+    /// A server's final shard values, `((variable, partition), value)`.
+    Server {
+        /// The hosted shards at their final values.
+        shards: Vec<((VarId, usize), Tensor)>,
+    },
+}
+
+/// Mean loss per iteration across workers — the exact worker-order fold
+/// `run_attempt` applies, shared with the multi-process artifact merge
+/// so both paths produce bitwise-identical series.
+pub fn mean_worker_losses(per_worker: &[Vec<f32>]) -> Vec<f32> {
+    let workers = per_worker.len();
+    let iters = per_worker.iter().map(Vec::len).max().unwrap_or(0);
+    let mut mean = vec![0.0f32; iters];
+    for series in per_worker {
+        for (slot, &l) in mean.iter_mut().zip(series) {
+            *slot += l / workers as f32;
+        }
+    }
+    mean
 }
 
 /// Tag namespace for AllGatherv collectives (classified as MPI traffic).
@@ -524,14 +598,13 @@ impl Runner {
                     parallax_trace::counter("fault.recovered").add(1);
                     let path = self.config.checkpoint_path.as_ref().expect("checked above");
                     if path.exists() {
-                        let (store, state, slots) = checkpoint::load_full(&self.graph, path)?;
+                        let (rp, step) = RestorePoint::load(&self.graph, path)?;
                         eprintln!(
                             "parallax: failure detected ({err}); recovering from \
-                             checkpoint at step {}",
-                            state.step
+                             checkpoint at step {step}"
                         );
-                        start_iter = state.step as usize;
-                        restore = Some(RestorePoint { store, slots });
+                        start_iter = step as usize;
+                        restore = Some(rp);
                     } else {
                         eprintln!(
                             "parallax: failure detected ({err}) before any checkpoint; \
@@ -598,74 +671,43 @@ impl Runner {
         let chief_norms: Mutex<Vec<f32>> = Mutex::new(Vec::new());
         let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
-        let ar_vars = self.plan.ar_vars();
-        let ps_vars = self.plan.ps_vars();
-        let gatherv_vars = self.plan.gatherv_vars();
-
         std::thread::scope(|scope| {
             if needs_servers {
                 for m in 0..self.topo.num_machines() {
                     let endpoint = by_rank[self.topo.server_rank(m)]
                         .take()
                         .expect("server endpoint");
-                    let server_config = ServerConfig {
-                        iterations,
-                        start_iteration: start_iter,
-                        checkpoint_interval: self.ckpt_interval(),
-                        average_gradients: self.config.average_sparse,
-                        local_aggregation: self.config.local_aggregation && self.config.synchronous,
-                        chief_triggers_update: self.config.chief_triggers_update
-                            && self.config.synchronous,
-                        synchronous: self.config.synchronous,
-                        serve_aggregates: self.config.trace_gradients,
-                        seed: self.config.seed,
-                        lr_schedule: self.config.lr_schedule,
-                        apply_min_rows: self.config.ps_apply_min_rows,
-                    };
-                    let mut server = match Server::new(
-                        &self.graph,
-                        &self.plan.plan,
-                        self.topo.clone(),
-                        endpoint,
-                        server_config,
-                        self.config.optimizer.build(self.config.learning_rate),
-                    ) {
-                        Ok(s) => s,
-                        Err(e) => {
-                            failures.lock().push(format!("server {m} init: {e}"));
-                            continue;
-                        }
-                    };
-                    if server.num_shards() == 0 {
-                        continue;
-                    }
-                    if let Some(rp) = restore {
-                        if let Err(e) = server.restore_from(&rp.store) {
-                            failures.lock().push(format!("server {m} restore: {e}"));
-                            continue;
-                        }
-                        for ((var_name, slot_name), tensor) in &rp.slots {
-                            let Some(var) = self.graph.find_variable(var_name) else {
-                                continue;
-                            };
-                            if let Err(e) = server.restore_slot(var, slot_name, tensor) {
-                                failures
-                                    .lock()
-                                    .push(format!("server {m} slot restore: {e}"));
-                            }
-                        }
-                    }
-                    server.set_faults(Arc::clone(injector));
                     let shard_values = &shard_values;
                     let failures = &failures;
-                    scope.spawn(move || match server.run() {
-                        Ok(shards) => shard_values.lock().extend(shards),
-                        Err(e) => {
-                            // Surface immediately: peers block on a dead
-                            // server, so the collected error would
-                            // otherwise never be seen.
-                            eprintln!("parallax: server {m} failed: {e}");
-                            failures.lock().push(format!("server {m}: {e}"))
+                    let runner = &*self;
+                    let feed_fn = &feed_fn;
+                    scope.spawn(move || {
+                        match runner.run_role(
+                            RoleAssignment::Server { machine: m },
+                            endpoint,
+                            iterations,
+                            start_iter,
+                            restore,
+                            injector,
+                            feed_fn,
+                        ) {
+                            Ok(RoleOutput::Server { shards }) => shard_values.lock().extend(shards),
+                            Ok(RoleOutput::Worker { .. }) => {
+                                failures
+                                    .lock()
+                                    .push(format!("server {m}: role returned worker output"));
+                            }
+                            Err(e) => {
+                                // Surface immediately: peers block on a dead
+                                // server, so the collected error would
+                                // otherwise never be seen.
+                                let msg = match e {
+                                    CoreError::Worker(msg) => msg,
+                                    other => format!("server {m}: {other}"),
+                                };
+                                eprintln!("parallax: {msg}");
+                                failures.lock().push(msg)
+                            }
                         }
                     });
                 }
@@ -679,32 +721,34 @@ impl Runner {
                 let chief_norms = &chief_norms;
                 let failures = &failures;
                 let feed_fn = &feed_fn;
-                let ar_vars = &ar_vars;
-                let ps_vars = &ps_vars;
-                let gatherv_vars = &gatherv_vars;
                 let runner = &*self;
-                let injector = &**injector;
                 scope.spawn(move || {
-                    match runner.worker_loop(
+                    match runner.run_role(
+                        RoleAssignment::Worker { index: widx },
                         endpoint,
-                        rank,
-                        widx,
                         iterations,
                         start_iter,
                         restore,
                         injector,
                         feed_fn,
-                        ar_vars,
-                        ps_vars,
-                        gatherv_vars,
                     ) {
-                        Ok((my_losses, my_norms, my_compute, store)) => {
+                        Ok(RoleOutput::Worker {
+                            losses: my_losses,
+                            norms,
+                            compute_secs: my_compute,
+                            store,
+                        }) => {
                             losses.lock()[widx] = my_losses;
                             compute_secs.lock()[widx] = my_compute;
                             if rank == runner.topo.chief() {
                                 *chief_store.lock() = Some(store);
-                                *chief_norms.lock() = my_norms;
+                                *chief_norms.lock() = norms;
                             }
+                        }
+                        Ok(RoleOutput::Server { .. }) => {
+                            failures
+                                .lock()
+                                .push(format!("worker {widx}: role returned server output"));
                         }
                         Err(e) => {
                             eprintln!("parallax: worker {widx} failed: {e}");
@@ -733,46 +777,14 @@ impl Runner {
 
         // Mean loss per executed iteration across workers.
         let attempt_iters = iterations - start_iter;
-        let per_worker = losses.into_inner();
-        let mut mean_losses = vec![0.0f32; attempt_iters];
-        for series in &per_worker {
-            for (slot, &l) in mean_losses.iter_mut().zip(series) {
-                *slot += l / workers as f32;
-            }
-        }
+        let mean_losses = mean_worker_losses(&losses.into_inner());
 
         // Final model: AR variables from the chief replica, PS variables
         // stitched from server shards.
         let chief = chief_store
             .into_inner()
             .ok_or_else(|| CoreError::Worker("chief produced no model".into()))?;
-        let mut final_model: HashMap<usize, Tensor> = HashMap::new();
-        for &var in &ar_vars {
-            final_model.insert(var.index(), chief.get(var)?.clone());
-        }
-        let mut shards_by_var: HashMap<usize, Vec<(usize, Tensor)>> = HashMap::new();
-        for ((var, part), value) in shard_values.into_inner() {
-            shards_by_var
-                .entry(var.index())
-                .or_default()
-                .push((part, value));
-        }
-        for (var_idx, mut parts) in shards_by_var {
-            parts.sort_by_key(|(p, _)| *p);
-            let var = VarId::from_index(var_idx);
-            let shape = self.graph.var_def(var)?.shape.clone();
-            match self.plan.plan.placement(var).map_err(CoreError::Ps)? {
-                VarPlacement::PsDense { .. } => {
-                    final_model.insert(var_idx, parts.pop().expect("one shard").1);
-                }
-                VarPlacement::PsSparse { partition, .. } => {
-                    let tensors: Vec<Tensor> = parts.into_iter().map(|(_, t)| t).collect();
-                    let full = partition.stitch(&tensors).map_err(CoreError::Ps)?;
-                    final_model.insert(var_idx, full.reshape(shape)?);
-                }
-                VarPlacement::AllReduce => {}
-            }
-        }
+        let final_model = self.stitch_final_model(&chief, shard_values.into_inner())?;
 
         let compute = compute_secs.into_inner();
         let host_compute_per_iter =
@@ -788,6 +800,171 @@ impl Runner {
             final_model,
             wall_seconds: started.elapsed().as_secs_f64(),
         })
+    }
+
+    /// The configuration in force (what `get_runner` validated).
+    pub fn config(&self) -> &ParallaxConfig {
+        &self.config
+    }
+
+    /// The server configuration every shard host derives for this run.
+    /// Shared by the in-process attempt and `repro dist` server
+    /// processes so the synchronization barrier (which folds the
+    /// checkpoint-boundary fetch count) is identical in both modes.
+    fn server_config(&self, iterations: usize, start_iter: usize) -> ServerConfig {
+        ServerConfig {
+            iterations,
+            start_iteration: start_iter,
+            checkpoint_interval: self.ckpt_interval(),
+            average_gradients: self.config.average_sparse,
+            local_aggregation: self.config.local_aggregation && self.config.synchronous,
+            chief_triggers_update: self.config.chief_triggers_update && self.config.synchronous,
+            synchronous: self.config.synchronous,
+            serve_aggregates: self.config.trace_gradients,
+            seed: self.config.seed,
+            lr_schedule: self.config.lr_schedule,
+            apply_min_rows: self.config.ps_apply_min_rows,
+        }
+    }
+
+    /// Executes exactly one role of this job over the given endpoint —
+    /// the unit both execution modes are built from. The in-process
+    /// runner calls this once per thread of an attempt; `repro dist`
+    /// calls it once per OS process with an endpoint over a
+    /// [`parallax_comm::Transport`] that crosses machines. Everything
+    /// role-specific (replica loop, server shard hosting, restore,
+    /// fault hooks, chief-only artifact publishing) lives below this
+    /// call, which is what makes the two modes bitwise-equivalent.
+    #[allow(clippy::too_many_arguments)] // the full role contract, shared by both modes
+    pub fn run_role<F>(
+        &self,
+        role: RoleAssignment,
+        endpoint: Endpoint,
+        iterations: usize,
+        start_iter: usize,
+        restore: Option<&RestorePoint>,
+        injector: &Arc<FaultInjector>,
+        feed_fn: &F,
+    ) -> Result<RoleOutput>
+    where
+        F: Fn(usize, usize) -> Feed + Send + Sync,
+    {
+        match role {
+            RoleAssignment::Server { machine: m } => {
+                if m >= self.topo.num_machines() {
+                    return Err(CoreError::Config(format!(
+                        "server role names machine {m} but the cluster has {}",
+                        self.topo.num_machines()
+                    )));
+                }
+                let mut server = Server::new(
+                    &self.graph,
+                    &self.plan.plan,
+                    self.topo.clone(),
+                    endpoint,
+                    self.server_config(iterations, start_iter),
+                    self.config.optimizer.build(self.config.learning_rate),
+                )
+                .map_err(|e| CoreError::Worker(format!("server {m} init: {e}")))?;
+                // A machine hosting no shards has nothing to serve; its
+                // endpoint drops here, which closes its links cleanly.
+                if server.num_shards() == 0 {
+                    return Ok(RoleOutput::Server { shards: Vec::new() });
+                }
+                if let Some(rp) = restore {
+                    server
+                        .restore_from(&rp.store)
+                        .map_err(|e| CoreError::Worker(format!("server {m} restore: {e}")))?;
+                    for ((var_name, slot_name), tensor) in &rp.slots {
+                        let Some(var) = self.graph.find_variable(var_name) else {
+                            continue;
+                        };
+                        server.restore_slot(var, slot_name, tensor).map_err(|e| {
+                            CoreError::Worker(format!("server {m} slot restore: {e}"))
+                        })?;
+                    }
+                }
+                server.set_faults(Arc::clone(injector));
+                let shards = server
+                    .run()
+                    .map_err(|e| CoreError::Worker(format!("server {m}: {e}")))?;
+                Ok(RoleOutput::Server { shards })
+            }
+            RoleAssignment::Worker { index } => {
+                let worker_ranks = self.topo.worker_ranks();
+                let &rank = worker_ranks.get(index).ok_or_else(|| {
+                    CoreError::Config(format!(
+                        "worker role names index {index} but the cluster has {} workers",
+                        worker_ranks.len()
+                    ))
+                })?;
+                let ar_vars = self.plan.ar_vars();
+                let ps_vars = self.plan.ps_vars();
+                let gatherv_vars = self.plan.gatherv_vars();
+                let (losses, norms, compute_secs, store) = self.worker_loop(
+                    endpoint,
+                    rank,
+                    index,
+                    iterations,
+                    start_iter,
+                    restore,
+                    injector,
+                    feed_fn,
+                    &ar_vars,
+                    &ps_vars,
+                    &gatherv_vars,
+                )?;
+                Ok(RoleOutput::Worker {
+                    losses,
+                    norms,
+                    compute_secs,
+                    store,
+                })
+            }
+        }
+    }
+
+    /// Assembles the final model from a chief replica and the collected
+    /// server shards: AR variables from the chief (replicas are
+    /// identical), PS variables stitched per-partition. Shared by
+    /// `run_attempt` and the `repro dist` artifact merge so a socket
+    /// run's final model is bitwise the in-process one by construction.
+    pub fn stitch_final_model(
+        &self,
+        chief: &VarStore,
+        shard_values: Vec<((VarId, usize), Tensor)>,
+    ) -> Result<HashMap<usize, Tensor>> {
+        let mut final_model: HashMap<usize, Tensor> = HashMap::new();
+        for var in self.plan.ar_vars() {
+            final_model.insert(var.index(), chief.get(var)?.clone());
+        }
+        let mut shards_by_var: HashMap<usize, Vec<(usize, Tensor)>> = HashMap::new();
+        for ((var, part), value) in shard_values {
+            shards_by_var
+                .entry(var.index())
+                .or_default()
+                .push((part, value));
+        }
+        for (var_idx, mut parts) in shards_by_var {
+            parts.sort_by_key(|(p, _)| *p);
+            let var = VarId::from_index(var_idx);
+            let shape = self.graph.var_def(var)?.shape.clone();
+            match self.plan.plan.placement(var).map_err(CoreError::Ps)? {
+                VarPlacement::PsDense { .. } => {
+                    let (_, value) = parts.pop().ok_or_else(|| {
+                        CoreError::Worker(format!("variable {var_idx}: no dense shard collected"))
+                    })?;
+                    final_model.insert(var_idx, value);
+                }
+                VarPlacement::PsSparse { partition, .. } => {
+                    let tensors: Vec<Tensor> = parts.into_iter().map(|(_, t)| t).collect();
+                    let full = partition.stitch(&tensors).map_err(CoreError::Ps)?;
+                    final_model.insert(var_idx, full.reshape(shape)?);
+                }
+                VarPlacement::AllReduce => {}
+            }
+        }
+        Ok(final_model)
     }
 
     /// The effective checkpoint/snapshot interval: `checkpoint_interval`

@@ -21,6 +21,8 @@
 //! assert exactly which faults actually fired.
 
 use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -120,6 +122,94 @@ impl std::fmt::Display for FaultAction {
     }
 }
 
+/// A fault spec token that did not parse ([`FaultAction::from_spec`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// The offending token.
+    pub token: String,
+}
+
+impl std::fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unparseable fault spec token {:?}", self.token)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+impl FaultAction {
+    /// Compact machine-readable encoding (`kind:field:field...`), the
+    /// form fault plans travel in through cluster spec files and the
+    /// fired-event log. Round-trips through [`FaultAction::from_spec`].
+    pub fn to_spec(&self) -> String {
+        match *self {
+            FaultAction::KillWorker { rank, at_step } => format!("kill-worker:{rank}:{at_step}"),
+            FaultAction::KillServer { machine, at_step } => {
+                format!("kill-server:{machine}:{at_step}")
+            }
+            FaultAction::DropMessage { from, to, nth } => format!("drop:{from}:{to}:{nth}"),
+            FaultAction::DelayMessage {
+                from,
+                to,
+                nth,
+                millis,
+            } => format!("delay:{from}:{to}:{nth}:{millis}"),
+            FaultAction::DuplicateMessage { from, to, nth } => format!("dup:{from}:{to}:{nth}"),
+            FaultAction::Stall {
+                rank,
+                at_step,
+                millis,
+            } => format!("stall:{rank}:{at_step}:{millis}"),
+        }
+    }
+
+    /// Parses one [`FaultAction::to_spec`] token.
+    pub fn from_spec(token: &str) -> Result<FaultAction, ParseSpecError> {
+        let err = || ParseSpecError {
+            token: token.to_string(),
+        };
+        let mut parts = token.split(':');
+        let kind = parts.next().ok_or_else(err)?;
+        let mut nums: Vec<u64> = Vec::new();
+        for p in parts {
+            nums.push(p.parse().map_err(|_| err())?);
+        }
+        let action = match (kind, nums.as_slice()) {
+            ("kill-worker", &[rank, at_step]) => FaultAction::KillWorker {
+                rank: rank as usize,
+                at_step,
+            },
+            ("kill-server", &[machine, at_step]) => FaultAction::KillServer {
+                machine: machine as usize,
+                at_step,
+            },
+            ("drop", &[from, to, nth]) => FaultAction::DropMessage {
+                from: from as usize,
+                to: to as usize,
+                nth,
+            },
+            ("delay", &[from, to, nth, millis]) => FaultAction::DelayMessage {
+                from: from as usize,
+                to: to as usize,
+                nth,
+                millis,
+            },
+            ("dup", &[from, to, nth]) => FaultAction::DuplicateMessage {
+                from: from as usize,
+                to: to as usize,
+                nth,
+            },
+            ("stall", &[rank, at_step, millis]) => FaultAction::Stall {
+                rank: rank as usize,
+                at_step,
+                millis,
+            },
+            _ => return Err(err()),
+        };
+        Ok(action)
+    }
+}
+
 /// A deterministic list of one-shot faults.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -187,6 +277,33 @@ impl FaultPlan {
         })
     }
 
+    /// Encodes the whole plan as semicolon-joined spec tokens
+    /// ([`FaultAction::to_spec`]); the form a plan travels in through a
+    /// `CLUSTER.json` field. An empty plan encodes as the empty string.
+    pub fn to_spec(&self) -> String {
+        self.actions
+            .iter()
+            .map(FaultAction::to_spec)
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Parses a [`FaultPlan::to_spec`] string. Tokens may be separated
+    /// by semicolons or newlines (the fired-event log is one token per
+    /// line); whitespace around tokens and empty tokens are tolerated,
+    /// so `""` parses as the empty plan.
+    pub fn parse_spec(spec: &str) -> Result<FaultPlan, ParseSpecError> {
+        let mut plan = FaultPlan::new();
+        for token in spec.split([';', '\n']) {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            plan.actions.push(FaultAction::from_spec(token)?);
+        }
+        Ok(plan)
+    }
+
     /// Generates a reproducible plan from a seed: `count` message-level
     /// faults (drop/delay/duplicate) over `ranks` transport ranks and
     /// message indices below `max_nth`. The same seed always yields the
@@ -235,6 +352,11 @@ struct InjectorState {
     link_counts: HashMap<(usize, usize), u64>,
     /// Actions that actually fired, in firing order.
     fired: Vec<FaultAction>,
+    /// Optional write-ahead log: every fire appends one spec line here
+    /// *before* the verdict is returned, so the record survives even if
+    /// the process is killed immediately after (the multi-process
+    /// launcher SIGKILLs surviving ranks once any rank fails).
+    log_path: Option<PathBuf>,
 }
 
 /// Runtime evaluator for a [`FaultPlan`]. Shared (behind an `Arc`)
@@ -254,6 +376,55 @@ impl FaultInjector {
                 ..InjectorState::default()
             }),
         }
+    }
+
+    /// Builds an injector whose fires are write-ahead logged to
+    /// `log_path` (one [`FaultAction::to_spec`] line per fire, appended
+    /// and flushed before the verdict returns) and whose pending set is
+    /// pre-cleared of every action already recorded there.
+    ///
+    /// This is how one-shot semantics survive process respawn: a
+    /// restarted rank rebuilds the injector from the same plan and log,
+    /// and any fault that fired in an earlier generation is treated as
+    /// spent instead of firing again — exactly the in-process guarantee
+    /// that a recovered run replaying the faulted step converges.
+    pub fn new_logged(plan: FaultPlan, log_path: &Path) -> Result<Self, ParseSpecError> {
+        let inj = Self::new(plan);
+        if let Ok(text) = std::fs::read_to_string(log_path) {
+            let already = FaultPlan::parse_spec(&text)?;
+            inj.preclear(already.actions());
+        }
+        inj.state.lock().unwrap_or_else(|e| e.into_inner()).log_path = Some(log_path.to_path_buf());
+        Ok(inj)
+    }
+
+    /// Removes each listed action from the pending set (first match
+    /// wins) without logging it as fired by *this* injector. Used when
+    /// the action fired in an earlier process generation.
+    pub fn preclear(&self, actions: &[FaultAction]) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        for action in actions {
+            if let Some(idx) = state.pending.iter().position(|a| a == action) {
+                state.pending.remove(idx);
+            }
+        }
+    }
+
+    /// Appends `action` to the fired log (write-ahead: called before the
+    /// verdict is acted on). Log-write failures are swallowed — fault
+    /// injection must never make the transport itself fail.
+    fn record_fire(state: &mut InjectorState, action: FaultAction) {
+        if let Some(path) = &state.log_path {
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(f, "{}", action.to_spec());
+                let _ = f.flush();
+            }
+        }
+        state.fired.push(action);
     }
 
     /// Called by the transport once per logical send on `from -> to`.
@@ -287,7 +458,7 @@ impl FaultInjector {
             return Verdict::Deliver;
         };
         let action = state.pending.remove(idx);
-        state.fired.push(action);
+        Self::record_fire(&mut state, action);
         match action {
             FaultAction::DropMessage { .. } => Verdict::Drop,
             FaultAction::DelayMessage { millis, .. } => {
@@ -331,7 +502,7 @@ impl FaultInjector {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let idx = state.pending.iter().position(|&a| matcher(a))?;
         let action = state.pending.remove(idx);
-        state.fired.push(action);
+        Self::record_fire(&mut state, action);
         Some(action)
     }
 
@@ -437,6 +608,67 @@ mod tests {
                 other => panic!("random plans are message-level only, got {other}"),
             }
         }
+    }
+
+    #[test]
+    fn spec_roundtrips_every_action_kind() {
+        let plan = FaultPlan::new()
+            .kill_worker(2, 3)
+            .kill_server(1, 4)
+            .drop_message(0, 5, 0)
+            .delay_message(0, 1, 2, 5)
+            .duplicate_message(1, 0, 0)
+            .stall(0, 1, 7);
+        let spec = plan.to_spec();
+        assert_eq!(FaultPlan::parse_spec(&spec).unwrap(), plan);
+        assert_eq!(FaultPlan::parse_spec("").unwrap(), FaultPlan::new());
+        assert_eq!(
+            FaultPlan::parse_spec(" drop:0:1:2 ; ").unwrap(),
+            FaultPlan::new().drop_message(0, 1, 2)
+        );
+        assert!(FaultAction::from_spec("drop:0:1").is_err());
+        assert!(FaultAction::from_spec("explode:0:1:2").is_err());
+        assert!(FaultAction::from_spec("drop:0:1:x").is_err());
+    }
+
+    #[test]
+    fn logged_injector_precleads_prior_generation_fires() {
+        let dir = std::env::temp_dir();
+        let log = dir.join(format!("parallax_fault_log_{}.txt", std::process::id()));
+        let _ = std::fs::remove_file(&log);
+        let plan = FaultPlan::new().drop_message(0, 1, 0).kill_worker(1, 2);
+        // Generation 1: the drop fires and is write-ahead logged.
+        let gen1 = FaultInjector::new_logged(plan.clone(), &log).unwrap();
+        assert_eq!(gen1.on_message(0, 1), Verdict::Drop);
+        assert!(gen1.kill_worker_at(1, 2));
+        // Generation 2 (same plan, same log): both already spent.
+        let gen2 = FaultInjector::new_logged(plan.clone(), &log).unwrap();
+        assert_eq!(gen2.on_message(0, 1), Verdict::Deliver);
+        assert!(!gen2.kill_worker_at(1, 2));
+        assert_eq!(gen2.remaining(), 0);
+        // Its own event log stays empty: nothing fired *this* generation.
+        assert!(gen2.events().is_empty());
+        let _ = std::fs::remove_file(&log);
+    }
+
+    #[test]
+    fn preclear_consumes_first_match_only() {
+        // Two identical drops: preclearing one leaves the other armed.
+        let plan = FaultPlan::new()
+            .drop_message(0, 1, 0)
+            .with(FaultAction::DropMessage {
+                from: 0,
+                to: 1,
+                nth: 0,
+            });
+        let inj = FaultInjector::new(plan);
+        inj.preclear(&[FaultAction::DropMessage {
+            from: 0,
+            to: 1,
+            nth: 0,
+        }]);
+        assert_eq!(inj.remaining(), 1);
+        assert_eq!(inj.on_message(0, 1), Verdict::Drop);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Typed errors for the socket transport.
+
+/// Why a frame failed to decode. Every variant is an *input* condition
+/// (the bytes came from a socket peer and may be truncated, corrupted,
+/// or hostile), so decoding must return one of these — never panic and
+/// never allocate more than the declared, capped frame length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream ended inside a frame header or body.
+    Truncated,
+    /// The declared body length exceeds the frame cap.
+    Oversize {
+        /// Declared body length.
+        len: u64,
+        /// The cap ([`crate::frame::MAX_FRAME_BODY`]).
+        max: u64,
+    },
+    /// The body checksum does not match the header (bit flip in
+    /// transit or a desynchronized stream).
+    CrcMismatch {
+        /// Checksum the header declared.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        actual: u32,
+    },
+    /// Unknown frame or payload kind byte.
+    BadKind(u8),
+    /// The body parsed as the declared kind but its fields are
+    /// inconsistent (lengths disagree, indices out of bounds, ...).
+    Malformed(&'static str),
+    /// A nested `Packet` payload exceeds the recursion cap.
+    DepthExceeded,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::Oversize { len, max } => {
+                write!(f, "declared frame body of {len} B exceeds the {max} B cap")
+            }
+            FrameError::CrcMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "frame crc mismatch: header {expected:#010x}, body {actual:#010x}"
+                )
+            }
+            FrameError::BadKind(k) => write!(f, "unknown frame/payload kind {k:#04x}"),
+            FrameError::Malformed(what) => write!(f, "malformed frame body: {what}"),
+            FrameError::DepthExceeded => write!(f, "packet nesting exceeds the depth cap"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Errors from the socket mesh: connection establishment, handshake,
+/// frame transfer, and cluster-spec parsing.
+#[derive(Debug)]
+pub enum NetError {
+    /// An OS-level socket error, with the operation that failed.
+    Io {
+        /// What was being attempted.
+        op: &'static str,
+        /// The underlying error, stringified (keeps `NetError: Clone`-free
+        /// but comparable in tests via the op).
+        err: String,
+    },
+    /// A frame failed to encode or decode.
+    Frame(FrameError),
+    /// Bounded connect retry ran out of attempts.
+    ConnectExhausted {
+        /// The address dialed.
+        addr: String,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// The peer on an accepted or dialed connection failed the
+    /// handshake (wrong magic, wrong rank, duplicate link).
+    Handshake(String),
+    /// The mesh did not complete before its deadline.
+    MeshDeadline {
+        /// How many inbound links were still missing.
+        missing: usize,
+    },
+    /// A cluster spec failed to parse or validate.
+    Spec(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io { op, err } => write!(f, "socket {op} failed: {err}"),
+            NetError::Frame(e) => write!(f, "{e}"),
+            NetError::ConnectExhausted { addr, attempts } => {
+                write!(f, "could not connect to {addr} after {attempts} attempts")
+            }
+            NetError::Handshake(msg) => write!(f, "handshake failed: {msg}"),
+            NetError::MeshDeadline { missing } => {
+                write!(
+                    f,
+                    "mesh deadline expired with {missing} inbound link(s) missing"
+                )
+            }
+            NetError::Spec(msg) => write!(f, "cluster spec: {msg}"),
+        }
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, NetError>;

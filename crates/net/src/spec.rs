@@ -1,0 +1,429 @@
+//! Static cluster specs (`CLUSTER.json`) and process roles.
+//!
+//! A spec names a *test topology*: which preset to train, how many
+//! machines and GPUs, one `host:port` listen address per transport
+//! rank, and the run knobs that must agree across every process for
+//! the derived plan (and therefore the protocol) to be identical —
+//! seed, iteration count, wire format, fault plan, checkpoint cadence.
+//! Every process parses the same file and derives the same
+//! deterministic plan; the spec never carries the plan itself.
+//!
+//! The format is the same flat JSON the calibration profiles use
+//! (`parallax_cluster::costmodel`): scalar fields scanned by key, no
+//! external JSON dependency. Written by the launcher, read by
+//! `repro dist` roles.
+
+use crate::error::{NetError, Result};
+
+/// Schema tag; bump on incompatible changes.
+pub const SCHEMA: &str = "parallax-cluster-v1";
+
+/// Which process a `repro dist` invocation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The chief worker (global worker 0): trains, triggers server
+    /// updates, and is the only role that publishes checkpoints and
+    /// serving snapshots.
+    Chief,
+    /// A non-chief training worker; `index` is the global worker
+    /// position (1-based positions are workers after the chief, so
+    /// `index >= 1`).
+    Worker {
+        /// Global worker position (0 is the chief; use [`Role::Chief`]).
+        index: usize,
+    },
+    /// The parameter-server shard on `machine`.
+    Server {
+        /// Machine index hosting the shard.
+        machine: usize,
+    },
+}
+
+impl Role {
+    /// Parses a `--role` value plus its `--index` argument. Returns
+    /// `None` for unknown role names (the CLI exits 2 with usage, the
+    /// same contract as unknown subcommands).
+    pub fn parse(role: &str, index: usize) -> Option<Role> {
+        match role {
+            "chief" => Some(Role::Chief),
+            "worker" => Some(if index == 0 {
+                Role::Chief
+            } else {
+                Role::Worker { index }
+            }),
+            "server" => Some(Role::Server { machine: index }),
+            _ => None,
+        }
+    }
+
+    /// The role's CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Role::Chief => "chief",
+            Role::Worker { .. } => "worker",
+            Role::Server { .. } => "server",
+        }
+    }
+
+    /// The role's `--index` argument (worker position or machine).
+    pub fn index(&self) -> usize {
+        match *self {
+            Role::Chief => 0,
+            Role::Worker { index } => index,
+            Role::Server { machine } => machine,
+        }
+    }
+
+    /// True for the chief (the only artifact-publishing role).
+    pub fn is_chief(&self) -> bool {
+        matches!(self, Role::Chief)
+    }
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.name(), self.index())
+    }
+}
+
+/// A static cluster description: everything a `repro dist` process
+/// needs to join the mesh and run its role deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Model preset (`"lm"` or `"nmt"`).
+    pub preset: String,
+    /// Machine count.
+    pub machines: usize,
+    /// Training GPUs (worker ranks) per machine; each machine
+    /// additionally hosts one server rank, matching the PS topology.
+    pub gpus_per_machine: usize,
+    /// Training iterations.
+    pub iterations: usize,
+    /// Config seed (initialization + replica consistency).
+    pub seed: u64,
+    /// Wire format name (`"f32"`, `"f16"`, `"bf16"`).
+    pub wire_format: String,
+    /// Listen host for every rank (test topologies are single-host).
+    pub host: String,
+    /// One listen port per transport rank, in rank order.
+    pub ports: Vec<u16>,
+    /// Directory for per-role artifacts, the fired-fault log, and (when
+    /// checkpointing) the chief's checkpoint file.
+    pub artifact_dir: String,
+    /// Receive deadline in milliseconds; `0` keeps the transport
+    /// default.
+    pub recv_deadline_ms: u64,
+    /// Fault plan, encoded by `FaultPlan::to_spec` (empty = none).
+    pub fault_spec: String,
+    /// Chief checkpoint file name inside `artifact_dir` (empty = no
+    /// checkpointing). Non-chief roles read it for recovery but never
+    /// write it.
+    pub checkpoint: String,
+    /// Chief serving-snapshot file name inside `artifact_dir`
+    /// (empty = none).
+    pub snapshot: String,
+    /// Iterations between checkpoints (when `checkpoint`/`snapshot`
+    /// set).
+    pub checkpoint_interval: usize,
+    /// How many failed process generations the launcher may respawn
+    /// (recovery requires `checkpoint`).
+    pub max_recoveries: usize,
+    /// Install the runtime session validator in release builds too.
+    pub validate_protocol: bool,
+}
+
+impl ClusterSpec {
+    /// Total transport ranks: per machine, its workers then its server.
+    pub fn num_endpoints(&self) -> usize {
+        self.machines * (self.gpus_per_machine + 1)
+    }
+
+    /// `host:port` for `rank`.
+    pub fn addr_of(&self, rank: usize) -> Option<String> {
+        self.ports.get(rank).map(|p| format!("{}:{}", self.host, p))
+    }
+
+    /// All rank addresses in rank order.
+    pub fn addrs(&self) -> Vec<String> {
+        self.ports
+            .iter()
+            .map(|p| format!("{}:{}", self.host, p))
+            .collect()
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |msg: String| Err(NetError::Spec(msg));
+        if self.preset.is_empty() {
+            return bad("preset is empty".into());
+        }
+        if self.machines == 0 || self.gpus_per_machine == 0 {
+            return bad("machines and gpus_per_machine must be >= 1".into());
+        }
+        if self.iterations == 0 {
+            return bad("iterations must be >= 1".into());
+        }
+        // Empty ports mean "launcher assigns fresh ones"; anything else
+        // must cover every rank.
+        if !self.ports.is_empty() && self.ports.len() != self.num_endpoints() {
+            return bad(format!(
+                "{} ports for {} endpoints",
+                self.ports.len(),
+                self.num_endpoints()
+            ));
+        }
+        if self.artifact_dir.is_empty() {
+            return bad("artifact_dir is empty".into());
+        }
+        Ok(())
+    }
+
+    /// Serializes the spec (flat JSON, one object).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"schema\":\"{SCHEMA}\"");
+        for (key, val) in [
+            ("preset", &self.preset),
+            ("wire_format", &self.wire_format),
+            ("host", &self.host),
+            ("artifact_dir", &self.artifact_dir),
+            ("fault_spec", &self.fault_spec),
+            ("checkpoint", &self.checkpoint),
+            ("snapshot", &self.snapshot),
+        ] {
+            let _ = write!(out, ",\"{key}\":\"{}\"", escape(val));
+        }
+        for (key, val) in [
+            ("machines", self.machines as u64),
+            ("gpus_per_machine", self.gpus_per_machine as u64),
+            ("iterations", self.iterations as u64),
+            ("seed", self.seed),
+            ("recv_deadline_ms", self.recv_deadline_ms),
+            ("checkpoint_interval", self.checkpoint_interval as u64),
+            ("max_recoveries", self.max_recoveries as u64),
+            ("validate_protocol", self.validate_protocol as u64),
+        ] {
+            let _ = write!(out, ",\"{key}\":{val}");
+        }
+        let ports: Vec<String> = self.ports.iter().map(|p| p.to_string()).collect();
+        let _ = write!(out, ",\"ports\":[{}]}}", ports.join(","));
+        out
+    }
+
+    /// Parses a [`ClusterSpec::to_json`] document and validates it.
+    pub fn from_json(text: &str) -> Result<ClusterSpec> {
+        let bad = |what: &str| NetError::Spec(what.to_string());
+        if scan_string(text, "schema").as_deref() != Some(SCHEMA) {
+            return Err(bad("missing schema parallax-cluster-v1"));
+        }
+        let num = |key: &str| scan_number(text, key).ok_or_else(|| bad(&format!("missing {key}")));
+        let string = |key: &str| scan_string(text, key).unwrap_or_default();
+        let ports_f = scan_array(text, "ports").ok_or_else(|| bad("missing ports"))?;
+        let mut ports = Vec::with_capacity(ports_f.len());
+        for p in ports_f {
+            if !(1.0..=65535.0).contains(&p) || p.fract() != 0.0 {
+                return Err(bad("port out of range"));
+            }
+            ports.push(p as u16);
+        }
+        let spec = ClusterSpec {
+            preset: scan_string(text, "preset").ok_or_else(|| bad("missing preset"))?,
+            machines: num("machines")? as usize,
+            gpus_per_machine: num("gpus_per_machine")? as usize,
+            iterations: num("iterations")? as usize,
+            seed: num("seed")? as u64,
+            wire_format: string("wire_format"),
+            host: {
+                let h = string("host");
+                if h.is_empty() {
+                    "127.0.0.1".to_string()
+                } else {
+                    h
+                }
+            },
+            ports,
+            artifact_dir: string("artifact_dir"),
+            recv_deadline_ms: num("recv_deadline_ms")? as u64,
+            fault_spec: string("fault_spec"),
+            checkpoint: string("checkpoint"),
+            snapshot: string("snapshot"),
+            checkpoint_interval: num("checkpoint_interval")? as usize,
+            max_recoveries: scan_number(text, "max_recoveries").map_or(1, |v| v as usize),
+            validate_protocol: scan_flag(text, "validate_protocol")
+                .ok_or_else(|| bad("missing validate_protocol"))?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Finds `"key": <number>` in a flat JSON document.
+fn scan_number(text: &str, key: &str) -> Option<f64> {
+    let rest = after_key(text, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Finds `"key": <flag>` in a flat JSON document, accepting JSON
+/// booleans as well as the 0/1 numbers [`ClusterSpec::to_json`] emits
+/// (hand-written specs naturally use `true`/`false`).
+fn scan_flag(text: &str, key: &str) -> Option<bool> {
+    let rest = after_key(text, key)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        scan_number(text, key).map(|v| v != 0.0)
+    }
+}
+
+/// Finds `"key": "<string>"` in a flat JSON document (supports `\"`
+/// and `\\` escapes).
+fn scan_string(text: &str, key: &str) -> Option<String> {
+    let rest = after_key(text, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut end = None;
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                end = Some(i);
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    Some(unescape(&rest[..end?]))
+}
+
+/// Finds `"key": [n, n, ...]` in a flat JSON document.
+fn scan_array(text: &str, key: &str) -> Option<Vec<f64>> {
+    let rest = after_key(text, key)?;
+    let rest = rest.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let inner = rest[..close].trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner.split(',').map(|s| s.trim().parse().ok()).collect()
+}
+
+/// Positions after `"key":`, whitespace skipped.
+fn after_key<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)?;
+    Some(text[at + pat.len()..].trim_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec {
+            preset: "lm".into(),
+            machines: 1,
+            gpus_per_machine: 2,
+            iterations: 4,
+            seed: 42,
+            wire_format: "f32".into(),
+            host: "127.0.0.1".into(),
+            ports: vec![7101, 7102, 7103],
+            artifact_dir: "/tmp/parallax dist \"quoted\"".into(),
+            recv_deadline_ms: 5000,
+            fault_spec: "drop:0:2:0;kill-worker:1:3".into(),
+            checkpoint: "run.ckpt".into(),
+            snapshot: String::new(),
+            checkpoint_interval: 2,
+            max_recoveries: 3,
+            validate_protocol: true,
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_including_escaped_strings() {
+        let s = spec();
+        let back = ClusterSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn spec_validation_rejects_port_mismatch() {
+        let mut s = spec();
+        s.ports.pop();
+        assert!(matches!(
+            ClusterSpec::from_json(&s.to_json()),
+            Err(NetError::Spec(_))
+        ));
+        // Empty ports are a valid launcher input (fresh ones are
+        // assigned per generation).
+        s.ports.clear();
+        assert_eq!(ClusterSpec::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn spec_accepts_hand_written_json() {
+        let text = r#"{
+            "schema": "parallax-cluster-v1",
+            "preset": "lm",
+            "machines": 1, "gpus_per_machine": 2,
+            "iterations": 4, "seed": 7,
+            "wire_format": "f32", "host": "127.0.0.1", "ports": [],
+            "artifact_dir": "/tmp/demo", "recv_deadline_ms": 10000,
+            "fault_spec": "", "checkpoint": "", "snapshot": "",
+            "checkpoint_interval": 0, "max_recoveries": 0,
+            "validate_protocol": true
+        }"#;
+        let s = ClusterSpec::from_json(text).unwrap();
+        assert_eq!(s.preset, "lm");
+        assert!(s.validate_protocol);
+        assert!(s.ports.is_empty());
+        assert_eq!(s.max_recoveries, 0);
+    }
+
+    #[test]
+    fn role_parsing() {
+        assert_eq!(Role::parse("chief", 0), Some(Role::Chief));
+        assert_eq!(Role::parse("worker", 0), Some(Role::Chief));
+        assert_eq!(Role::parse("worker", 2), Some(Role::Worker { index: 2 }));
+        assert_eq!(Role::parse("server", 1), Some(Role::Server { machine: 1 }));
+        assert_eq!(Role::parse("observer", 0), None);
+        assert!(Role::Chief.is_chief());
+        assert!(!Role::Server { machine: 0 }.is_chief());
+        assert_eq!(Role::Worker { index: 3 }.to_string(), "worker:3");
+    }
+
+    #[test]
+    fn addresses_follow_rank_order() {
+        let s = spec();
+        assert_eq!(s.num_endpoints(), 3);
+        assert_eq!(s.addr_of(1).unwrap(), "127.0.0.1:7102");
+        assert_eq!(s.addrs().len(), 3);
+        assert!(s.addr_of(9).is_none());
+    }
+}

@@ -1,0 +1,474 @@
+//! The socket mesh: one full-duplex TCP connection per rank pair,
+//! implementing [`parallax_comm::Transport`].
+//!
+//! Connection establishment is deterministic and deadlock-free: every
+//! rank binds its listener *first*, then dials every lower rank
+//! (bounded retry with exponential backoff, so process start order
+//! does not matter), then accepts from every higher rank. Each link is
+//! verified by a magic/rank handshake in both directions before any
+//! frame moves.
+//!
+//! Per-link reader threads decode frames ([`crate::frame`]) into one
+//! merged channel, preserving per-link delivery order — the same
+//! semantics the in-process `ChannelTransport` provides. A reader that
+//! sees FIN (graceful peer shutdown), EOF (peer crash), a frame error,
+//! or an I/O error marks its peer dead in the shared
+//! [`PeerHealth`] registry and stops, which is exactly how the
+//! endpoint's deadline classification distinguishes `PeerDead` from
+//! `PeerTimeout` across the process boundary.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parallax_comm::{CommError, Envelope, Payload, PeerHealth, RecvError, Transport};
+use parking_lot::Mutex;
+
+use crate::error::{NetError, Result};
+use crate::frame::{self, Frame};
+
+/// Link handshake magic.
+const MAGIC: &[u8; 8] = b"PLXNET1\n";
+
+/// Mesh-construction parameters.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// This process's transport rank.
+    pub rank: usize,
+    /// Listen address (`host:port`) of every rank, in rank order.
+    pub addrs: Vec<String>,
+    /// Bounded connect retry: how many dial attempts per peer.
+    pub connect_attempts: u32,
+    /// First retry delay; doubles per attempt, capped at 400 ms.
+    pub connect_base_delay: Duration,
+    /// How long to wait for all inbound links.
+    pub mesh_deadline: Duration,
+}
+
+impl TcpConfig {
+    /// Defaults tuned for same-host test topologies: ~25 s of dialing
+    /// patience so a slow sibling process can't miss the mesh.
+    pub fn new(rank: usize, addrs: Vec<String>) -> Self {
+        TcpConfig {
+            rank,
+            addrs,
+            connect_attempts: 60,
+            connect_base_delay: Duration::from_millis(10),
+            mesh_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A fully-connected socket mesh for one rank.
+pub struct TcpTransport {
+    rank: usize,
+    /// Writer half per peer rank (`None` for self).
+    writers: Vec<Option<Mutex<TcpStream>>>,
+    /// Merged inbound deliveries from all reader threads.
+    rx: Receiver<Envelope>,
+    /// Loopback sender for self-sends (mirrors the in-process router,
+    /// which lets a rank send to itself through its own channel).
+    loopback: Sender<Envelope>,
+    shut: bool,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("rank", &self.rank)
+            .field("peers", &(self.writers.len() - 1))
+            .finish()
+    }
+}
+
+fn io_err(op: &'static str) -> impl Fn(std::io::Error) -> NetError {
+    move |e| NetError::Io {
+        op,
+        err: e.to_string(),
+    }
+}
+
+/// Dials `addr` with bounded exponential backoff.
+fn connect_with_retry(addr: &str, attempts: u32, base: Duration) -> Result<TcpStream> {
+    let mut delay = base;
+    for attempt in 0..attempts {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(_) if attempt + 1 < attempts => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(400));
+            }
+            Err(_) => break,
+        }
+    }
+    Err(NetError::ConnectExhausted {
+        addr: addr.to_string(),
+        attempts,
+    })
+}
+
+/// Writes this side's handshake half: magic, own rank, expected peer.
+fn send_hello(s: &mut TcpStream, own: usize, expect: usize) -> Result<()> {
+    let mut buf = [0u8; 16];
+    buf[..8].copy_from_slice(MAGIC);
+    buf[8..12].copy_from_slice(&(own as u32).to_le_bytes());
+    buf[12..16].copy_from_slice(&(expect as u32).to_le_bytes());
+    s.write_all(&buf).map_err(io_err("handshake write"))
+}
+
+/// Reads the peer's handshake half, returning `(their_rank, expected)`.
+fn read_hello(s: &mut TcpStream) -> Result<(usize, usize)> {
+    let mut buf = [0u8; 16];
+    s.read_exact(&mut buf).map_err(io_err("handshake read"))?;
+    if &buf[..8] != MAGIC {
+        return Err(NetError::Handshake("bad magic".into()));
+    }
+    let theirs = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
+    let expect = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]) as usize;
+    Ok((theirs, expect))
+}
+
+impl TcpTransport {
+    /// Builds the mesh for `cfg.rank`: bind, dial lower ranks, accept
+    /// higher ranks, verify every handshake, then spawn one reader
+    /// thread per link feeding the merged inbound channel.
+    ///
+    /// `health` is shared with the endpoint built on top
+    /// ([`parallax_comm::Endpoint::from_transport`]): reader threads
+    /// mark peers dead there.
+    pub fn connect_mesh(cfg: &TcpConfig, health: Arc<PeerHealth>) -> Result<TcpTransport> {
+        let n = cfg.addrs.len();
+        let rank = cfg.rank;
+        if rank >= n {
+            return Err(NetError::Spec(format!("rank {rank} outside {n} addrs")));
+        }
+        let listener = TcpListener::bind(&cfg.addrs[rank]).map_err(io_err("bind"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(io_err("set_nonblocking"))?;
+
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        // Dial every lower rank. Those processes bound their listeners
+        // before dialing anyone, so pending connections queue in their
+        // accept backlog and sequential dialing cannot deadlock.
+        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+            let mut s = connect_with_retry(
+                &cfg.addrs[peer],
+                cfg.connect_attempts,
+                cfg.connect_base_delay,
+            )?;
+            s.set_nodelay(true).map_err(io_err("set_nodelay"))?;
+            s.set_read_timeout(Some(Duration::from_secs(10)))
+                .map_err(io_err("set_read_timeout"))?;
+            send_hello(&mut s, rank, peer)?;
+            let (theirs, expect) = read_hello(&mut s)?;
+            if theirs != peer || expect != rank {
+                return Err(NetError::Handshake(format!(
+                    "dialed rank {peer} but {theirs} (expecting {expect}) answered"
+                )));
+            }
+            s.set_read_timeout(None)
+                .map_err(io_err("set_read_timeout"))?;
+            *slot = Some(s);
+        }
+        // Accept every higher rank.
+        let mut missing = n - 1 - rank;
+        let deadline = Instant::now() + cfg.mesh_deadline;
+        while missing > 0 {
+            match listener.accept() {
+                Ok((mut s, _)) => {
+                    s.set_nonblocking(false)
+                        .map_err(io_err("set_nonblocking"))?;
+                    s.set_nodelay(true).map_err(io_err("set_nodelay"))?;
+                    s.set_read_timeout(Some(Duration::from_secs(10)))
+                        .map_err(io_err("set_read_timeout"))?;
+                    let (theirs, expect) = read_hello(&mut s)?;
+                    if expect != rank || theirs <= rank || theirs >= n {
+                        return Err(NetError::Handshake(format!(
+                            "inbound claims rank {theirs}, expecting {expect} (i am {rank}/{n})"
+                        )));
+                    }
+                    if streams[theirs].is_some() {
+                        return Err(NetError::Handshake(format!("duplicate link from {theirs}")));
+                    }
+                    send_hello(&mut s, rank, theirs)?;
+                    s.set_read_timeout(None)
+                        .map_err(io_err("set_read_timeout"))?;
+                    streams[theirs] = Some(s);
+                    missing -= 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::MeshDeadline { missing });
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(io_err("accept")(e)),
+            }
+        }
+
+        let (tx, rx) = unbounded();
+        let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(n);
+        for (peer, slot) in streams.into_iter().enumerate() {
+            let Some(stream) = slot else {
+                writers.push(None);
+                continue;
+            };
+            let reader = stream.try_clone().map_err(io_err("clone stream"))?;
+            writers.push(Some(Mutex::new(stream)));
+            let tx = tx.clone();
+            let health = Arc::clone(&health);
+            std::thread::Builder::new()
+                .name(format!("net-recv-{rank}-from-{peer}"))
+                .spawn(move || reader_loop(rank, peer, reader, tx, health))
+                .map_err(io_err("spawn reader"))?;
+        }
+        Ok(TcpTransport {
+            rank,
+            writers,
+            rx,
+            loopback: tx,
+            shut: false,
+        })
+    }
+
+    /// Sends FIN on every link and half-closes the write side. Safe to
+    /// call more than once; also runs on drop.
+    pub fn shutdown_links(&mut self) {
+        if self.shut {
+            return;
+        }
+        self.shut = true;
+        let fin = frame::encode_fin();
+        for w in self.writers.iter().flatten() {
+            let mut s = w.lock();
+            let _ = frame::write_frame(&mut *s, &fin);
+            let _ = s.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+/// Decodes frames from one link into the merged channel until the link
+/// ends (FIN, EOF, frame error, or I/O error), then marks the peer
+/// dead. Delivery order per link is the socket's byte order, matching
+/// the per-sender FIFO the in-process channels give.
+fn reader_loop(
+    rank: usize,
+    peer: usize,
+    mut stream: TcpStream,
+    tx: Sender<Envelope>,
+    health: Arc<PeerHealth>,
+) {
+    loop {
+        match frame::read_frame(&mut stream) {
+            Ok(Ok(Some(Frame::Msg { tag, payload }))) => {
+                let env = Envelope {
+                    from: peer,
+                    tag,
+                    payload,
+                };
+                if tx.send(env).is_err() {
+                    // Our own endpoint is gone; nothing left to deliver to.
+                    return;
+                }
+            }
+            Ok(Ok(Some(Frame::Fin))) | Ok(Ok(None)) => {
+                // Graceful FIN or clean EOF: the peer is done (the
+                // in-process analog is its endpoint's Drop).
+                health.mark_dead(peer);
+                return;
+            }
+            Ok(Err(e)) => {
+                eprintln!("[parallax-net] rank {rank}: bad frame from {peer}: {e}");
+                health.mark_dead(peer);
+                return;
+            }
+            Err(e) => {
+                if e.kind() != std::io::ErrorKind::ConnectionReset {
+                    eprintln!("[parallax-net] rank {rank}: read from {peer} failed: {e}");
+                }
+                health.mark_dead(peer);
+                return;
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, to: usize, tag: u64, payload: Payload) -> parallax_comm::Result<()> {
+        if to >= self.writers.len() {
+            return Err(CommError::UnknownRank(to));
+        }
+        if to == self.rank {
+            return self
+                .loopback
+                .send(Envelope {
+                    from: self.rank,
+                    tag,
+                    payload,
+                })
+                .map_err(|_| CommError::Disconnected { peer: to });
+        }
+        let Some(w) = &self.writers[to] else {
+            return Err(CommError::UnknownRank(to));
+        };
+        let bytes = frame::encode_msg(tag, &payload);
+        let mut s = w.lock();
+        frame::write_frame(&mut *s, &bytes).map_err(|_| CommError::Disconnected { peer: to })
+    }
+
+    fn recv(&mut self, timeout: Duration) -> std::result::Result<Envelope, RecvError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Ok(env),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(RecvError::Disconnected { peer: usize::MAX })
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.shutdown_links();
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown_links();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launcher::free_local_ports;
+
+    fn mesh(n: usize) -> Vec<TcpTransport> {
+        let ports = free_local_ports(n).unwrap();
+        let addrs: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+        let health: Vec<_> = (0..n).map(|_| Arc::new(PeerHealth::default())).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let addrs = addrs.clone();
+                    let health = Arc::clone(&health[rank]);
+                    s.spawn(move || {
+                        TcpTransport::connect_mesh(&TcpConfig::new(rank, addrs), health).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn three_rank_mesh_exchanges_payloads() {
+        let mut ts = mesh(3);
+        ts[0].send(2, 7, Payload::Control(11)).unwrap();
+        ts[1]
+            .send(2, 7, Payload::Floats(Arc::new(vec![1.0, 2.0])))
+            .unwrap();
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let env = ts[2].recv(Duration::from_secs(5)).unwrap();
+            got.push((env.from, env.tag, env.payload.byte_size()));
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 7, 8), (1, 7, 8)]);
+    }
+
+    #[test]
+    fn per_link_order_is_preserved() {
+        let mut ts = mesh(2);
+        for i in 0..32u64 {
+            ts[0].send(1, 9, Payload::Control(i)).unwrap();
+        }
+        for i in 0..32u64 {
+            let env = ts[1].recv(Duration::from_secs(5)).unwrap();
+            assert_eq!(env.payload.into_control().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn fin_marks_peer_dead_and_recv_times_out() {
+        let ports = free_local_ports(2).unwrap();
+        let addrs: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+        let h0 = Arc::new(PeerHealth::default());
+        let h1 = Arc::new(PeerHealth::default());
+        let (t0, mut t1) = std::thread::scope(|s| {
+            let a = addrs.clone();
+            let h = Arc::clone(&h0);
+            let j0 = s.spawn(move || TcpTransport::connect_mesh(&TcpConfig::new(0, a), h).unwrap());
+            let a = addrs.clone();
+            let h = Arc::clone(&h1);
+            let j1 = s.spawn(move || TcpTransport::connect_mesh(&TcpConfig::new(1, a), h).unwrap());
+            (j0.join().unwrap(), j1.join().unwrap())
+        });
+        drop(t0); // graceful: sends FIN
+                  // Rank 1 observes death via its health registry.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !h1.is_dead(0) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(h1.is_dead(0), "FIN should mark peer 0 dead");
+        assert!(matches!(
+            t1.recv(Duration::from_millis(50)),
+            Err(RecvError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn connect_retry_exhausts_with_typed_error() {
+        // A port nothing listens on: grab one and drop the listener.
+        let port = free_local_ports(1).unwrap()[0];
+        let err = connect_with_retry(&format!("127.0.0.1:{port}"), 3, Duration::from_millis(1))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::ConnectExhausted { attempts: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn endpoint_over_tcp_matches_channel_semantics() {
+        use parallax_comm::{Endpoint, Topology, TrafficStats};
+        let ports = free_local_ports(2).unwrap();
+        let addrs: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+        let topo = Topology::uniform(2, 1).unwrap();
+        let build = |rank: usize, addrs: Vec<String>| {
+            let health = Arc::new(PeerHealth::default());
+            let t = TcpTransport::connect_mesh(&TcpConfig::new(rank, addrs), Arc::clone(&health))
+                .unwrap();
+            let traffic = TrafficStats::new(2);
+            Endpoint::from_transport(
+                Topology::uniform(2, 1).unwrap(),
+                rank,
+                Box::new(t),
+                traffic,
+                health,
+                None,
+            )
+            .unwrap()
+        };
+        let _ = topo;
+        std::thread::scope(|s| {
+            let a0 = addrs.clone();
+            let h = s.spawn(move || {
+                let e0 = build(0, a0);
+                e0.send(1, 7, Payload::Floats(Arc::new(vec![1.0, 2.0, 3.0])))
+                    .unwrap();
+                // Sender-side accounting: rank 0 charges its own send.
+                assert_eq!(e0.traffic().snapshot().out_bytes[0], 12);
+            });
+            let mut e1 = build(1, addrs.clone());
+            let got = e1.recv(0, 7).unwrap().into_floats().unwrap();
+            assert_eq!(got, vec![1.0, 2.0, 3.0]);
+            // Receiver-side ledger never charges: accounting is
+            // sender-side only, so per-process snapshots merge disjointly.
+            assert_eq!(e1.traffic().snapshot().out_bytes[1], 0);
+            h.join().unwrap();
+        });
+    }
+}

@@ -79,6 +79,17 @@ cargo run --release -q -p parallax-bench --bin repro -- straggler --model lm
 cargo run --release -q -p parallax-bench --bin repro -- chaos \
   --scenarios baseline,worker-kill,drop,duplicate
 
+# Distributed-transport equivalence gate: launch real multi-process
+# socket clusters (one OS process per role over parallax-net's TCP
+# mesh) for both presets and require bitwise-identical losses and final
+# weights plus byte-identical per-class traffic (statically predicted
+# == traced spans == measured ledger) versus the in-process runner from
+# the same seed and plan. The chaos-over-sockets recovery suite
+# (kill/drop through real processes) runs as part of `cargo test`
+# above. A hard wall-clock deadline keeps a wedged mesh from hanging
+# the build (each fleet generation also has its own internal deadline).
+timeout 600 cargo run --release -q -p parallax-bench --bin repro -- dist-check
+
 # Compression gate: f16/bf16 dense payloads must shrink >= 1.8x with
 # predicted==traced==measured bytes exactly equal under every wire
 # format, the delta+varint sparse index codec must beat raw u32 indices
